@@ -1,0 +1,87 @@
+(* Shared helpers for the experiment harness: table formatting and common
+   scenario plumbing. *)
+
+module Time = Netsim.Time
+module Addr = Ipv4.Addr
+module Node = Net.Node
+module Topology = Net.Topology
+module Agent = Mhrp.Agent
+module TG = Workload.Topo_gen
+
+let heading id title =
+  Format.printf "@.=== %s: %s ===@." id title
+
+let note fmt = Format.printf ("    " ^^ fmt ^^ "@.")
+
+let table ~columns rows =
+  let widths =
+    List.mapi
+      (fun i c ->
+         List.fold_left
+           (fun w row -> max w (String.length (List.nth row i)))
+           (String.length c) rows)
+      columns
+  in
+  let print_row cells =
+    List.iteri
+      (fun i cell -> Format.printf "  %-*s" (List.nth widths i + 2) cell)
+      cells;
+    Format.printf "@."
+  in
+  print_row columns;
+  print_row (List.map (fun w -> String.make w '-') widths);
+  List.iter print_row rows
+
+let f1 v = Printf.sprintf "%.1f" v
+let f2 v = Printf.sprintf "%.2f" v
+let i v = string_of_int v
+let ms_of_us us = Printf.sprintf "%.2f" (us /. 1000.0)
+
+(* A standard 64-byte-payload UDP packet, the workloads' unit of traffic. *)
+let sample_packet ?(id = 1) ~src ~dst () =
+  Ipv4.Packet.make ~id ~proto:Ipv4.Proto.udp ~src ~dst
+    (Ipv4.Udp.encode (Ipv4.Udp.make ~src_port:4000 ~dst_port:4000
+                        (Bytes.create 64)))
+
+type fig_env = {
+  f : TG.figure1;
+  metrics : Workload.Metrics.t;
+  traffic : Workload.Traffic.t;
+  m_addr : Addr.t;
+}
+
+let fig_setup ?config ?snoop_routers ?seed () =
+  let f = TG.figure1 ?config ?snoop_routers ?seed () in
+  Netsim.Trace.set_enabled (Topology.trace f.TG.topo) false;
+  let metrics = Workload.Metrics.create f.TG.topo in
+  let traffic = Workload.Traffic.create metrics (Topology.engine f.TG.topo) in
+  Workload.Metrics.watch_receiver metrics f.TG.m;
+  Workload.Metrics.watch_receiver metrics f.TG.s;
+  { f; metrics; traffic; m_addr = Agent.address f.TG.m }
+
+let fig_at env sec g = Workload.Traffic.at env.traffic (Time.of_sec sec) g
+
+let fig_send env sec =
+  fig_at env sec (fun () ->
+      Workload.Traffic.send_udp env.traffic ~src:env.f.TG.s ~dst:env.m_addr
+        ())
+
+let fig_move env sec lan =
+  Workload.Mobility.move_at env.f.TG.topo env.f.TG.m ~at:(Time.of_sec sec)
+    lan
+
+let fig_run ?(until = 20.0) env =
+  Topology.run ~until:(Time.of_sec until) env.f.TG.topo
+
+(* Attach a second wireless cell (net E behind R3 via a new router R5),
+   used by movement and failure experiments. *)
+let add_second_cell env =
+  let net_e = Topology.add_lan env.f.TG.topo ~net:5 "netE" in
+  let r5n =
+    Topology.add_router env.f.TG.topo "R5" [(env.f.TG.net_c, 3); (net_e, 1)]
+  in
+  Topology.compute_routes env.f.TG.topo;
+  let r5 = Agent.create r5n in
+  Agent.enable_foreign_agent r5
+    ~iface:(Option.get (Node.iface_to r5n (Net.Lan.prefix net_e)));
+  (net_e, r5)

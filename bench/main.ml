@@ -1,0 +1,44 @@
+(* The experiment harness: regenerates every table and figure in
+   EXPERIMENTS.md (see DESIGN.md Section 3 for the experiment index), then
+   runs the bechamel micro-benchmarks.
+
+   Run everything:        dune exec bench/main.exe
+   Run one experiment:    dune exec bench/main.exe -- E5
+   Skip micro-benches:    dune exec bench/main.exe -- tables *)
+
+let experiments =
+  [ ("E1", Exp_overhead.run);
+    ("E2", Exp_figure1.run);
+    ("E3", Exp_header.run);
+    ("E4", Exp_convergence.run);
+    ("E5", Exp_loops.run);
+    ("E6", Exp_scalability.run);
+    ("E7", Exp_recovery.run);  (* also prints E12 *)
+    ("E8", Exp_icmp.run);
+    ("E10", Exp_lsrr.run);
+    ("E11", Exp_consistency.run);
+    ("E13", Exp_replication.run);
+    ("E14", Exp_fragmentation.run);
+    ("A", Exp_ablations.run) ]
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  match args with
+  | [] ->
+    Format.printf
+      "MHRP experiment harness — reproducing the paper's tables and \
+       figures@.";
+    List.iter (fun (_, run) -> run ()) experiments;
+    Micro.run ()
+  | ["tables"] -> List.iter (fun (_, run) -> run ()) experiments
+  | ["micro"] -> Micro.run ()
+  | ids ->
+    List.iter
+      (fun id ->
+         match List.assoc_opt id experiments with
+         | Some run -> run ()
+         | None ->
+           Format.eprintf "unknown experiment %s (known: %s, tables, micro)@."
+             id
+             (String.concat ", " (List.map fst experiments)))
+      ids

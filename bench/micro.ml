@@ -1,0 +1,97 @@
+(* Micro-benchmarks (bechamel) of the hot paths: codec and cache
+   operations, route computation, and a full Figure 1 scenario run. *)
+
+open Bechamel
+open Toolkit
+module Addr = Ipv4.Addr
+module Packet = Ipv4.Packet
+
+let sample_packet =
+  Packet.make ~id:7 ~proto:Ipv4.Proto.udp ~src:(Addr.host 1 10)
+    ~dst:(Addr.host 2 10)
+    (Ipv4.Udp.encode
+       (Ipv4.Udp.make ~src_port:4000 ~dst_port:4000 (Bytes.create 64)))
+
+let encoded_packet = Packet.encode sample_packet
+
+let mhrp_header =
+  Mhrp.Mhrp_header.make ~prev_sources:[Addr.host 1 10; Addr.host 2 1]
+    ~orig_proto:Ipv4.Proto.udp ~mobile:(Addr.host 2 10) ()
+
+let encoded_header = Mhrp.Mhrp_header.encode mhrp_header (Bytes.create 72)
+
+let tunneled =
+  Mhrp.Encap.tunnel_by_agent ~agent:(Addr.host 2 1)
+    ~foreign_agent:(Addr.host 4 1) sample_packet
+
+let cache =
+  let c = Mhrp.Location_cache.create ~capacity:64 in
+  for k = 1 to 64 do
+    Mhrp.Location_cache.insert c ~mobile:(Addr.host 9 k)
+      ~foreign_agent:(Addr.host 4 1)
+  done;
+  c
+
+let tests =
+  [ Test.make ~name:"packet-encode" (Staged.stage (fun () ->
+        ignore (Packet.encode sample_packet)));
+    Test.make ~name:"packet-decode" (Staged.stage (fun () ->
+        ignore (Packet.decode encoded_packet)));
+    Test.make ~name:"checksum-84B" (Staged.stage (fun () ->
+        ignore (Ipv4.Checksum.of_bytes encoded_packet)));
+    Test.make ~name:"mhrp-header-encode" (Staged.stage (fun () ->
+        ignore (Mhrp.Mhrp_header.encode mhrp_header Bytes.empty)));
+    Test.make ~name:"mhrp-header-decode" (Staged.stage (fun () ->
+        ignore (Mhrp.Mhrp_header.decode encoded_header)));
+    Test.make ~name:"encap-tunnel-by-agent" (Staged.stage (fun () ->
+        ignore
+          (Mhrp.Encap.tunnel_by_agent ~agent:(Addr.host 2 1)
+             ~foreign_agent:(Addr.host 4 1) sample_packet)));
+    Test.make ~name:"encap-detunnel" (Staged.stage (fun () ->
+        ignore (Mhrp.Encap.detunnel tunneled)));
+    Test.make ~name:"encap-retunnel" (Staged.stage (fun () ->
+        ignore
+          (Mhrp.Encap.retunnel ~max_prev_sources:8 ~me:(Addr.host 4 1)
+             ~new_dst:(Addr.host 5 1) tunneled)));
+    Test.make ~name:"location-cache-find" (Staged.stage (fun () ->
+        ignore (Mhrp.Location_cache.find cache (Addr.host 9 32))));
+    Test.make ~name:"route-compute-8-campuses" (Staged.stage (fun () ->
+        let c =
+          Workload.Topo_gen.campuses_plain ~campuses:8
+            ~mobiles_per_campus:1 ~correspondents:1 ()
+        in
+        Net.Topology.compute_routes c.Workload.Topo_gen.cp_topo));
+    Test.make ~name:"figure1-full-scenario" (Staged.stage (fun () ->
+        let env = Exp_util.fig_setup () in
+        Exp_util.fig_move env 1.0 env.Exp_util.f.Workload.Topo_gen.net_d;
+        Exp_util.fig_send env 2.0;
+        Exp_util.fig_send env 3.0;
+        Exp_util.fig_run ~until:5.0 env)) ]
+
+let run () =
+  Exp_util.heading "MICRO" "bechamel micro-benchmarks (ns per run)";
+  let instance = Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:None ()
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let rows =
+    List.map
+      (fun test ->
+         let results = Benchmark.all cfg [instance] test in
+         let name = Test.Elt.name (List.hd (Test.elements test)) in
+         let analyzed = Analyze.all ols instance results in
+         let estimate =
+           Hashtbl.fold
+             (fun _ v acc ->
+                match Analyze.OLS.estimates v with
+                | Some [x] -> x
+                | _ -> acc)
+             analyzed nan
+         in
+         [name; Printf.sprintf "%.0f" estimate])
+      tests
+  in
+  Exp_util.table ~columns:["operation"; "ns/run"] rows

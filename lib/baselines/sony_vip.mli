@@ -1,0 +1,42 @@
+(** Sony's Virtual IP protocol (Teraoka et al., SIGCOMM '91).
+
+    Every host has a permanent VIP address and a location-dependent
+    physical IP address; {e every} data packet carries a 28-byte VIP
+    header ({!Viph}).  Senders and routers cache VIP-to-physical mappings
+    snooped from forwarded packets; a packet whose mapping is unknown is
+    sent with the physical destination set to the VIP address, reaching
+    the home network router, which rewrites it authoritatively.
+
+    On movement the home router {e floods} cache-invalidation messages to
+    all routers — one message per router per move, and (per the paper's
+    critique) some entries may survive the flood, later causing
+    misdelivery and error-driven correction.  [flood_reliability] models
+    the imperfect propagation: each router is reached with that
+    probability. *)
+
+type t
+
+val create : ?flood_reliability:float -> Net.Topology.t -> t
+val add_router : t -> Net.Node.t -> unit
+
+val make_host : t -> Net.Node.t -> home_router:Net.Node.t -> unit
+(** VIP = the node's primary address; physical address initially equal. *)
+
+val move :
+  t -> Net.Node.t -> lan:Net.Lan.t -> via_router:Net.Node.t ->
+  temp:Ipv4.Addr.t -> unit
+(** Obtain a new physical (temporary) address on the target network,
+    register it with the home router, flood invalidations. *)
+
+val send : t -> src:Net.Node.t -> Ipv4.Packet.t -> unit
+(** [pkt.dst] is the destination's VIP. *)
+
+val on_receive : t -> Net.Node.t -> (Ipv4.Packet.t -> unit) -> unit
+
+val control_messages : t -> int
+(** Registrations plus flood traffic. *)
+
+val router_cache_bytes : t -> int
+val stale_entries : t -> int
+(** Cache entries across routers that disagree with the authoritative
+    mapping — survivors of imperfect floods. *)

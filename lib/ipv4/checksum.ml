@@ -1,0 +1,30 @@
+let of_bytes ?(off = 0) ?len buf =
+  let len = match len with Some l -> l | None -> Bytes.length buf - off in
+  if off < 0 || len < 0 || off + len > Bytes.length buf then
+    invalid_arg "Checksum.of_bytes: range";
+  let sum = ref 0 in
+  let i = ref off in
+  let stop = off + len in
+  while !i + 1 < stop do
+    sum := !sum + ((Char.code (Bytes.get buf !i) lsl 8)
+                   lor Char.code (Bytes.get buf (!i + 1)));
+    i := !i + 2
+  done;
+  if !i < stop then sum := !sum + (Char.code (Bytes.get buf !i) lsl 8);
+  (* fold carries *)
+  let s = ref !sum in
+  while !s lsr 16 <> 0 do
+    s := (!s land 0xFFFF) + (!s lsr 16)
+  done;
+  lnot !s land 0xFFFF
+
+let valid ?(off = 0) ?len buf =
+  (* A correct buffer checksums to 0x0000 (complement of 0xFFFF). *)
+  of_bytes ~off ?len buf = 0
+
+let set buf ~at ~off ~len =
+  Bytes.set buf at '\000';
+  Bytes.set buf (at + 1) '\000';
+  let c = of_bytes ~off ~len buf in
+  Bytes.set buf at (Char.chr ((c lsr 8) land 0xFF));
+  Bytes.set buf (at + 1) (Char.chr (c land 0xFF))

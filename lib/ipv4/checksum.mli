@@ -1,0 +1,12 @@
+(** RFC 1071 Internet checksum: 16-bit one's-complement sum. *)
+
+val of_bytes : ?off:int -> ?len:int -> bytes -> int
+(** Checksum of a byte range (whole buffer by default).  A trailing odd
+    byte is padded with zero, per the RFC. *)
+
+val valid : ?off:int -> ?len:int -> bytes -> bool
+(** A buffer whose stored checksum field is correct sums to zero. *)
+
+val set : bytes -> at:int -> off:int -> len:int -> unit
+(** [set buf ~at ~off ~len] zeroes the 16-bit field at [at], computes the
+    checksum of [\[off, off+len)] and stores it at [at] (big-endian). *)

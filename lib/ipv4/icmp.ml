@@ -1,0 +1,136 @@
+type t =
+  | Echo_request of { ident : int; seq : int; data : bytes }
+  | Echo_reply of { ident : int; seq : int; data : bytes }
+  | Dest_unreachable of { code : int; original : bytes }
+  | Time_exceeded of { code : int; original : bytes }
+  | Redirect of { gateway : Addr.t; original : bytes }
+  | Location_update of { mobile : Addr.t; foreign_agent : Addr.t }
+  | Agent_advertisement of { agent : Addr.t; home : bool; foreign : bool }
+  | Agent_solicitation
+
+let location_update_type = 41
+
+let type_code = function
+  | Echo_reply _ -> (0, 0)
+  | Dest_unreachable { code; _ } -> (3, code)
+  | Redirect _ -> (5, 1) (* redirect for host *)
+  | Echo_request _ -> (8, 0)
+  | Time_exceeded { code; _ } -> (11, code)
+  | Location_update _ -> (location_update_type, 0)
+  | Agent_advertisement _ -> (9, 0)
+  | Agent_solicitation -> (10, 0)
+
+let host_unreachable ~original = Dest_unreachable { code = 1; original }
+
+let put_u16 buf i v =
+  Bytes.set buf i (Char.chr ((v lsr 8) land 0xFF));
+  Bytes.set buf (i + 1) (Char.chr (v land 0xFF))
+
+let put_addr buf i a =
+  let v = Addr.to_int a in
+  put_u16 buf i (v lsr 16);
+  put_u16 buf (i + 2) (v land 0xFFFF)
+
+let get_u8 buf i = Char.code (Bytes.get buf i)
+let get_u16 buf i = (get_u8 buf i lsl 8) lor get_u8 buf (i + 1)
+
+let get_addr buf i =
+  Addr.of_int ((get_u16 buf i lsl 16) lor get_u16 buf (i + 2))
+
+let body = function
+  | Echo_request { data; _ } | Echo_reply { data; _ } -> data
+  | Dest_unreachable { original; _ }
+  | Time_exceeded { original; _ }
+  | Redirect { original; _ } -> original
+  | Location_update _ | Agent_advertisement _ | Agent_solicitation ->
+    Bytes.empty
+
+let encode t =
+  let ty, code = type_code t in
+  let data = body t in
+  let len = 8 + Bytes.length data
+            + (match t with
+               | Location_update _ | Agent_advertisement _ -> 8
+               | _ -> 0) in
+  let buf = Bytes.make len '\000' in
+  Bytes.set buf 0 (Char.chr ty);
+  Bytes.set buf 1 (Char.chr code);
+  (* checksum at 2..3 *)
+  (match t with
+   | Echo_request { ident; seq; _ } | Echo_reply { ident; seq; _ } ->
+     put_u16 buf 4 ident;
+     put_u16 buf 6 seq
+   | Dest_unreachable _ | Time_exceeded _ -> () (* 4 unused bytes *)
+   | Redirect { gateway; _ } -> put_addr buf 4 gateway
+   | Location_update { mobile; foreign_agent } ->
+     put_addr buf 8 mobile;
+     put_addr buf 12 foreign_agent
+   | Agent_advertisement { agent; home; foreign } ->
+     put_addr buf 8 agent;
+     Bytes.set buf 12
+       (Char.chr ((if home then 1 else 0) lor (if foreign then 2 else 0)))
+   | Agent_solicitation -> ());
+  (match t with
+   | Location_update _ | Agent_advertisement _ | Agent_solicitation -> ()
+   | _ -> Bytes.blit data 0 buf 8 (Bytes.length data));
+  Checksum.set buf ~at:2 ~off:0 ~len;
+  buf
+
+let decode_opt buf =
+  if Bytes.length buf < 8 then None
+  else if not (Checksum.valid buf) then
+    invalid_arg "Icmp.decode: bad checksum"
+  else begin
+    let ty = get_u8 buf 0 in
+    let code = get_u8 buf 1 in
+    let rest = Bytes.sub buf 8 (Bytes.length buf - 8) in
+    match ty with
+    | 0 ->
+      Some (Echo_reply { ident = get_u16 buf 4; seq = get_u16 buf 6;
+                         data = rest })
+    | 8 ->
+      Some (Echo_request { ident = get_u16 buf 4; seq = get_u16 buf 6;
+                           data = rest })
+    | 3 -> Some (Dest_unreachable { code; original = rest })
+    | 11 -> Some (Time_exceeded { code; original = rest })
+    | 5 -> Some (Redirect { gateway = get_addr buf 4; original = rest })
+    | 41 ->
+      if Bytes.length buf < 16 then None
+      else
+        Some (Location_update { mobile = get_addr buf 8;
+                                foreign_agent = get_addr buf 12 })
+    | 9 ->
+      if Bytes.length buf < 16 then None
+      else begin
+        let flags = get_u8 buf 12 in
+        Some (Agent_advertisement { agent = get_addr buf 8;
+                                    home = flags land 1 <> 0;
+                                    foreign = flags land 2 <> 0 })
+      end
+    | 10 -> Some Agent_solicitation
+    | _ -> None
+  end
+
+let decode buf =
+  match decode_opt buf with
+  | Some t -> t
+  | None -> invalid_arg "Icmp.decode: unknown type or truncated"
+
+let pp ppf = function
+  | Echo_request { ident; seq; _ } ->
+    Format.fprintf ppf "echo-request id=%d seq=%d" ident seq
+  | Echo_reply { ident; seq; _ } ->
+    Format.fprintf ppf "echo-reply id=%d seq=%d" ident seq
+  | Dest_unreachable { code; _ } ->
+    Format.fprintf ppf "dest-unreachable code=%d" code
+  | Time_exceeded { code; _ } ->
+    Format.fprintf ppf "time-exceeded code=%d" code
+  | Redirect { gateway; _ } ->
+    Format.fprintf ppf "redirect gw=%a" Addr.pp gateway
+  | Location_update { mobile; foreign_agent } ->
+    Format.fprintf ppf "location-update mobile=%a fa=%a" Addr.pp mobile
+      Addr.pp foreign_agent
+  | Agent_advertisement { agent; home; foreign } ->
+    Format.fprintf ppf "agent-advertisement %a%s%s" Addr.pp agent
+      (if home then " home" else "") (if foreign then " foreign" else "")
+  | Agent_solicitation -> Format.pp_print_string ppf "agent-solicitation"

@@ -1,0 +1,108 @@
+type t =
+  | End_of_options
+  | Nop
+  | Lsrr of { pointer : int; route : Addr.t array }
+  | Record_route of { pointer : int; route : Addr.t array }
+
+let lsrr addrs = Lsrr { pointer = 4; route = Array.of_list addrs }
+
+let route_next pointer route =
+  let idx = (pointer - 4) / 4 in
+  if idx >= Array.length route then None else Some (route.(idx), pointer + 4)
+
+let lsrr_next = function
+  | Lsrr { pointer; route } ->
+    (match route_next pointer route with
+     | None -> None
+     | Some (a, p) -> Some (a, Lsrr { pointer = p; route }))
+  | Record_route { pointer; route } ->
+    (match route_next pointer route with
+     | None -> None
+     | Some (a, p) -> Some (a, Record_route { pointer = p; route }))
+  | End_of_options | Nop -> None
+
+let lsrr_exhausted = function
+  | Lsrr { pointer; route } | Record_route { pointer; route } ->
+    (pointer - 4) / 4 >= Array.length route
+  | End_of_options | Nop -> true
+
+let encoded_length = function
+  | End_of_options | Nop -> 1
+  | Lsrr { route; _ } | Record_route { route; _ } ->
+    3 + (4 * Array.length route)
+
+let put_u8 buf i v = Bytes.set buf i (Char.chr (v land 0xFF))
+
+let put_addr buf i a =
+  let v = Addr.to_int a in
+  put_u8 buf i (v lsr 24);
+  put_u8 buf (i + 1) (v lsr 16);
+  put_u8 buf (i + 2) (v lsr 8);
+  put_u8 buf (i + 3) v
+
+let get_u8 buf i = Char.code (Bytes.get buf i)
+
+let get_addr buf i =
+  Addr.of_int
+    ((get_u8 buf i lsl 24) lor (get_u8 buf (i + 1) lsl 16)
+     lor (get_u8 buf (i + 2) lsl 8) lor get_u8 buf (i + 3))
+
+let encode_one buf off = function
+  | End_of_options -> put_u8 buf off 0; off + 1
+  | Nop -> put_u8 buf off 1; off + 1
+  | Lsrr { pointer; route } | Record_route { pointer; route } as o ->
+    let ty = match o with Lsrr _ -> 131 | _ -> 7 in
+    let len = 3 + (4 * Array.length route) in
+    put_u8 buf off ty;
+    put_u8 buf (off + 1) len;
+    put_u8 buf (off + 2) pointer;
+    Array.iteri (fun i a -> put_addr buf (off + 3 + (4 * i)) a) route;
+    off + len
+
+let encode_all opts =
+  let raw = List.fold_left (fun n o -> n + encoded_length o) 0 opts in
+  let padded = (raw + 3) / 4 * 4 in
+  if padded > 40 then invalid_arg "Ip_option.encode_all: options too long";
+  let buf = Bytes.make padded '\000' in
+  let off = List.fold_left (fun off o -> encode_one buf off o) 0 opts in
+  ignore off;
+  buf
+
+let decode_all buf =
+  let n = Bytes.length buf in
+  let rec go off acc =
+    if off >= n then List.rev acc
+    else
+      match get_u8 buf off with
+      | 0 -> List.rev acc (* EOL: rest is padding *)
+      | 1 -> go (off + 1) (Nop :: acc)
+      | (131 | 7) as ty ->
+        if off + 2 >= n then invalid_arg "Ip_option.decode_all: truncated";
+        let len = get_u8 buf (off + 1) in
+        let pointer = get_u8 buf (off + 2) in
+        if len < 3 || off + len > n || (len - 3) mod 4 <> 0 then
+          invalid_arg "Ip_option.decode_all: bad source-route length";
+        let count = (len - 3) / 4 in
+        let route =
+          Array.init count (fun i -> get_addr buf (off + 3 + (4 * i)))
+        in
+        let o =
+          if ty = 131 then Lsrr { pointer; route }
+          else Record_route { pointer; route }
+        in
+        go (off + len) (o :: acc)
+      | ty ->
+        ignore ty;
+        invalid_arg "Ip_option.decode_all: unknown option type"
+  in
+  go 0 []
+
+let pp ppf = function
+  | End_of_options -> Format.pp_print_string ppf "eol"
+  | Nop -> Format.pp_print_string ppf "nop"
+  | Lsrr { pointer; route } ->
+    Format.fprintf ppf "lsrr(ptr=%d,[%s])" pointer
+      (String.concat ";" (Array.to_list (Array.map Addr.to_string route)))
+  | Record_route { pointer; route } ->
+    Format.fprintf ppf "rr(ptr=%d,[%s])" pointer
+      (String.concat ";" (Array.to_list (Array.map Addr.to_string route)))

@@ -1,0 +1,270 @@
+type t = {
+  tos : int;
+  id : int;
+  dont_fragment : bool;
+  more_fragments : bool;
+  frag_offset : int;
+  ttl : int;
+  proto : Proto.t;
+  src : Addr.t;
+  dst : Addr.t;
+  options : Ip_option.t list;
+  payload : bytes;
+}
+
+let default_ttl = 64
+
+let make ?(tos = 0) ?(id = 0) ?(dont_fragment = false)
+    ?(more_fragments = false) ?(frag_offset = 0) ?(ttl = default_ttl)
+    ?(options = []) ~proto ~src ~dst payload =
+  if frag_offset < 0 || frag_offset mod 8 <> 0 then
+    invalid_arg "Packet.make: fragment offset must be a multiple of 8";
+  { tos; id; dont_fragment; more_fragments; frag_offset; ttl; proto; src;
+    dst; options; payload }
+
+let is_fragment t = t.more_fragments || t.frag_offset > 0
+
+let options_bytes t =
+  match t.options with [] -> Bytes.empty | opts -> Ip_option.encode_all opts
+
+let header_length t = 20 + Bytes.length (options_bytes t)
+let total_length t = header_length t + Bytes.length t.payload
+let has_options t = t.options <> []
+
+let put_u8 buf i v = Bytes.set buf i (Char.chr (v land 0xFF))
+
+let put_u16 buf i v =
+  put_u8 buf i (v lsr 8);
+  put_u8 buf (i + 1) v
+
+let put_addr buf i a =
+  let v = Addr.to_int a in
+  put_u16 buf i (v lsr 16);
+  put_u16 buf (i + 2) (v land 0xFFFF)
+
+let get_u8 buf i = Char.code (Bytes.get buf i)
+let get_u16 buf i = (get_u8 buf i lsl 8) lor get_u8 buf (i + 1)
+
+let get_addr buf i =
+  Addr.of_int ((get_u16 buf i lsl 16) lor get_u16 buf (i + 2))
+
+let check_field name v max =
+  if v < 0 || v > max then
+    invalid_arg (Printf.sprintf "Packet.encode: %s out of range" name)
+
+let encode t =
+  check_field "tos" t.tos 0xFF;
+  check_field "id" t.id 0xFFFF;
+  check_field "ttl" t.ttl 0xFF;
+  check_field "proto" t.proto 0xFF;
+  let opts = options_bytes t in
+  let hlen = 20 + Bytes.length opts in
+  let ihl = hlen / 4 in
+  if ihl > 15 then invalid_arg "Packet.encode: header too long";
+  let tlen = hlen + Bytes.length t.payload in
+  if tlen > 0xFFFF then invalid_arg "Packet.encode: packet too long";
+  let buf = Bytes.make tlen '\000' in
+  put_u8 buf 0 ((4 lsl 4) lor ihl);
+  put_u8 buf 1 t.tos;
+  put_u16 buf 2 tlen;
+  put_u16 buf 4 t.id;
+  let flags =
+    (if t.dont_fragment then 0x4000 else 0)
+    lor (if t.more_fragments then 0x2000 else 0)
+    lor (t.frag_offset / 8)
+  in
+  put_u16 buf 6 flags;
+  put_u8 buf 8 t.ttl;
+  put_u8 buf 9 t.proto;
+  (* checksum at 10..11, set below *)
+  put_addr buf 12 t.src;
+  put_addr buf 16 t.dst;
+  Bytes.blit opts 0 buf 20 (Bytes.length opts);
+  Bytes.blit t.payload 0 buf hlen (Bytes.length t.payload);
+  Checksum.set buf ~at:10 ~off:0 ~len:hlen;
+  buf
+
+let decode buf =
+  if Bytes.length buf < 20 then invalid_arg "Packet.decode: too short";
+  let vi = get_u8 buf 0 in
+  if vi lsr 4 <> 4 then invalid_arg "Packet.decode: not IPv4";
+  let hlen = (vi land 0xF) * 4 in
+  if hlen < 20 || hlen > Bytes.length buf then
+    invalid_arg "Packet.decode: bad header length";
+  if not (Checksum.valid ~off:0 ~len:hlen buf) then
+    invalid_arg "Packet.decode: bad header checksum";
+  let tlen = get_u16 buf 2 in
+  if tlen < hlen || tlen > Bytes.length buf then
+    invalid_arg "Packet.decode: bad total length";
+  let options =
+    if hlen = 20 then []
+    else Ip_option.decode_all (Bytes.sub buf 20 (hlen - 20))
+  in
+  let flags = get_u16 buf 6 in
+  { tos = get_u8 buf 1;
+    id = get_u16 buf 4;
+    dont_fragment = flags land 0x4000 <> 0;
+    more_fragments = flags land 0x2000 <> 0;
+    frag_offset = (flags land 0x1FFF) * 8;
+    ttl = get_u8 buf 8;
+    proto = get_u8 buf 9;
+    src = get_addr buf 12;
+    dst = get_addr buf 16;
+    options;
+    payload = Bytes.sub buf hlen (tlen - hlen) }
+
+let decode_prefix buf =
+  if Bytes.length buf < 20 then None
+  else begin
+    let vi = get_u8 buf 0 in
+    let hlen = (vi land 0xF) * 4 in
+    if vi lsr 4 <> 4 || hlen < 20 || hlen > Bytes.length buf
+       || not (Checksum.valid ~off:0 ~len:hlen buf)
+    then None
+    else begin
+      let tlen = get_u16 buf 2 in
+      if tlen < hlen then None
+      else begin
+        let avail = min (Bytes.length buf) tlen - hlen in
+        let options =
+          if hlen = 20 then []
+          else
+            match Ip_option.decode_all (Bytes.sub buf 20 (hlen - 20)) with
+            | opts -> opts
+            | exception Invalid_argument _ -> []
+        in
+        let flags = get_u16 buf 6 in
+        Some
+          ({ tos = get_u8 buf 1;
+             id = get_u16 buf 4;
+             dont_fragment = flags land 0x4000 <> 0;
+             more_fragments = flags land 0x2000 <> 0;
+             frag_offset = (flags land 0x1FFF) * 8;
+             ttl = get_u8 buf 8;
+             proto = get_u8 buf 9;
+             src = get_addr buf 12;
+             dst = get_addr buf 16;
+             options;
+             payload = Bytes.sub buf hlen avail },
+           tlen - hlen)
+      end
+    end
+  end
+
+let decr_ttl t = if t.ttl <= 1 then None else Some { t with ttl = t.ttl - 1 }
+
+let pp ppf t =
+  Format.fprintf ppf "%a -> %a %a len=%d ttl=%d%s" Addr.pp t.src Addr.pp
+    t.dst Proto.pp t.proto (total_length t) t.ttl
+    (if has_options t then " +opts" else "")
+
+let fragment t ~mtu =
+  if total_length t <= mtu then [t]
+  else if t.dont_fragment then
+    invalid_arg "Packet.fragment: dont_fragment set"
+  else begin
+    let first_hlen = header_length t in
+    (* subsequent fragments carry no options (treated as not-copied) *)
+    let rest_hlen = 20 in
+    if mtu < first_hlen + 8 then invalid_arg "Packet.fragment: tiny mtu";
+    let chunk_for hlen = (mtu - hlen) / 8 * 8 in
+    let total = Bytes.length t.payload in
+    let rec split off acc =
+      if off >= total then List.rev acc
+      else begin
+        let hlen = if off = 0 then first_hlen else rest_hlen in
+        let chunk = min (chunk_for hlen) (total - off) in
+        let last = off + chunk >= total in
+        let frag =
+          { t with
+            more_fragments = (not last) || t.more_fragments;
+            frag_offset = t.frag_offset + off;
+            options = (if off = 0 then t.options else []);
+            payload = Bytes.sub t.payload off chunk }
+        in
+        split (off + chunk) (frag :: acc)
+      end
+    in
+    split 0 []
+  end
+
+module Reassembly = struct
+  type packet = t
+
+  type buffer = {
+    mutable chunks : (int * bytes) list;  (* offset, data *)
+    mutable total : int option;  (* payload length, known from last frag *)
+    mutable first : packet option;  (* fragment with offset 0 *)
+    mutable started_at : int;
+  }
+
+  type nonrec t = {
+    buffers : (Addr.t * Addr.t * int * int, buffer) Hashtbl.t;
+    (* keyed by src, dst, id, proto *)
+  }
+
+  let create () = { buffers = Hashtbl.create 8 }
+
+  let complete buf =
+    match buf.total, buf.first with
+    | Some total, Some first ->
+      let covered = Array.make total false in
+      List.iter
+        (fun (off, data) ->
+           for i = off to min (total - 1) (off + Bytes.length data - 1) do
+             covered.(i) <- true
+           done)
+        buf.chunks;
+      if Array.for_all Fun.id covered then begin
+        let payload = Bytes.create total in
+        List.iter
+          (fun (off, data) ->
+             Bytes.blit data 0 payload off
+               (min (Bytes.length data) (total - off)))
+          buf.chunks;
+        Some
+          { first with
+            more_fragments = false;
+            frag_offset = 0;
+            payload }
+      end
+      else None
+    | _ -> None
+
+  let add t ~now (pkt : packet) =
+    if not (is_fragment pkt) then Some pkt
+    else begin
+      let key = (pkt.src, pkt.dst, pkt.id, pkt.proto) in
+      let buf =
+        match Hashtbl.find_opt t.buffers key with
+        | Some b -> b
+        | None ->
+          let b =
+            { chunks = []; total = None; first = None; started_at = now }
+          in
+          Hashtbl.replace t.buffers key b;
+          b
+      in
+      buf.chunks <- (pkt.frag_offset, pkt.payload) :: buf.chunks;
+      if pkt.frag_offset = 0 then buf.first <- Some pkt;
+      if not pkt.more_fragments then
+        buf.total <- Some (pkt.frag_offset + Bytes.length pkt.payload);
+      match complete buf with
+      | Some whole ->
+        Hashtbl.remove t.buffers key;
+        Some whole
+      | None -> None
+    end
+
+  let expire t ~now ~older_than_us =
+    let stale =
+      Hashtbl.fold
+        (fun key buf acc ->
+           if now - buf.started_at > older_than_us then key :: acc else acc)
+        t.buffers []
+    in
+    List.iter (Hashtbl.remove t.buffers) stale;
+    List.length stale
+
+  let pending t = Hashtbl.length t.buffers
+end

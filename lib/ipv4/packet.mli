@@ -1,0 +1,88 @@
+(** IPv4 packets with byte-exact wire encoding.
+
+    The payload is opaque [bytes]; transport and encapsulation layers
+    ({!Udp}, {!Tcp_lite}, {!Icmp}, MHRP) provide their own codecs over it.
+    This mirrors a real stack's layering and makes every overhead figure in
+    the benchmarks a measurement of real serialized bytes. *)
+
+type t = {
+  tos : int;
+  id : int;  (** IP identification. *)
+  dont_fragment : bool;
+  more_fragments : bool;
+  frag_offset : int;  (** Bytes; always a multiple of 8. *)
+  ttl : int;
+  proto : Proto.t;
+  src : Addr.t;
+  dst : Addr.t;
+  options : Ip_option.t list;
+  payload : bytes;
+}
+
+val make :
+  ?tos:int -> ?id:int -> ?dont_fragment:bool -> ?more_fragments:bool ->
+  ?frag_offset:int -> ?ttl:int -> ?options:Ip_option.t list ->
+  proto:Proto.t -> src:Addr.t -> dst:Addr.t -> bytes -> t
+(** Default [ttl] is 64, [tos] 0, [id] 0, no options, no fragmentation
+    fields set. *)
+
+val is_fragment : t -> bool
+(** More-fragments set or a non-zero offset. *)
+
+val fragment : t -> mtu:int -> t list
+(** Split into fragments whose wire size fits [mtu] (payload cut on 8-byte
+    boundaries; options travel only in the first fragment, RFC 791's
+    non-copied treatment).  Returns [\[t\]] unchanged if it already fits.
+    Raises [Invalid_argument] if the packet has [dont_fragment] set and
+    does not fit, or if [mtu] cannot hold the header plus 8 payload
+    bytes. *)
+
+(** Reassembly of fragmented packets at the destination. *)
+module Reassembly : sig
+  type packet = t
+  type t
+
+  val create : unit -> t
+
+  val add : t -> now:int -> packet -> packet option
+  (** Feed a fragment ([now] in µs for aging); returns the whole packet
+      once every byte has arrived.  Non-fragments are returned
+      immediately. *)
+
+  val expire : t -> now:int -> older_than_us:int -> int
+  (** Drop incomplete buffers older than the given age; returns how many
+      were discarded. *)
+
+  val pending : t -> int
+end
+
+val default_ttl : int
+
+val header_length : t -> int
+(** 20 plus encoded options, always a multiple of 4. *)
+
+val total_length : t -> int
+(** [header_length + payload length]: the wire size of the packet. *)
+
+val has_options : t -> bool
+
+val encode : t -> bytes
+(** Serialize with correct length fields and header checksum.
+    Raises [Invalid_argument] if the packet exceeds 65535 bytes or any
+    field is out of range. *)
+
+val decode : bytes -> t
+(** Raises [Invalid_argument] on malformed input or bad checksum. *)
+
+val decode_prefix : bytes -> (t * int) option
+(** Parse a possibly-truncated packet — the leading bytes of an offending
+    packet quoted inside an ICMP error.  The header must be complete and
+    checksum-valid; the returned payload holds only the bytes present, and
+    the [int] is how many payload bytes the full packet had. *)
+
+val decr_ttl : t -> t option
+(** [None] when the TTL hits zero — caller should emit ICMP time
+    exceeded. *)
+
+val pp : Format.formatter -> t -> unit
+(** One-line summary: [src -> dst proto len=N ttl=N]. *)

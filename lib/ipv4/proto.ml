@@ -1,0 +1,21 @@
+type t = int
+
+let icmp = 1
+let ipip = 4
+let tcp = 6
+let udp = 17
+let mhrp = 99
+let iptp = 98
+let vip = 97
+
+let name = function
+  | 1 -> "icmp"
+  | 4 -> "ipip"
+  | 6 -> "tcp"
+  | 17 -> "udp"
+  | 99 -> "mhrp"
+  | 98 -> "iptp"
+  | 97 -> "vip"
+  | n -> Printf.sprintf "proto-%d" n
+
+let pp ppf t = Format.pp_print_string ppf (name t)

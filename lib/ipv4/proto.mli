@@ -1,0 +1,33 @@
+(** IP protocol numbers used by the simulator.
+
+    Standard numbers follow the IANA registry of the period; the mobile-host
+    protocols use numbers from the then-unassigned range, documented here so
+    every module agrees. *)
+
+type t = int
+
+val icmp : t (** 1 *)
+
+val ipip : t
+(** 4 — IP-within-IP, used by the Columbia protocol (Ioannidis et al.). *)
+
+val tcp : t (** 6 *)
+
+val udp : t (** 17 *)
+
+val mhrp : t
+(** 99 — the MHRP encapsulation protocol (Section 4.1).  The paper defines a
+    new IP protocol number without fixing its value; we use 99 (unassigned
+    in 1994). *)
+
+val iptp : t
+(** 98 — Matsushita's Internet Packet Transmission Protocol. *)
+
+val vip : t
+(** 97 — Sony's Virtual IP header. *)
+
+val name : t -> string
+(** Human-readable name, e.g. ["udp"]; unknown numbers print as
+    ["proto-N"]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,97 @@
+type flag = Fin | Syn | Rst | Psh | Ack | Urg
+
+type t = {
+  src_port : int;
+  dst_port : int;
+  seq : int;
+  ack : int;
+  flags : flag list;
+  window : int;
+  data : bytes;
+}
+
+let header_length = 20
+
+let make ?(seq = 0) ?(ack = 0) ?(flags = []) ?(window = 8192) ~src_port
+    ~dst_port data =
+  { src_port; dst_port; seq; ack; flags; window; data }
+
+let flag_bit = function
+  | Fin -> 0x01
+  | Syn -> 0x02
+  | Rst -> 0x04
+  | Psh -> 0x08
+  | Ack -> 0x10
+  | Urg -> 0x20
+
+let flags_to_int flags =
+  List.fold_left (fun acc f -> acc lor flag_bit f) 0 flags
+
+let flags_of_int v =
+  List.filter
+    (fun f -> v land flag_bit f <> 0)
+    [Fin; Syn; Rst; Psh; Ack; Urg]
+
+let put_u16 buf i v =
+  Bytes.set buf i (Char.chr ((v lsr 8) land 0xFF));
+  Bytes.set buf (i + 1) (Char.chr (v land 0xFF))
+
+let put_u32 buf i v =
+  put_u16 buf i ((v lsr 16) land 0xFFFF);
+  put_u16 buf (i + 2) (v land 0xFFFF)
+
+let get_u8 buf i = Char.code (Bytes.get buf i)
+let get_u16 buf i = (get_u8 buf i lsl 8) lor get_u8 buf (i + 1)
+let get_u32 buf i = (get_u16 buf i lsl 16) lor get_u16 buf (i + 2)
+
+let encode t =
+  let check name v max =
+    if v < 0 || v > max then
+      invalid_arg (Printf.sprintf "Tcp_lite.encode: %s out of range" name)
+  in
+  check "src_port" t.src_port 0xFFFF;
+  check "dst_port" t.dst_port 0xFFFF;
+  check "seq" t.seq 0xFFFF_FFFF;
+  check "ack" t.ack 0xFFFF_FFFF;
+  check "window" t.window 0xFFFF;
+  let len = header_length + Bytes.length t.data in
+  let buf = Bytes.make len '\000' in
+  put_u16 buf 0 t.src_port;
+  put_u16 buf 2 t.dst_port;
+  put_u32 buf 4 t.seq;
+  put_u32 buf 8 t.ack;
+  Bytes.set buf 12 (Char.chr ((header_length / 4) lsl 4));
+  Bytes.set buf 13 (Char.chr (flags_to_int t.flags));
+  put_u16 buf 14 t.window;
+  (* checksum at 16..17; urgent pointer zero *)
+  Bytes.blit t.data 0 buf header_length (Bytes.length t.data);
+  Checksum.set buf ~at:16 ~off:0 ~len;
+  buf
+
+let decode buf =
+  if Bytes.length buf < header_length then
+    invalid_arg "Tcp_lite.decode: too short";
+  let data_off = (get_u8 buf 12 lsr 4) * 4 in
+  if data_off < header_length || data_off > Bytes.length buf then
+    invalid_arg "Tcp_lite.decode: bad data offset";
+  if not (Checksum.valid ~off:0 ~len:(Bytes.length buf) buf) then
+    invalid_arg "Tcp_lite.decode: bad checksum";
+  { src_port = get_u16 buf 0;
+    dst_port = get_u16 buf 2;
+    seq = get_u32 buf 4;
+    ack = get_u32 buf 8;
+    flags = flags_of_int (get_u8 buf 13);
+    window = get_u16 buf 14;
+    data = Bytes.sub buf data_off (Bytes.length buf - data_off) }
+
+let has_flag t f = List.mem f t.flags
+
+let pp ppf t =
+  let flag_name = function
+    | Fin -> "F" | Syn -> "S" | Rst -> "R"
+    | Psh -> "P" | Ack -> "A" | Urg -> "U"
+  in
+  Format.fprintf ppf "tcp %d->%d seq=%d ack=%d [%s] (%d bytes)" t.src_port
+    t.dst_port t.seq t.ack
+    (String.concat "" (List.map flag_name t.flags))
+    (Bytes.length t.data)

@@ -1,0 +1,31 @@
+(** A minimal TCP segment codec (RFC 793 header, no options).
+
+    The simulator does not model TCP's state machine — the paper's protocol
+    operates strictly below transport — but workloads send realistic
+    20-byte-header segments so that packet sizes and the MHRP rule of
+    "insert between IP header and transport header" (Figure 2) are exercised
+    against real transport bytes. *)
+
+type flag = Fin | Syn | Rst | Psh | Ack | Urg
+
+type t = {
+  src_port : int;
+  dst_port : int;
+  seq : int;  (** 32-bit. *)
+  ack : int;  (** 32-bit. *)
+  flags : flag list;
+  window : int;
+  data : bytes;
+}
+
+val header_length : int
+(** 20. *)
+
+val make :
+  ?seq:int -> ?ack:int -> ?flags:flag list -> ?window:int ->
+  src_port:int -> dst_port:int -> bytes -> t
+
+val encode : t -> bytes
+val decode : bytes -> t
+val has_flag : t -> flag -> bool
+val pp : Format.formatter -> t -> unit

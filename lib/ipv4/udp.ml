@@ -1,0 +1,46 @@
+type t = {
+  src_port : int;
+  dst_port : int;
+  data : bytes;
+}
+
+let header_length = 8
+
+let make ~src_port ~dst_port data = { src_port; dst_port; data }
+
+let put_u16 buf i v =
+  Bytes.set buf i (Char.chr ((v lsr 8) land 0xFF));
+  Bytes.set buf (i + 1) (Char.chr (v land 0xFF))
+
+let get_u8 buf i = Char.code (Bytes.get buf i)
+let get_u16 buf i = (get_u8 buf i lsl 8) lor get_u8 buf (i + 1)
+
+let encode t =
+  if t.src_port < 0 || t.src_port > 0xFFFF || t.dst_port < 0
+     || t.dst_port > 0xFFFF
+  then invalid_arg "Udp.encode: port out of range";
+  let len = header_length + Bytes.length t.data in
+  if len > 0xFFFF then invalid_arg "Udp.encode: datagram too long";
+  let buf = Bytes.make len '\000' in
+  put_u16 buf 0 t.src_port;
+  put_u16 buf 2 t.dst_port;
+  put_u16 buf 4 len;
+  Bytes.blit t.data 0 buf 8 (Bytes.length t.data);
+  Checksum.set buf ~at:6 ~off:0 ~len;
+  buf
+
+let decode buf =
+  if Bytes.length buf < header_length then
+    invalid_arg "Udp.decode: too short";
+  let len = get_u16 buf 4 in
+  if len < header_length || len > Bytes.length buf then
+    invalid_arg "Udp.decode: bad length";
+  if not (Checksum.valid ~off:0 ~len buf) then
+    invalid_arg "Udp.decode: bad checksum";
+  { src_port = get_u16 buf 0;
+    dst_port = get_u16 buf 2;
+    data = Bytes.sub buf 8 (len - 8) }
+
+let pp ppf t =
+  Format.fprintf ppf "udp %d->%d (%d bytes)" t.src_port t.dst_port
+    (Bytes.length t.data)

@@ -1,0 +1,22 @@
+(** UDP (RFC 768) payload codec: the 8-byte header plus data. *)
+
+type t = {
+  src_port : int;
+  dst_port : int;
+  data : bytes;
+}
+
+val header_length : int
+(** 8. *)
+
+val make : src_port:int -> dst_port:int -> bytes -> t
+
+val encode : t -> bytes
+(** Checksum is computed over header+data (pseudo-header omitted: the
+    simulator never corrupts packets in ways a pseudo-header would
+    catch). *)
+
+val decode : bytes -> t
+(** Raises [Invalid_argument] on truncation or checksum mismatch. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1058 @@
+module Time = Netsim.Time
+module Engine = Netsim.Engine
+module Packet = Ipv4.Packet
+module Addr = Ipv4.Addr
+module Node = Net.Node
+
+(* The all-ones address marks "explicitly disconnected" in the home-agent
+   database — a state Section 3 needs but whose encoding the paper leaves
+   open (zero is taken: it means "at home"). *)
+let disconnected_marker = Addr.broadcast
+
+type t = {
+  node : Node.t;
+  config : Config.t;
+  counters : Counters.t;
+  cache : Location_cache.t;
+  limiter : Rate_limiter.t;
+  cache_agent : bool;
+  snoop : bool;
+  mutable ha : Home_agent.t option;
+  mutable fa : (Foreign_agent.t * int) option;  (* state, serving iface *)
+  mutable mh : Mobile_host.t option;
+  mutable app_tap : Packet.t -> unit;
+  mutable update_tap : mobile:Addr.t -> foreign_agent:Addr.t -> unit;
+  mutable registered_tap : Addr.t -> unit;
+  mutable registration_tap : mobile:Addr.t -> foreign_agent:Addr.t -> unit;
+  mutable icmp_error_tap : Ipv4.Icmp.t -> Packet.t option -> unit;
+  mutable advert_timer : bool;
+}
+
+let node t = t.node
+let config t = t.config
+let counters t = t.counters
+let cache t = t.cache
+let limiter t = t.limiter
+let address t = Node.primary_addr t.node
+let home_agent t = t.ha
+let foreign_agent t = Option.map fst t.fa
+let mobile t = t.mh
+
+let on_app_receive t f = t.app_tap <- f
+let on_location_update t f = t.update_tap <- f
+let on_registered t f = t.registered_tap <- f
+let on_registration t f = t.registration_tap <- f
+let on_icmp_error t f = t.icmp_error_tap <- f
+
+let engine t = Node.engine t.node
+let now t = Engine.now (engine t)
+
+let tracef t kind fmt =
+  Format.kasprintf
+    (fun detail ->
+       match Node.trace t.node with
+       | None -> ()
+       | Some tr ->
+         Netsim.Trace.emit tr ~at:(now t) ~node:(Node.name t.node) ~kind
+           detail)
+    fmt
+
+(* --- home-agent database shorthands --- *)
+
+let ha_location t mobile =
+  match t.ha with
+  | Some ha -> Home_agent.location ha mobile
+  | None -> None
+
+let ha_claims t dst =
+  (* Should this node capture packets addressed to [dst]?  Yes while the
+     mobile host it serves is away or explicitly disconnected. *)
+  match ha_location t dst with
+  | Some fa -> not (Addr.is_zero fa)
+  | None -> false
+
+(* --- location updates (Section 4.3) --- *)
+
+let send_location_update t ~dst ~mobile ~foreign_agent =
+  if (not (Node.has_address t.node dst)) && not (Addr.is_zero dst) then
+    if Rate_limiter.allow t.limiter ~now:(now t) dst then begin
+      t.counters.Counters.updates_sent <-
+        t.counters.Counters.updates_sent + 1;
+      t.counters.Counters.control_messages <-
+        t.counters.Counters.control_messages + 1;
+      tracef t "loc-update-tx" "to %a: %a at %a" Addr.pp dst Addr.pp mobile
+        Addr.pp foreign_agent;
+      let msg = Ipv4.Icmp.Location_update { mobile; foreign_agent } in
+      let pkt =
+        Packet.make ~proto:Ipv4.Proto.icmp ~src:(address t) ~dst
+          (Ipv4.Icmp.encode msg)
+      in
+      Node.send t.node pkt
+    end
+
+let cache_update t ~mobile ~foreign_agent =
+  if t.cache_agent && not (Node.has_address t.node mobile) then begin
+    (* Never cache an alias of this very node as the foreign agent for
+       itself; everything else is fair game. *)
+    Location_cache.update t.cache ~mobile ~foreign_agent;
+    tracef t "cache" "%a -> %a" Addr.pp mobile Addr.pp foreign_agent
+  end
+
+(* --- control-message plumbing --- *)
+
+let send_control t ~dst msg =
+  t.counters.Counters.control_messages <-
+    t.counters.Counters.control_messages + 1;
+  tracef t "ctrl-tx" "to %a: %a" Addr.pp dst Control.pp msg;
+  let udp =
+    Ipv4.Udp.make ~src_port:Control.port ~dst_port:Control.port
+      (Control.encode msg)
+  in
+  let pkt =
+    Packet.make ~proto:Ipv4.Proto.udp ~src:(address t) ~dst
+      (Ipv4.Udp.encode udp)
+  in
+  Node.send t.node pkt
+
+(* --- cache-aware application sending (Sections 4.1, 6.2) --- *)
+
+let send t (pkt : Packet.t) =
+  let dst = pkt.Packet.dst in
+  match ha_location t dst with
+  | Some fa when not (Addr.is_zero fa) && not (Addr.equal fa disconnected_marker) ->
+    (* Authoritative: we are this destination's home agent. *)
+    t.counters.Counters.tunnels_built <-
+      t.counters.Counters.tunnels_built + 1;
+    Node.send t.node (Encap.tunnel_by_sender ~foreign_agent:fa pkt)
+  | _ ->
+    let cached =
+      if t.cache_agent then Location_cache.find t.cache dst else None
+    in
+    match cached with
+    | Some fa ->
+      t.counters.Counters.tunnels_built <-
+        t.counters.Counters.tunnels_built + 1;
+      tracef t "tunnel" "sender-built for %a via %a" Addr.pp dst Addr.pp fa;
+      Node.send t.node (Encap.tunnel_by_sender ~foreign_agent:fa pkt)
+    | None -> Node.send t.node pkt
+
+let send_udp t ?(src_port = 4000) ?(dst_port = 4000) ?(id = 0) ~dst data =
+  let udp = Ipv4.Udp.make ~src_port ~dst_port data in
+  send t
+    (Packet.make ~id ~proto:Ipv4.Proto.udp ~src:(address t) ~dst
+       (Ipv4.Udp.encode udp))
+
+let send_ping t ?(id = 0) ?(seq = 0) ~dst () =
+  let msg =
+    Ipv4.Icmp.Echo_request { ident = id; seq; data = Bytes.create 16 }
+  in
+  send t
+    (Packet.make ~id ~proto:Ipv4.Proto.icmp ~src:(address t) ~dst
+       (Ipv4.Icmp.encode msg))
+
+(* --- ICMP error helper (host unreachable for disconnected hosts) --- *)
+
+let send_unreachable t (offending : Packet.t) =
+  if not (Node.has_address t.node offending.Packet.src) then begin
+    let encoded = Packet.encode offending in
+    let n =
+      min (Bytes.length encoded) (Packet.header_length offending + 8)
+    in
+    let msg = Ipv4.Icmp.host_unreachable ~original:(Bytes.sub encoded 0 n) in
+    let pkt =
+      Packet.make ~proto:Ipv4.Proto.icmp ~src:(address t)
+        ~dst:offending.Packet.src (Ipv4.Icmp.encode msg)
+    in
+    Node.send t.node pkt
+  end
+
+(* --- tunneling operations --- *)
+
+(* Initial interception of a plain packet for an away mobile host
+   (Sections 2, 6.1): tunnel to its current foreign agent and tell the
+   sender where it is. *)
+let ha_intercept t (pkt : Packet.t) =
+  let mobile = pkt.Packet.dst in
+  t.counters.Counters.intercepts <- t.counters.Counters.intercepts + 1;
+  match ha_location t mobile with
+  | Some fa when Addr.equal fa disconnected_marker ->
+    tracef t "intercept" "%a is disconnected" Addr.pp mobile;
+    send_unreachable t pkt
+  | Some fa when not (Addr.is_zero fa) ->
+    t.counters.Counters.tunnels_built <-
+      t.counters.Counters.tunnels_built + 1;
+    tracef t "tunnel" "intercepted for %a, to fa %a" Addr.pp mobile Addr.pp
+      fa;
+    Node.forward_now t.node
+      (Encap.tunnel_by_agent ~agent:(address t) ~foreign_agent:fa pkt);
+    send_location_update t ~dst:pkt.Packet.src ~mobile ~foreign_agent:fa
+  | Some _ ->
+    (* At home after all (stale ARP in some neighbour): pass it on to the
+       home LAN. *)
+    Node.forward_now t.node pkt
+  | None -> Node.forward_now t.node pkt
+
+(* Re-tunnel a packet we cannot deliver (Section 4.4), handling list
+   overflow and loop detection (Section 5.3). *)
+let do_retunnel t (pkt : Packet.t) ~mobile ~new_dst ~report_fa =
+  match
+    Encap.retunnel ~max_prev_sources:t.config.Config.max_prev_sources
+      ~me:(address t) ~new_dst pkt
+  with
+  | None -> ()
+  | Some (Encap.Retunneled p) ->
+    t.counters.Counters.retunnels <- t.counters.Counters.retunnels + 1;
+    tracef t "retunnel" "%a -> %a" Addr.pp mobile Addr.pp new_dst;
+    Node.forward_now t.node p
+  | Some (Encap.Retunneled_overflow { packet; notify }) ->
+    t.counters.Counters.retunnels <- t.counters.Counters.retunnels + 1;
+    t.counters.Counters.list_truncations <-
+      t.counters.Counters.list_truncations + 1;
+    let reported = Option.value report_fa ~default:Addr.zero in
+    List.iter
+      (fun dst ->
+         send_location_update t ~dst ~mobile ~foreign_agent:reported)
+      notify;
+    tracef t "retunnel" "list overflow: notified %d, on to %a"
+      (List.length notify) Addr.pp new_dst;
+    Node.forward_now t.node packet
+  | Some (Encap.Loop_detected { members }) ->
+    t.counters.Counters.loops_detected <-
+      t.counters.Counters.loops_detected + 1;
+    tracef t "loop" "detected, %d members" (List.length members);
+    (* We are a member of the loop ourselves: drop our own stale entry
+       along with everyone else's. *)
+    Location_cache.delete t.cache mobile;
+    List.iter
+      (fun dst ->
+         send_location_update t ~dst ~mobile ~foreign_agent:Addr.zero)
+      members;
+    t.counters.Counters.loops_dissolved <-
+      t.counters.Counters.loops_dissolved + 1;
+    (match t.config.Config.on_loop with
+     | Config.Discard_packet -> ()
+     | Config.Tunnel_home ->
+       match Encap.detunnel pkt with
+       | None -> ()
+       | Some (original, _) ->
+         Node.forward_now t.node
+           (Encap.tunnel_by_agent ~agent:(address t) ~foreign_agent:mobile
+              original))
+
+(* Stale foreign agent (or any cache agent handed a tunneled packet for a
+   host it no longer serves): to the cached new location, else toward the
+   home network (Section 4.4). *)
+let retunnel_stale t (pkt : Packet.t) (header : Mhrp_header.t) =
+  let mobile = header.Mhrp_header.mobile in
+  let cached =
+    if t.cache_agent then Location_cache.find t.cache mobile else None
+  in
+  match cached with
+  | Some fa when not (Node.has_address t.node fa) ->
+    do_retunnel t pkt ~mobile ~new_dst:fa ~report_fa:(Some fa)
+  | Some _ | None ->
+    do_retunnel t pkt ~mobile ~new_dst:mobile ~report_fa:None
+
+(* Correct foreign agent: strip the header, update every stale cache agent
+   recorded in it (Section 5.1), deliver over the last hop. *)
+let deliver_to_visitor t fa_state fa_iface (pkt : Packet.t) =
+  (* Report the address the tunnel actually ended at: the foreign agent's
+     own address, or the temporary address of a host serving as its own
+     foreign agent. *)
+  let endpoint = pkt.Packet.dst in
+  match Encap.detunnel pkt with
+  | None -> ()
+  | Some (original, header) ->
+    let mobile = header.Mhrp_header.mobile in
+    t.counters.Counters.detunnels <- t.counters.Counters.detunnels + 1;
+    List.iter
+      (fun dst ->
+         if not (Node.has_address t.node dst) then
+           send_location_update t ~dst ~mobile ~foreign_agent:endpoint)
+      header.Mhrp_header.prev_sources;
+    tracef t "deliver" "to visitor %a" Addr.pp mobile;
+    if Node.has_address t.node original.Packet.dst then
+      (* We are the mobile host serving as its own foreign agent. *)
+      Node.inject_local t.node original
+    else
+      match Foreign_agent.find fa_state mobile with
+      | None -> ()
+      | Some { Foreign_agent.mac = Some mac; iface; _ } ->
+        Node.send_ip_to_mac t.node ~iface ~dst_mac:mac original
+      | Some { Foreign_agent.mac = None; _ } ->
+        (* Recovered visitor (Section 5.2): deliver through ARP on the
+           serving LAN via a host route. *)
+        Node.update_routes t.node (fun r ->
+            Net.Route.add_host r mobile (Net.Route.Direct fa_iface));
+        Node.forward_now t.node original
+
+(* Home agent receiving a tunneled packet for one of its mobile hosts —
+   the packet bounced off a stale or rebooted foreign agent
+   (Sections 5.1, 5.2). *)
+let ha_handle_tunneled t ha (pkt : Packet.t) (header : Mhrp_header.t) =
+  let mobile = header.Mhrp_header.mobile in
+  let targets =
+    let list = header.Mhrp_header.prev_sources in
+    let with_src =
+      if List.exists (Addr.equal pkt.Packet.src) list then list
+      else list @ [pkt.Packet.src]
+    in
+    List.filter (fun a -> not (Node.has_address t.node a)) with_src
+  in
+  match Home_agent.location ha mobile with
+  | None -> retunnel_stale t pkt header
+  | Some fa when Addr.is_zero fa ->
+    (* The mobile host is at home: reconstruct and deliver on the home
+       network; stale caches learn it is home (Section 6.3). *)
+    (match Encap.detunnel pkt with
+     | None -> ()
+     | Some (original, _) ->
+       t.counters.Counters.detunnels <- t.counters.Counters.detunnels + 1;
+       List.iter
+         (fun dst ->
+            send_location_update t ~dst ~mobile ~foreign_agent:Addr.zero)
+         targets;
+       Node.forward_now t.node original)
+  | Some fa when Addr.equal fa disconnected_marker ->
+    List.iter
+      (fun dst ->
+         send_location_update t ~dst ~mobile ~foreign_agent:Addr.zero)
+      targets;
+    (match Encap.detunnel pkt with
+     | Some (original, _) -> send_unreachable t original
+     | None -> ())
+  | Some fa when List.exists (Addr.equal fa) targets ->
+    (* Section 5.2: the agent that bounced this packet home IS the
+       registered foreign agent — it must have rebooted.  Tell everyone
+       (including it) and discard the packet. *)
+    tracef t "fa-recovery" "%a bounced by its own fa %a" Addr.pp mobile
+      Addr.pp fa;
+    List.iter
+      (fun dst -> send_location_update t ~dst ~mobile ~foreign_agent:fa)
+      targets
+  | Some fa ->
+    (* Section 5.1: update every stale agent this packet visited, then
+       tunnel on to the correct foreign agent. *)
+    List.iter
+      (fun dst -> send_location_update t ~dst ~mobile ~foreign_agent:fa)
+      targets;
+    do_retunnel t pkt ~mobile ~new_dst:fa ~report_fa:(Some fa)
+
+(* Dispatch for packets of protocol MHRP delivered to this node (addressed
+   here, or intercepted for a mobile host). *)
+(* The mobile host itself received a packet tunneled to its home address:
+   it is back home (or the tunnel chased it here).  Deliver to ourselves
+   and tell everyone who forwarded the packet that we are at home, so they
+   delete their cache entries (Section 6.3). *)
+let mh_handle_tunneled_to_self t (pkt : Packet.t) (header : Mhrp_header.t) =
+  match Encap.detunnel pkt with
+  | None -> ()
+  | Some (original, _) ->
+    let mobile = header.Mhrp_header.mobile in
+    t.counters.Counters.detunnels <- t.counters.Counters.detunnels + 1;
+    let targets =
+      let list = header.Mhrp_header.prev_sources in
+      if List.exists (Addr.equal pkt.Packet.src) list then list
+      else list @ [pkt.Packet.src]
+    in
+    List.iter
+      (fun dst ->
+         send_location_update t ~dst ~mobile ~foreign_agent:Addr.zero)
+      targets;
+    Node.inject_local t.node original
+
+let handle_mhrp t (pkt : Packet.t) =
+  match Encap.header_of pkt with
+  | None -> tracef t "drop" "malformed mhrp packet"
+  | Some header ->
+    let mobile = header.Mhrp_header.mobile in
+    match t.fa with
+    | Some (fa_state, fa_iface) when Foreign_agent.mem fa_state mobile ->
+      deliver_to_visitor t fa_state fa_iface pkt
+    | _ ->
+      if Node.has_address t.node mobile then
+        mh_handle_tunneled_to_self t pkt header
+      else
+        match t.ha with
+        | Some ha when Home_agent.serves ha mobile ->
+          ha_handle_tunneled t ha pkt header
+        | _ -> retunnel_stale t pkt header
+
+(* --- Section 4.5: returned ICMP errors --- *)
+
+let is_unreachable = function
+  | Ipv4.Icmp.Dest_unreachable _ -> true
+  | _ -> false
+
+let resend_error t msg ~dst ~quoted =
+  t.counters.Counters.icmp_errors_reversed <-
+    t.counters.Counters.icmp_errors_reversed + 1;
+  let encoded = Packet.encode quoted in
+  let n = min (Bytes.length encoded) (Packet.header_length quoted + 8 + 64)
+  in
+  (* Quote generously (header + transport prefix) so the next reversal
+     still has the whole MHRP header available. *)
+  let original = Bytes.sub encoded 0 n in
+  let msg' =
+    match msg with
+    | Ipv4.Icmp.Dest_unreachable { code; _ } ->
+      Ipv4.Icmp.Dest_unreachable { code; original }
+    | Ipv4.Icmp.Time_exceeded { code; _ } ->
+      Ipv4.Icmp.Time_exceeded { code; original }
+    | Ipv4.Icmp.Redirect { gateway; _ } ->
+      Ipv4.Icmp.Redirect { gateway; original }
+    | other -> other
+  in
+  tracef t "icmp-reverse" "to %a" Addr.pp dst;
+  let pkt =
+    Packet.make ~proto:Ipv4.Proto.icmp ~src:(address t) ~dst
+      (Ipv4.Icmp.encode msg')
+  in
+  Node.send t.node pkt
+
+let handle_icmp_error t (msg : Ipv4.Icmp.t) quoted_bytes =
+  match Packet.decode_prefix quoted_bytes with
+  | None -> t.icmp_error_tap msg None
+  | Some (qpkt, _) ->
+    if Encap.is_tunneled qpkt && Node.has_address t.node qpkt.Packet.src
+    then begin
+      (* We are the head of the most recent tunnel this packet was in. *)
+      match Mhrp_header.decode_prefix qpkt.Packet.payload with
+      | None -> t.icmp_error_tap msg None
+      | Some (header, hlen) ->
+        let mobile = header.Mhrp_header.mobile in
+        if is_unreachable msg && t.cache_agent then begin
+          (* The path to our cached location failed — not necessarily the
+             mobile host itself (Section 4.5): drop the entry. *)
+          Location_cache.delete t.cache mobile;
+          tracef t "cache" "dropped %a after unreachable" Addr.pp mobile
+        end;
+        let payload = qpkt.Packet.payload in
+        if Bytes.length payload < hlen + 8 then
+          (* Not enough of the original quoted: nothing more can be done
+             beyond the cache deletion (Section 4.5). *)
+          t.icmp_error_tap msg None
+        else begin
+          let transport =
+            Bytes.sub payload hlen (Bytes.length payload - hlen)
+          in
+          match header.Mhrp_header.prev_sources with
+          | [] ->
+            (* We built the header as the original sender: reverse to the
+               pre-tunnel packet and treat the error as ours. *)
+            let original =
+              { qpkt with
+                Packet.proto = header.Mhrp_header.orig_proto;
+                dst = mobile;
+                payload = transport }
+            in
+            t.counters.Counters.icmp_errors_reversed <-
+              t.counters.Counters.icmp_errors_reversed + 1;
+            t.icmp_error_tap msg (Some original)
+          | [sender] ->
+            (* We did the initial (agent-built) encapsulation: restore the
+               original packet and return the error to the sender. *)
+            let original =
+              { qpkt with
+                Packet.proto = header.Mhrp_header.orig_proto;
+                src = sender;
+                dst = mobile;
+                payload = transport }
+            in
+            resend_error t msg ~dst:sender ~quoted:original
+          | _ :: _ :: _ ->
+            (* We re-tunneled it: reverse one step of the tunnel chain. *)
+            match Mhrp_header.drop_last_source header with
+            | None -> ()
+            | Some (header', prev_head) ->
+              let quoted =
+                { qpkt with
+                  Packet.src = prev_head;
+                  dst = address t;
+                  payload = Mhrp_header.encode header' transport }
+              in
+              resend_error t msg ~dst:prev_head ~quoted
+        end
+    end
+    else t.icmp_error_tap msg (Some qpkt)
+
+(* --- agent discovery (Section 3) --- *)
+
+let broadcast_advert t =
+  let home = t.ha <> None in
+  let foreign = t.fa <> None in
+  if home || foreign then
+    List.iter
+      (fun (i, _, addr) ->
+         match addr with
+         | None -> ()
+         | Some agent ->
+           t.counters.Counters.control_messages <-
+             t.counters.Counters.control_messages + 1;
+           let msg =
+             Ipv4.Icmp.Agent_advertisement { agent; home; foreign }
+           in
+           let pkt =
+             Packet.make ~proto:Ipv4.Proto.icmp ~src:agent
+               ~dst:Addr.broadcast (Ipv4.Icmp.encode msg)
+           in
+           Node.broadcast_ip t.node ~iface:i pkt)
+      (Node.ifaces t.node)
+
+let solicit t =
+  List.iter
+    (fun (i, _, _) ->
+       t.counters.Counters.control_messages <-
+         t.counters.Counters.control_messages + 1;
+       let pkt =
+         Packet.make ~proto:Ipv4.Proto.icmp ~src:(address t)
+           ~dst:Addr.broadcast (Ipv4.Icmp.encode Ipv4.Icmp.Agent_solicitation)
+       in
+       Node.broadcast_ip t.node ~iface:i pkt)
+    (Node.ifaces t.node)
+
+let start_advert_timer t =
+  if not t.advert_timer then begin
+    t.advert_timer <- true;
+    Engine.every (engine t) ~interval:t.config.Config.advert_interval
+      (fun () -> if Node.is_up t.node then broadcast_advert t)
+  end
+
+(* --- Section 5.2: foreign-agent state recovery --- *)
+
+let fa_recovery_check t ~mobile ~foreign_agent =
+  match t.fa with
+  | Some (fa_state, fa_iface)
+    when Node.has_address t.node foreign_agent
+      && (not (Foreign_agent.mem fa_state mobile))
+      && not (Node.has_address t.node mobile) ->
+    let add mac =
+      Foreign_agent.add fa_state
+        { Foreign_agent.mobile; mac; iface = fa_iface };
+      t.counters.Counters.recoveries <- t.counters.Counters.recoveries + 1;
+      tracef t "fa-recovery" "re-added visitor %a" Addr.pp mobile
+    in
+    if t.config.Config.verify_recovered_visitors then begin
+      (* Verify presence with a local query (the paper suggests an ARP
+         query) before believing the home agent. *)
+      Node.arp_probe t.node ~iface:fa_iface mobile;
+      ignore
+        (Engine.schedule_after (engine t) ~delay:(Time.of_ms 50) (fun () ->
+             match Node.arp_cache_lookup t.node mobile with
+             | Some mac -> add (Some mac)
+             | None ->
+               tracef t "fa-recovery" "%a did not answer query" Addr.pp
+                 mobile))
+    end
+    else add None
+  | _ -> ()
+
+(* --- mobile-host registration machinery (Section 3) --- *)
+
+let current_iface t =
+  match Node.ifaces t.node with
+  | (i, lan, _) :: _ -> (i, lan)
+  | [] -> failwith (Node.name t.node ^ ": no interface")
+
+let notify_old_fa t mh ~new_foreign_agent =
+  match mh.Mobile_host.old_fa with
+  | Some old_fa when not (Addr.equal old_fa new_foreign_agent) ->
+    t.counters.Counters.fa_disconnects <-
+      t.counters.Counters.fa_disconnects + 1;
+    send_control t ~dst:old_fa
+      (Control.Fa_disconnect
+         { mobile = mh.Mobile_host.home; new_foreign_agent });
+    mh.Mobile_host.old_fa <- None
+  | _ -> mh.Mobile_host.old_fa <- None
+
+let complete_registration t mh ~foreign_agent =
+  mh.Mobile_host.registrations_completed <-
+    mh.Mobile_host.registrations_completed + 1;
+  mh.Mobile_host.last_advert <- now t;
+  if Addr.is_zero foreign_agent then begin
+    mh.Mobile_host.phase <- Mobile_host.At_home;
+    notify_old_fa t mh ~new_foreign_agent:Addr.zero
+  end
+  else begin
+    mh.Mobile_host.phase <- Mobile_host.Registered foreign_agent;
+    notify_old_fa t mh ~new_foreign_agent:foreign_agent
+  end;
+  tracef t "registered" "%a" Mobile_host.pp_phase mh.Mobile_host.phase;
+  t.registered_tap foreign_agent
+
+let register_with_home_agent t mh ~foreign_agent =
+  send_control t ~dst:mh.Mobile_host.home_agent
+    (Control.Reg_request { mobile = mh.Mobile_host.home; foreign_agent })
+
+let connect_via_foreign_agent t mh fa_addr =
+  mh.Mobile_host.phase <- Mobile_host.Registering fa_addr;
+  let i, lan = current_iface t in
+  Node.set_routes t.node
+    (Net.Route.add_default
+       (Net.Route.add Net.Route.empty (Net.Lan.prefix lan)
+          (Net.Route.Direct i))
+       (Net.Route.Via fa_addr));
+  t.counters.Counters.fa_connects <- t.counters.Counters.fa_connects + 1;
+  send_control t ~dst:fa_addr
+    (Control.Fa_connect
+       { mobile = mh.Mobile_host.home; mac = Node.iface_mac t.node i })
+
+let connect_home t mh ha_addr =
+  mh.Mobile_host.phase <- Mobile_host.Registering Addr.zero;
+  let i, lan = current_iface t in
+  Node.set_routes t.node
+    (Net.Route.add_default
+       (Net.Route.add Net.Route.empty (Net.Lan.prefix lan)
+          (Net.Route.Direct i))
+       (Net.Route.Via ha_addr));
+  (* Reconnecting to the home network: broadcast gratuitous ARP replies so
+     neighbours (and the home agent) replace the home agent's link address
+     with ours again (Section 2), retransmitted for reliability. *)
+  let rec burst k =
+    if k < t.config.Config.gratuitous_arp_count then begin
+      Node.gratuitous_arp t.node ~iface:i mh.Mobile_host.home;
+      ignore
+        (Engine.schedule_after (engine t) ~delay:(Time.of_ms 100) (fun () ->
+             burst (k + 1)))
+    end
+  in
+  burst 0;
+  register_with_home_agent t mh ~foreign_agent:Addr.zero;
+  complete_registration t mh ~foreign_agent:Addr.zero
+
+let mh_handle_advert t ~agent ~home ~foreign =
+  match t.mh with
+  | None -> ()
+  | Some mh ->
+    (* hearing our current agent (or the home agent while home) refreshes
+       the implicit-disconnection clock (Section 3) *)
+    (match mh.Mobile_host.phase with
+     | Mobile_host.Registered fa | Mobile_host.Registering fa
+       when Addr.equal agent fa ->
+       mh.Mobile_host.last_advert <- now t
+     | Mobile_host.At_home
+       when Addr.equal agent mh.Mobile_host.home_agent ->
+       mh.Mobile_host.last_advert <- now t
+     | _ -> ());
+    match mh.Mobile_host.phase with
+    | Mobile_host.Searching ->
+      if home && Addr.equal agent mh.Mobile_host.home_agent then begin
+        tracef t "discovery" "home agent heard: %a" Addr.pp agent;
+        connect_home t mh agent
+      end
+      else if foreign then begin
+        tracef t "discovery" "foreign agent heard: %a" Addr.pp agent;
+        connect_via_foreign_agent t mh agent
+      end
+    | Mobile_host.At_home | Mobile_host.Registering _
+    | Mobile_host.Registered _ | Mobile_host.Disconnected -> ()
+
+(* --- control-message handling --- *)
+
+(* Apply a registration to the home-agent database with its side effects
+   (ARP capture bursts when the host departs its home LAN), without
+   replying — shared by direct registrations and replica synchronisation
+   (Section 2's replicated home agents). *)
+let register_mobile t ~mobile ~foreign_agent =
+  match t.ha with
+  | None -> ()
+  | Some ha when Home_agent.serves ha mobile ->
+    let previous = Home_agent.location ha mobile in
+    Home_agent.register ha ~mobile ~foreign_agent;
+    t.counters.Counters.registrations <-
+      t.counters.Counters.registrations + 1;
+    tracef t "register" "%a now at %a" Addr.pp mobile Addr.pp foreign_agent;
+    (* Departure from home: capture the host's traffic on the home LAN by
+       poisoning neighbour ARP caches, retransmitted for reliability
+       (Section 2).  Proxy ARP is in force via the arp_proxy hook. *)
+    (match previous with
+     | Some prev
+       when Addr.is_zero prev && not (Addr.is_zero foreign_agent) ->
+       List.iter
+         (fun (i, lan, _) ->
+            if Ipv4.Addr.Prefix.mem mobile (Net.Lan.prefix lan) then begin
+              let rec burst k =
+                if k < t.config.Config.gratuitous_arp_count then begin
+                  Node.gratuitous_arp t.node ~iface:i mobile;
+                  ignore
+                    (Engine.schedule_after (engine t)
+                       ~delay:(Time.of_ms 100) (fun () -> burst (k + 1)))
+                end
+              in
+              burst 0
+            end)
+         (Node.ifaces t.node)
+     | _ -> ())
+  | Some _ -> ()
+
+let ha_handle_registration t ha ~mobile ~foreign_agent =
+  if Home_agent.serves ha mobile then begin
+    register_mobile t ~mobile ~foreign_agent;
+    t.registration_tap ~mobile ~foreign_agent;
+    (* The reply reaches a visiting host through its new tunnel. *)
+    send t
+      (Packet.make ~proto:Ipv4.Proto.udp ~src:(address t) ~dst:mobile
+         (Ipv4.Udp.encode
+            (Ipv4.Udp.make ~src_port:Control.port ~dst_port:Control.port
+               (Control.encode
+                  (Control.Reg_reply { mobile; accepted = true })))));
+    t.counters.Counters.control_messages <-
+      t.counters.Counters.control_messages + 1
+  end
+
+let fa_handle_connect t ~mobile ~mac =
+  match t.fa with
+  | None -> ()
+  | Some (fa_state, fa_iface) ->
+    (* Find the interface whose LAN the mobile host's link address is
+       attached to; default to the serving interface. *)
+    let iface =
+      List.find_map
+        (fun (i, lan, _) ->
+           if Net.Lan.attached lan mac then Some i else None)
+        (Node.ifaces t.node)
+      |> Option.value ~default:fa_iface
+    in
+    Foreign_agent.add fa_state
+      { Foreign_agent.mobile; mac = Some mac; iface };
+    t.counters.Counters.fa_connects <- t.counters.Counters.fa_connects + 1;
+    tracef t "visitor" "%a connected (mac %a)" Addr.pp mobile Net.Mac.pp mac;
+    t.counters.Counters.control_messages <-
+      t.counters.Counters.control_messages + 1;
+    let ack =
+      Packet.make ~proto:Ipv4.Proto.udp ~src:(address t) ~dst:mobile
+        (Ipv4.Udp.encode
+           (Ipv4.Udp.make ~src_port:Control.port ~dst_port:Control.port
+              (Control.encode (Control.Fa_connect_ack { mobile }))))
+    in
+    Node.send_ip_to_mac t.node ~iface ~dst_mac:mac ack
+
+let fa_handle_disconnect t ~mobile ~new_foreign_agent =
+  match t.fa with
+  | None -> ()
+  | Some (fa_state, _) ->
+    Foreign_agent.remove fa_state mobile;
+    t.counters.Counters.fa_disconnects <-
+      t.counters.Counters.fa_disconnects + 1;
+    tracef t "visitor" "%a disconnected (now %a)" Addr.pp mobile Addr.pp
+      new_foreign_agent;
+    (* Forwarding pointer (Section 2): the old foreign agent may cache the
+       new location, kept as an ordinary cache entry. *)
+    if t.config.Config.forwarding_pointers
+       && not (Addr.is_zero new_foreign_agent)
+    then cache_update t ~mobile ~foreign_agent:new_foreign_agent
+
+let mh_handle_reg_reply t ~mobile ~accepted =
+  (* Section 3's notifications are independent, not a handshake: the home
+     agent's reply only confirms.  Registration already completed when the
+     notifications were sent, so a temporarily unreachable home agent does
+     not stall the move (the forwarding-pointer scenario of Section 2). *)
+  match t.mh with
+  | Some mh when Addr.equal mobile mh.Mobile_host.home ->
+    tracef t "registered" "home agent %s"
+      (if accepted then "confirmed" else "refused");
+    ignore accepted
+  | _ -> ()
+
+let mh_handle_connect_ack t ~mobile =
+  match t.mh with
+  | Some mh when Addr.equal mobile mh.Mobile_host.home -> begin
+      match mh.Mobile_host.phase with
+      | Mobile_host.Registering fa when not (Addr.is_zero fa) ->
+        register_with_home_agent t mh ~foreign_agent:fa;
+        complete_registration t mh ~foreign_agent:fa
+      | _ -> ()
+    end
+  | _ -> ()
+
+let handle_control t (pkt : Packet.t) =
+  match Ipv4.Udp.decode pkt.Packet.payload with
+  | exception Invalid_argument _ -> ()
+  | udp ->
+    match Control.decode udp.Ipv4.Udp.data with
+    | None -> ()
+    | Some msg ->
+      tracef t "ctrl-rx" "%a" Control.pp msg;
+      match msg with
+      | Control.Reg_request { mobile; foreign_agent } ->
+        (match t.ha with
+         | Some ha -> ha_handle_registration t ha ~mobile ~foreign_agent
+         | None -> ())
+      | Control.Reg_reply { mobile; accepted } ->
+        mh_handle_reg_reply t ~mobile ~accepted
+      | Control.Fa_connect { mobile; mac } ->
+        fa_handle_connect t ~mobile ~mac
+      | Control.Fa_connect_ack { mobile } -> mh_handle_connect_ack t ~mobile
+      | Control.Fa_disconnect { mobile; new_foreign_agent } ->
+        fa_handle_disconnect t ~mobile ~new_foreign_agent
+      | Control.Ha_sync { mobile; foreign_agent } ->
+        (* replica synchronisation: apply without replying or
+           re-propagating *)
+        register_mobile t ~mobile ~foreign_agent
+
+(* --- ICMP handling --- *)
+
+let handle_icmp t (pkt : Packet.t) =
+  match Ipv4.Icmp.decode_opt pkt.Packet.payload with
+  | None -> () (* unknown type: silently discard (RFC 1122) *)
+  | exception Invalid_argument _ -> ()
+  | Some msg ->
+    match msg with
+    | Ipv4.Icmp.Location_update { mobile; foreign_agent } ->
+      t.counters.Counters.updates_received <-
+        t.counters.Counters.updates_received + 1;
+      tracef t "loc-update-rx" "%a at %a" Addr.pp mobile Addr.pp
+        foreign_agent;
+      cache_update t ~mobile ~foreign_agent;
+      fa_recovery_check t ~mobile ~foreign_agent;
+      t.update_tap ~mobile ~foreign_agent
+    | Ipv4.Icmp.Echo_request { ident; seq; data } ->
+      let reply = Ipv4.Icmp.Echo_reply { ident; seq; data } in
+      send t
+        (Packet.make ~id:pkt.Packet.id ~proto:Ipv4.Proto.icmp
+           ~src:(address t) ~dst:pkt.Packet.src (Ipv4.Icmp.encode reply))
+    | Ipv4.Icmp.Echo_reply _ -> t.app_tap pkt
+    | Ipv4.Icmp.Dest_unreachable { original; _ }
+    | Ipv4.Icmp.Time_exceeded { original; _ }
+    | Ipv4.Icmp.Redirect { original; _ } ->
+      handle_icmp_error t msg original
+    | Ipv4.Icmp.Agent_advertisement { agent; home; foreign } ->
+      mh_handle_advert t ~agent ~home ~foreign
+    | Ipv4.Icmp.Agent_solicitation ->
+      if t.ha <> None || t.fa <> None then broadcast_advert t
+
+(* --- local-delivery dispatch --- *)
+
+(* Packets can be delivered to this node either because they are addressed
+   to it or because a hook intercepted them for a mobile host; route the
+   latter to home-agent processing whatever their protocol. *)
+let dispatch t proto_handler (pkt : Packet.t) =
+  let dst = pkt.Packet.dst in
+  if Node.has_address t.node dst || Addr.equal dst Addr.broadcast then
+    proto_handler t pkt
+  else if Encap.is_tunneled pkt then handle_mhrp t pkt
+  else if ha_claims t dst then ha_intercept t pkt
+  else proto_handler t pkt
+
+let handle_udp t (pkt : Packet.t) =
+  match Ipv4.Udp.decode pkt.Packet.payload with
+  | exception Invalid_argument _ -> ()
+  | udp ->
+    if udp.Ipv4.Udp.dst_port = Control.port then handle_control t pkt
+    else t.app_tap pkt
+
+(* --- forwarding hook (router cache agents, Sections 4.3, 6.2) --- *)
+
+let rewrite_forward t (pkt : Packet.t) =
+  let dst = pkt.Packet.dst in
+  if ha_claims t dst then begin
+    if Encap.is_tunneled pkt then begin
+      handle_mhrp t pkt;
+      Node.Consume
+    end
+    else begin
+      ha_intercept t pkt;
+      Node.Consume
+    end
+  end
+  else if t.snoop then begin
+    (* Examine forwarded packets: cache location updates in transit and
+       tunnel for destinations we have cached (Section 4.3: routers should
+       make this a configuration option — it is ours). *)
+    (if pkt.Packet.proto = Ipv4.Proto.icmp then
+       match Ipv4.Icmp.decode_opt pkt.Packet.payload with
+       | Some (Ipv4.Icmp.Location_update { mobile; foreign_agent }) ->
+         cache_update t ~mobile ~foreign_agent
+       | Some _ | None -> ()
+       | exception Invalid_argument _ -> ());
+    if (not (Encap.is_tunneled pkt)) && t.cache_agent then
+      match Location_cache.find t.cache dst with
+      | Some fa when not (Node.has_address t.node fa) ->
+        t.counters.Counters.tunnels_built <-
+          t.counters.Counters.tunnels_built + 1;
+        tracef t "tunnel" "forwarding cache hit for %a via %a" Addr.pp dst
+          Addr.pp fa;
+        Node.Replace
+          (Encap.tunnel_by_agent ~agent:(address t) ~foreign_agent:fa pkt)
+      | Some _ | None -> Node.Forward
+    else Node.Forward
+  end
+  else Node.Forward
+
+(* --- construction --- *)
+
+let create ?(config = Config.default) ?(cache_agent = true)
+    ?(snoop = false) node =
+  let t =
+    { node; config;
+      counters = Counters.create ();
+      cache = Location_cache.create ~capacity:config.Config.cache_capacity;
+      limiter =
+        Rate_limiter.create ~capacity:config.Config.update_rate_entries
+          ~min_interval:config.Config.update_min_interval;
+      cache_agent; snoop;
+      ha = None; fa = None; mh = None;
+      app_tap = (fun _ -> ());
+      update_tap = (fun ~mobile:_ ~foreign_agent:_ -> ());
+      registered_tap = (fun _ -> ());
+      registration_tap = (fun ~mobile:_ ~foreign_agent:_ -> ());
+      icmp_error_tap = (fun _ _ -> ());
+      advert_timer = false }
+  in
+  Node.set_proto_handler node Ipv4.Proto.mhrp (fun _ pkt ->
+      dispatch t (fun t pkt -> handle_mhrp t pkt) pkt);
+  Node.set_proto_handler node Ipv4.Proto.icmp (fun _ pkt ->
+      dispatch t handle_icmp pkt);
+  Node.set_proto_handler node Ipv4.Proto.udp (fun _ pkt ->
+      dispatch t handle_udp pkt);
+  Node.set_proto_handler node Ipv4.Proto.tcp (fun _ pkt ->
+      dispatch t (fun t pkt -> t.app_tap pkt) pkt);
+  Node.set_accept_ip node (fun _ pkt -> ha_claims t pkt.Packet.dst);
+  Node.set_arp_proxy node (fun addr -> ha_claims t addr);
+  Node.set_rewrite_forward node (fun _ pkt -> rewrite_forward t pkt);
+  Node.on_reboot node (fun _ ->
+      (match t.fa with Some (fa_state, _) -> Foreign_agent.clear fa_state
+                     | None -> ());
+      (match t.ha with Some ha -> Home_agent.reboot ha | None -> ());
+      Location_cache.clear t.cache);
+  t
+
+let enable_home_agent t =
+  if t.ha = None then begin
+    t.ha <-
+      Some (Home_agent.create ~persistent:t.config.Config.ha_persistent ());
+    start_advert_timer t
+  end
+
+let enable_foreign_agent t ~iface =
+  (match t.fa with
+   | None -> t.fa <- Some (Foreign_agent.create (), iface)
+   | Some (state, _) -> t.fa <- Some (state, iface));
+  start_advert_timer t
+
+let add_mobile t mobile =
+  match t.ha with
+  | None -> failwith "Agent.add_mobile: not a home agent"
+  | Some ha -> Home_agent.add_mobile ha mobile
+
+let make_mobile t ~home_agent =
+  let home = address t in
+  Node.add_address t.node home;
+  (* keep answering to the home address across moves *)
+  let mh = Mobile_host.create ~home ~home_agent in
+  mh.Mobile_host.last_advert <- now t;
+  t.mh <- Some mh;
+  (* Implicit-disconnection watchdog (Section 3): a host carried out of
+     range hears no more advertisements from its agent; when the lifetime
+     lapses it starts searching for a new one. *)
+  let lifetime = t.config.Config.advert_lifetime in
+  let check_interval =
+    Time.of_us (max 1 (Time.to_us lifetime / 3))
+  in
+  Engine.every (engine t) ~interval:check_interval (fun () ->
+      if Node.is_up t.node then
+        match t.mh with
+        | Some mh ->
+          (match mh.Mobile_host.phase with
+           | Mobile_host.Registered _ | Mobile_host.At_home ->
+             if
+               Time.(
+                 diff (now t) mh.Mobile_host.last_advert > lifetime)
+             then begin
+               mh.Mobile_host.implicit_disconnects <-
+                 mh.Mobile_host.implicit_disconnects + 1;
+               (match Mobile_host.current_fa mh with
+                | Some fa -> mh.Mobile_host.old_fa <- Some fa
+                | None -> ());
+               mh.Mobile_host.phase <- Mobile_host.Searching;
+               tracef t "discovery"
+                 "agent advertisements expired: searching";
+               solicit t
+             end
+           | Mobile_host.Searching | Mobile_host.Registering _
+           | Mobile_host.Disconnected -> ())
+        | None -> ())
+
+(* --- movement (Section 3) --- *)
+
+let leave_own_fa_mode t mh =
+  match mh.Mobile_host.own_fa_temp with
+  | None -> ()
+  | Some temp ->
+    Node.remove_address t.node temp;
+    (match t.fa with
+     | Some (fa_state, _) ->
+       Foreign_agent.remove fa_state mh.Mobile_host.home
+     | None -> ());
+    mh.Mobile_host.own_fa_temp <- None
+
+let move_to ~topo ?own_fa_temp t lan =
+  match t.mh with
+  | None -> invalid_arg "Agent.move_to: not a mobile host"
+  | Some mh ->
+    mh.Mobile_host.moves <- mh.Mobile_host.moves + 1;
+    (match Mobile_host.current_fa mh with
+     | Some fa when not (Addr.is_zero fa) -> mh.Mobile_host.old_fa <- Some fa
+     | _ -> ());
+    leave_own_fa_mode t mh;
+    Net.Topology.move_host topo t.node lan;
+    Node.set_routes t.node Net.Route.empty;
+    match own_fa_temp with
+    | None ->
+      mh.Mobile_host.phase <- Mobile_host.Searching;
+      tracef t "move" "to %s, soliciting" (Net.Lan.name lan);
+      solicit t
+    | Some temp ->
+      (* Serve as own foreign agent at a temporary address (Section 2).
+         Obtaining the address and gateway is outside the protocol; we
+         model the result: the address is configured and a default route
+         via an existing router on the LAN is known. *)
+      if not (Ipv4.Addr.Prefix.mem temp (Net.Lan.prefix lan)) then
+        invalid_arg "Agent.move_to: temporary address not in LAN prefix";
+      Node.add_address t.node temp;
+      mh.Mobile_host.own_fa_temp <- Some temp;
+      let i, _ = current_iface t in
+      enable_foreign_agent t ~iface:i;
+      (match t.fa with
+       | Some (fa_state, _) ->
+         Foreign_agent.add fa_state
+           { Foreign_agent.mobile = mh.Mobile_host.home;
+             mac = Some (Node.iface_mac t.node i); iface = i }
+       | None -> ());
+      let gateway =
+        List.find_map
+          (fun n ->
+             if Node.is_router n && not (Node.name n = Node.name t.node)
+             then
+               List.find_map
+                 (fun (_, l, addr) -> if l == lan then addr else None)
+                 (Node.ifaces n)
+             else None)
+          (Net.Topology.nodes topo)
+      in
+      (match gateway with
+       | None -> invalid_arg "Agent.move_to: no router on target LAN"
+       | Some gw ->
+         Node.set_routes t.node
+           (Net.Route.add_default
+              (Net.Route.add Net.Route.empty (Net.Lan.prefix lan)
+                 (Net.Route.Direct i))
+              (Net.Route.Via gw)));
+      mh.Mobile_host.phase <- Mobile_host.Registering temp;
+      tracef t "move" "to %s as own fa %a" (Net.Lan.name lan) Addr.pp temp;
+      register_with_home_agent t mh ~foreign_agent:temp;
+      complete_registration t mh ~foreign_agent:temp
+
+let disconnect t =
+  match t.mh with
+  | None -> invalid_arg "Agent.disconnect: not a mobile host"
+  | Some mh ->
+    tracef t "move" "explicit disconnect";
+    (match Mobile_host.current_fa mh with
+     | Some fa when not (Addr.is_zero fa) -> mh.Mobile_host.old_fa <- Some fa
+     | _ -> ());
+    leave_own_fa_mode t mh;
+    (* Home agent first, then the old foreign agent (Section 3). *)
+    register_with_home_agent t mh ~foreign_agent:disconnected_marker;
+    notify_old_fa t mh ~new_foreign_agent:Addr.zero;
+    mh.Mobile_host.phase <- Mobile_host.Disconnected

@@ -1,0 +1,121 @@
+(** The MHRP protocol engine: one instance per participating node.
+
+    An agent composes the paper's roles on a single node — any combination
+    of home agent, foreign agent, mobile host and cache agent (Section 2:
+    "may be combined in different ways on one or more hosts or routers") —
+    and installs the IP-stack hooks that realise them:
+
+    - the MHRP protocol handler (tunneled-packet processing, Section 4.4);
+    - the ICMP handler (location updates Section 4.3, returned errors
+      Section 4.5, agent discovery Section 3);
+    - the control-message handler (registrations, Section 3);
+    - interception hooks and proxy ARP for home agents (Section 2);
+    - forwarding hooks for router cache agents (Sections 4.3, 6.2).
+
+    Every node that "implements MHRP" — including plain correspondent
+    hosts that merely want to cache mobile locations — is an [Agent];
+    hosts without one ignore location updates exactly as the paper's
+    backward-compatibility argument requires. *)
+
+type t
+
+val create :
+  ?config:Config.t -> ?cache_agent:bool -> ?snoop:bool -> Net.Node.t -> t
+(** [cache_agent] (default true): maintain and use a location cache.
+    [snoop] (default false): as a router, examine forwarded packets for
+    location updates and cacheable destinations — the configuration
+    option of Section 4.3. *)
+
+val node : t -> Net.Node.t
+val config : t -> Config.t
+val counters : t -> Counters.t
+val cache : t -> Location_cache.t
+val limiter : t -> Rate_limiter.t
+val address : t -> Ipv4.Addr.t
+
+(** {1 Roles} *)
+
+val enable_home_agent : t -> unit
+val enable_foreign_agent : t -> iface:int -> unit
+(** Serve visiting mobile hosts on the LAN of this interface. *)
+
+val home_agent : t -> Home_agent.t option
+val foreign_agent : t -> Foreign_agent.t option
+
+val add_mobile : t -> Ipv4.Addr.t -> unit
+(** Home-agent role: begin serving this (initially at-home) mobile host.
+    Raises [Failure] without the role. *)
+
+val make_mobile : t -> home_agent:Ipv4.Addr.t -> unit
+(** This node is a mobile host with the given home agent.  Its home
+    address (the node's primary address) is kept claimed across moves. *)
+
+val mobile : t -> Mobile_host.t option
+
+(** {1 Mobile-host movement (Section 3)} *)
+
+val move_to :
+  topo:Net.Topology.t -> ?own_fa_temp:Ipv4.Addr.t -> t -> Net.Lan.t -> unit
+(** Carry the host to another network: detach, attach, solicit agents, and
+    register through whatever agent answers (recognising the home agent
+    when the destination is the home network).  With [own_fa_temp], skip
+    agent discovery and serve as own foreign agent at that temporary
+    address (Section 2).  Notification order follows Section 3: new
+    foreign agent, then home agent, then old foreign agent. *)
+
+val disconnect : t -> unit
+(** Planned disconnection: notify the home agent, then the old foreign
+    agent (Section 3).  The home agent records the host as disconnected —
+    we register the all-ones address, a value the paper leaves open — and
+    answers subsequent traffic with host-unreachable errors. *)
+
+(** {1 Data path} *)
+
+val send : t -> Ipv4.Packet.t -> unit
+(** Cache-aware send: tunnel straight to the foreign agent on a cache hit
+    (Section 6.2), or authoritatively from the home-agent database;
+    otherwise plain IP. *)
+
+val send_udp :
+  t -> ?src_port:int -> ?dst_port:int -> ?id:int -> dst:Ipv4.Addr.t ->
+  bytes -> unit
+
+val send_ping : t -> ?id:int -> ?seq:int -> dst:Ipv4.Addr.t -> unit -> unit
+
+val on_app_receive : t -> (Ipv4.Packet.t -> unit) -> unit
+(** Non-control traffic delivered to this node (after any
+    decapsulation). *)
+
+val on_location_update :
+  t -> (mobile:Ipv4.Addr.t -> foreign_agent:Ipv4.Addr.t -> unit) -> unit
+
+val on_registered : t -> (Ipv4.Addr.t -> unit) -> unit
+(** Mobile host: registration completed with the given foreign agent
+    (zero = home). *)
+
+val on_registration :
+  t -> (mobile:Ipv4.Addr.t -> foreign_agent:Ipv4.Addr.t -> unit) -> unit
+(** Home agent: a mobile host (re)registered.  {!Replication} mirrors the
+    database to replica home agents from this tap. *)
+
+val register_mobile :
+  t -> mobile:Ipv4.Addr.t -> foreign_agent:Ipv4.Addr.t -> unit
+(** Apply a registration directly to this home agent's database, with its
+    interception side effects but no reply — the entry point replica home
+    agents use (Section 2's replicated home agents). *)
+
+val on_icmp_error : t -> (Ipv4.Icmp.t -> Ipv4.Packet.t option -> unit) -> unit
+(** An ICMP error reached this node as original sender; the packet is the
+    reconstructed offending packet when enough of it was quoted. *)
+
+(** {1 Internals exposed for tests and experiments} *)
+
+val send_location_update :
+  t -> dst:Ipv4.Addr.t -> mobile:Ipv4.Addr.t ->
+  foreign_agent:Ipv4.Addr.t -> unit
+(** Rate-limited (Section 4.3). *)
+
+val solicit : t -> unit
+(** Broadcast an agent solicitation on the node's interfaces. *)
+
+val broadcast_advert : t -> unit

@@ -1,0 +1,30 @@
+type on_loop =
+  | Discard_packet
+  | Tunnel_home
+
+type t = {
+  max_prev_sources : int;
+  cache_capacity : int;
+  update_min_interval : Netsim.Time.t;
+  update_rate_entries : int;
+  advert_interval : Netsim.Time.t;
+  advert_lifetime : Netsim.Time.t;
+  forwarding_pointers : bool;
+  on_loop : on_loop;
+  verify_recovered_visitors : bool;
+  gratuitous_arp_count : int;
+  ha_persistent : bool;
+}
+
+let default =
+  { max_prev_sources = 8;
+    cache_capacity = 64;
+    update_min_interval = Netsim.Time.of_sec 1.0;
+    update_rate_entries = 64;
+    advert_interval = Netsim.Time.of_sec 10.0;
+    advert_lifetime = Netsim.Time.of_sec 30.0;
+    forwarding_pointers = true;
+    on_loop = Discard_packet;
+    verify_recovered_visitors = false;
+    gratuitous_arp_count = 3;
+    ha_persistent = true }

@@ -1,0 +1,54 @@
+(** Protocol parameters.
+
+    Defaults follow the paper where it is specific and reasonable early-90s
+    engineering practice where it is not; every knob exists because some
+    experiment or ablation varies it. *)
+
+type on_loop =
+  | Discard_packet
+      (** After dissolving the loop, drop the packet (Section 5.3). *)
+  | Tunnel_home
+      (** After dissolving, re-tunnel toward the home agent
+          (Section 5.3's alternative). *)
+
+type t = {
+  max_prev_sources : int;
+  (** Maximum length of the MHRP header's previous-source list before
+      truncation triggers the update fan-out of Section 4.4.  Ablated in
+      experiment E5. *)
+  cache_capacity : int;
+  (** Cache-agent entries (LRU beyond this, Section 2: "finite cache
+      space ... any local cache replacement policy"). *)
+  update_min_interval : Netsim.Time.t;
+  (** Per-destination floor between location update transmissions
+      (Section 4.3's flooding-avoidance requirement). *)
+  update_rate_entries : int;
+  (** Size of the LRU list backing the rate limiter. *)
+  advert_interval : Netsim.Time.t;
+  (** Period of agent advertisements (Section 3). *)
+  advert_lifetime : Netsim.Time.t;
+  (** How long a mobile host trusts its current agent without hearing an
+      advertisement.  Expiry means the host "notices its own movement"
+      (Section 3, implicit disconnection): it returns to searching and
+      solicits.  Conventionally ~3 advertisement periods (RFC 1256). *)
+  forwarding_pointers : bool;
+  (** Old foreign agents keep a cache entry pointing at the new foreign
+      agent (Section 2). *)
+  on_loop : on_loop;
+  verify_recovered_visitors : bool;
+  (** A rebooted foreign agent told by a location update that a mobile host
+      is "its" verifies presence with a local query before re-adding it
+      (Section 5.2). *)
+  gratuitous_arp_count : int;
+  (** Retransmissions of the home agent's capture ARP (Section 2:
+      "perhaps retransmitted a few times for reliability"). *)
+  ha_persistent : bool;
+  (** The home agent's location database survives reboots (Section 2:
+      "should also be recorded on disk"). *)
+}
+
+val default : t
+(** max list 8, cache 64 entries, 1 s update interval, 64 rate entries,
+    10 s advertisements with a 30 s lifetime, forwarding pointers on,
+    discard on loop, no visitor verification, 3 gratuitous ARPs,
+    persistent home agent. *)

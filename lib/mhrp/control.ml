@@ -1,0 +1,118 @@
+let port = 434
+
+type t =
+  | Reg_request of { mobile : Ipv4.Addr.t; foreign_agent : Ipv4.Addr.t }
+  | Reg_reply of { mobile : Ipv4.Addr.t; accepted : bool }
+  | Fa_connect of { mobile : Ipv4.Addr.t; mac : Net.Mac.t }
+  | Fa_connect_ack of { mobile : Ipv4.Addr.t }
+  | Fa_disconnect of { mobile : Ipv4.Addr.t; new_foreign_agent : Ipv4.Addr.t }
+  | Ha_sync of { mobile : Ipv4.Addr.t; foreign_agent : Ipv4.Addr.t }
+
+let put_u8 buf i v = Bytes.set buf i (Char.chr (v land 0xFF))
+
+let put_addr buf i a =
+  let v = Ipv4.Addr.to_int a in
+  put_u8 buf i (v lsr 24);
+  put_u8 buf (i + 1) (v lsr 16);
+  put_u8 buf (i + 2) (v lsr 8);
+  put_u8 buf (i + 3) v
+
+let put_mac buf i m =
+  let v = Net.Mac.to_int m in
+  for k = 0 to 5 do
+    put_u8 buf (i + k) (v lsr ((5 - k) * 8))
+  done
+
+let get_u8 buf i = Char.code (Bytes.get buf i)
+
+let get_addr buf i =
+  Ipv4.Addr.of_int
+    ((get_u8 buf i lsl 24) lor (get_u8 buf (i + 1) lsl 16)
+     lor (get_u8 buf (i + 2) lsl 8) lor get_u8 buf (i + 3))
+
+let get_mac buf i =
+  let v = ref 0 in
+  for k = 0 to 5 do
+    v := (!v lsl 8) lor get_u8 buf (i + k)
+  done;
+  Net.Mac.of_int !v
+
+let encode = function
+  | Reg_request { mobile; foreign_agent } ->
+    let buf = Bytes.make 9 '\000' in
+    put_u8 buf 0 1;
+    put_addr buf 1 mobile;
+    put_addr buf 5 foreign_agent;
+    buf
+  | Reg_reply { mobile; accepted } ->
+    let buf = Bytes.make 6 '\000' in
+    put_u8 buf 0 2;
+    put_addr buf 1 mobile;
+    put_u8 buf 5 (if accepted then 1 else 0);
+    buf
+  | Fa_connect { mobile; mac } ->
+    let buf = Bytes.make 11 '\000' in
+    put_u8 buf 0 3;
+    put_addr buf 1 mobile;
+    put_mac buf 5 mac;
+    buf
+  | Fa_connect_ack { mobile } ->
+    let buf = Bytes.make 5 '\000' in
+    put_u8 buf 0 4;
+    put_addr buf 1 mobile;
+    buf
+  | Fa_disconnect { mobile; new_foreign_agent } ->
+    let buf = Bytes.make 9 '\000' in
+    put_u8 buf 0 5;
+    put_addr buf 1 mobile;
+    put_addr buf 5 new_foreign_agent;
+    buf
+  | Ha_sync { mobile; foreign_agent } ->
+    let buf = Bytes.make 9 '\000' in
+    put_u8 buf 0 6;
+    put_addr buf 1 mobile;
+    put_addr buf 5 foreign_agent;
+    buf
+
+let decode buf =
+  let n = Bytes.length buf in
+  if n < 5 then None
+  else
+    match get_u8 buf 0 with
+    | 1 when n >= 9 ->
+      Some (Reg_request { mobile = get_addr buf 1;
+                          foreign_agent = get_addr buf 5 })
+    | 2 when n >= 6 ->
+      Some (Reg_reply { mobile = get_addr buf 1;
+                        accepted = get_u8 buf 5 <> 0 })
+    | 3 when n >= 11 ->
+      (match get_mac buf 5 with
+       | mac -> Some (Fa_connect { mobile = get_addr buf 1; mac })
+       | exception Invalid_argument _ -> None)
+    | 4 -> Some (Fa_connect_ack { mobile = get_addr buf 1 })
+    | 5 when n >= 9 ->
+      Some (Fa_disconnect { mobile = get_addr buf 1;
+                            new_foreign_agent = get_addr buf 5 })
+    | 6 when n >= 9 ->
+      Some (Ha_sync { mobile = get_addr buf 1;
+                      foreign_agent = get_addr buf 5 })
+    | _ -> None
+
+let pp ppf = function
+  | Reg_request { mobile; foreign_agent } ->
+    Format.fprintf ppf "reg-request mobile=%a fa=%a" Ipv4.Addr.pp mobile
+      Ipv4.Addr.pp foreign_agent
+  | Reg_reply { mobile; accepted } ->
+    Format.fprintf ppf "reg-reply mobile=%a %s" Ipv4.Addr.pp mobile
+      (if accepted then "accepted" else "denied")
+  | Fa_connect { mobile; mac } ->
+    Format.fprintf ppf "fa-connect mobile=%a mac=%a" Ipv4.Addr.pp mobile
+      Net.Mac.pp mac
+  | Fa_connect_ack { mobile } ->
+    Format.fprintf ppf "fa-connect-ack mobile=%a" Ipv4.Addr.pp mobile
+  | Fa_disconnect { mobile; new_foreign_agent } ->
+    Format.fprintf ppf "fa-disconnect mobile=%a new-fa=%a" Ipv4.Addr.pp
+      mobile Ipv4.Addr.pp new_foreign_agent
+  | Ha_sync { mobile; foreign_agent } ->
+    Format.fprintf ppf "ha-sync mobile=%a fa=%a" Ipv4.Addr.pp mobile
+      Ipv4.Addr.pp foreign_agent

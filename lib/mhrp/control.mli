@@ -1,0 +1,34 @@
+(** MHRP control messages: registration and (dis)connect notifications.
+
+    Section 3 specifies when a mobile host notifies its home agent and its
+    old/new foreign agents but not the message encoding; we carry these
+    notifications as UDP datagrams on a well-known port, the choice Mobile
+    IP later standardised (port 434). *)
+
+val port : int
+(** 434. *)
+
+type t =
+  | Reg_request of { mobile : Ipv4.Addr.t; foreign_agent : Ipv4.Addr.t }
+      (** Mobile host -> home agent.  A zero foreign agent means
+          "reconnecting to my home network" (Section 3). *)
+  | Reg_reply of { mobile : Ipv4.Addr.t; accepted : bool }
+      (** Home agent -> mobile host. *)
+  | Fa_connect of { mobile : Ipv4.Addr.t; mac : Net.Mac.t }
+      (** Mobile host -> new foreign agent, carrying the link address the
+          agent will deliver to (Section 2: "saved from the connection
+          notification message"). *)
+  | Fa_connect_ack of { mobile : Ipv4.Addr.t }
+  | Fa_disconnect of { mobile : Ipv4.Addr.t; new_foreign_agent : Ipv4.Addr.t }
+      (** Mobile host -> old foreign agent.  A non-zero new agent lets the
+          old agent keep a forwarding-pointer cache entry (Section 2). *)
+  | Ha_sync of { mobile : Ipv4.Addr.t; foreign_agent : Ipv4.Addr.t }
+      (** Home agent -> replica home agent: mirror a registration so the
+          replicas "provide a consistent view of the database"
+          (Section 2).  Never re-propagated. *)
+
+val encode : t -> bytes
+val decode : bytes -> t option
+(** [None] on malformed input. *)
+
+val pp : Format.formatter -> t -> unit

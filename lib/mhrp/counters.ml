@@ -1,0 +1,36 @@
+type t = {
+  mutable tunnels_built : int;
+  mutable retunnels : int;
+  mutable detunnels : int;
+  mutable updates_sent : int;
+  mutable updates_received : int;
+  mutable loops_detected : int;
+  mutable loops_dissolved : int;
+  mutable list_truncations : int;
+  mutable registrations : int;
+  mutable fa_connects : int;
+  mutable fa_disconnects : int;
+  mutable intercepts : int;
+  mutable icmp_errors_reversed : int;
+  mutable recoveries : int;
+  mutable control_messages : int;
+}
+
+let create () =
+  { tunnels_built = 0; retunnels = 0; detunnels = 0; updates_sent = 0;
+    updates_received = 0; loops_detected = 0; loops_dissolved = 0;
+    list_truncations = 0; registrations = 0; fa_connects = 0;
+    fa_disconnects = 0; intercepts = 0; icmp_errors_reversed = 0;
+    recoveries = 0; control_messages = 0 }
+
+let total_overhead_messages t = t.control_messages
+
+let pp ppf t =
+  Format.fprintf ppf
+    "tunnels=%d retunnels=%d detunnels=%d updates=%d/%d loops=%d/%d \
+     trunc=%d reg=%d fa+=%d fa-=%d intercepts=%d icmp-rev=%d recov=%d \
+     ctrl=%d"
+    t.tunnels_built t.retunnels t.detunnels t.updates_sent
+    t.updates_received t.loops_detected t.loops_dissolved
+    t.list_truncations t.registrations t.fa_connects t.fa_disconnects
+    t.intercepts t.icmp_errors_reversed t.recoveries t.control_messages

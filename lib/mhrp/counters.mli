@@ -1,0 +1,29 @@
+(** Per-agent protocol event counters, read by tests and experiments. *)
+
+type t = {
+  mutable tunnels_built : int;
+      (** Initial encapsulations (home agent or cache agent). *)
+  mutable retunnels : int;  (** Section 4.4 re-tunnel operations. *)
+  mutable detunnels : int;  (** Packets stripped and delivered locally. *)
+  mutable updates_sent : int;
+  mutable updates_received : int;
+  mutable loops_detected : int;
+  mutable loops_dissolved : int;
+  mutable list_truncations : int;
+  mutable registrations : int;  (** Home-agent database writes. *)
+  mutable fa_connects : int;
+  mutable fa_disconnects : int;
+  mutable intercepts : int;  (** Packets captured for away mobile hosts. *)
+  mutable icmp_errors_reversed : int;  (** Section 4.5 reversal steps. *)
+  mutable recoveries : int;  (** Section 5.2 visitor re-adds. *)
+  mutable control_messages : int;
+      (** All control traffic originated (registrations, notifications,
+          updates, advertisements): the scalability experiment's
+          per-protocol cost metric. *)
+}
+
+val create : unit -> t
+val total_overhead_messages : t -> int
+(** [control_messages]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,97 @@
+let tunnel_by_sender ~foreign_agent (pkt : Ipv4.Packet.t) =
+  let header =
+    Mhrp_header.make ~orig_proto:pkt.Ipv4.Packet.proto
+      ~mobile:pkt.Ipv4.Packet.dst ()
+  in
+  { pkt with
+    Ipv4.Packet.proto = Ipv4.Proto.mhrp;
+    dst = foreign_agent;
+    payload = Mhrp_header.encode header pkt.Ipv4.Packet.payload }
+
+let tunnel_by_agent ~agent ~foreign_agent (pkt : Ipv4.Packet.t) =
+  let header =
+    Mhrp_header.make ~prev_sources:[pkt.Ipv4.Packet.src]
+      ~orig_proto:pkt.Ipv4.Packet.proto ~mobile:pkt.Ipv4.Packet.dst ()
+  in
+  { pkt with
+    Ipv4.Packet.proto = Ipv4.Proto.mhrp;
+    src = agent;
+    dst = foreign_agent;
+    payload = Mhrp_header.encode header pkt.Ipv4.Packet.payload }
+
+let is_tunneled (pkt : Ipv4.Packet.t) =
+  pkt.Ipv4.Packet.proto = Ipv4.Proto.mhrp
+
+let header_of pkt =
+  if not (is_tunneled pkt) then None
+  else
+    match Mhrp_header.decode pkt.Ipv4.Packet.payload with
+    | header, _ -> Some header
+    | exception Invalid_argument _ -> None
+
+let detunnel (pkt : Ipv4.Packet.t) =
+  if not (is_tunneled pkt) then None
+  else
+    match Mhrp_header.decode pkt.Ipv4.Packet.payload with
+    | exception Invalid_argument _ -> None
+    | header, transport ->
+      let src =
+        match Mhrp_header.original_sender header with
+        | Some s -> s
+        | None -> pkt.Ipv4.Packet.src (* sender-built header *)
+      in
+      let original =
+        { pkt with
+          Ipv4.Packet.proto = header.Mhrp_header.orig_proto;
+          src;
+          dst = header.Mhrp_header.mobile;
+          payload = transport }
+      in
+      Some (original, header)
+
+type retunnel_result =
+  | Retunneled of Ipv4.Packet.t
+  | Retunneled_overflow of {
+      packet : Ipv4.Packet.t;
+      notify : Ipv4.Addr.t list;
+    }
+  | Loop_detected of { members : Ipv4.Addr.t list }
+
+let retunnel ~max_prev_sources ~me ~new_dst (pkt : Ipv4.Packet.t) =
+  if not (is_tunneled pkt) then None
+  else
+    match Mhrp_header.decode pkt.Ipv4.Packet.payload with
+    | exception Invalid_argument _ -> None
+    | header, transport ->
+      let incoming = pkt.Ipv4.Packet.src in
+      (* Section 5.3: if our own address already appears among the tunnel
+         heads (or we are about to record ourselves twice), one pass
+         around a cache-agent loop has completed. *)
+      if Mhrp_header.mem_source header me || Ipv4.Addr.equal incoming me
+      then
+        Some
+          (Loop_detected
+             { members =
+                 header.Mhrp_header.prev_sources
+                 @ (if Mhrp_header.mem_source header incoming then []
+                    else [incoming]) })
+      else begin
+        let rebuild header' =
+          { pkt with
+            Ipv4.Packet.src = me;
+            dst = new_dst;
+            payload = Mhrp_header.encode header' transport }
+        in
+        match
+          Mhrp_header.append_source_max ~max:max_prev_sources header
+            incoming
+        with
+        | `Ok header' -> Some (Retunneled (rebuild header'))
+        | `Full ->
+          let notify = header.Mhrp_header.prev_sources in
+          let header' = Mhrp_header.truncate header incoming in
+          Some (Retunneled_overflow { packet = rebuild header'; notify })
+      end
+
+let added_bytes ~original ~tunneled =
+  Ipv4.Packet.total_length tunneled - Ipv4.Packet.total_length original

@@ -1,0 +1,56 @@
+(** The MHRP encapsulation transformations (Sections 4.1 and 4.4).
+
+    Unlike typical encapsulation protocols, MHRP does not wrap the packet
+    in a complete new IP header: it edits the necessary fields of the
+    existing header and inserts the small MHRP header between the IP header
+    and the transport header.  These are pure functions on {!Ipv4.Packet}
+    values; the agents drive them and perform the message sends they call
+    for. *)
+
+val tunnel_by_sender :
+  foreign_agent:Ipv4.Addr.t -> Ipv4.Packet.t -> Ipv4.Packet.t
+(** Section 4.1, built by the original sender (a cache agent with a hit):
+    protocol and destination move into the MHRP header, the source is kept,
+    the previous-source list is empty — 8 bytes of overhead. *)
+
+val tunnel_by_agent :
+  agent:Ipv4.Addr.t -> foreign_agent:Ipv4.Addr.t -> Ipv4.Packet.t ->
+  Ipv4.Packet.t
+(** Section 4.1, built by the home agent or an intermediate cache agent:
+    additionally the original source moves into the previous-source list
+    and the agent becomes the IP source — 12 bytes of overhead. *)
+
+val is_tunneled : Ipv4.Packet.t -> bool
+
+val header_of : Ipv4.Packet.t -> Mhrp_header.t option
+(** The MHRP header of a tunneled packet, if well-formed. *)
+
+val detunnel : Ipv4.Packet.t -> (Ipv4.Packet.t * Mhrp_header.t) option
+(** Section 4.4 at the correct foreign agent: strip the MHRP header and
+    reconstruct the original packet (source from the first list entry when
+    the header was agent-built).  [None] if the packet is not a
+    well-formed MHRP packet. *)
+
+type retunnel_result =
+  | Retunneled of Ipv4.Packet.t
+  | Retunneled_overflow of {
+      packet : Ipv4.Packet.t;
+      notify : Ipv4.Addr.t list;
+      (** The truncated-away list entries: Section 4.4 requires a location
+          update to each before the list is reset. *)
+    }
+  | Loop_detected of { members : Ipv4.Addr.t list }
+      (** This node's address was already in the list (Section 5.3): the
+          addresses that form the loop, each owed a cache-delete update. *)
+
+val retunnel :
+  max_prev_sources:int -> me:Ipv4.Addr.t -> new_dst:Ipv4.Addr.t ->
+  Ipv4.Packet.t -> retunnel_result option
+(** Section 4.4 at a stale foreign agent (or the home agent forwarding a
+    bounced packet): append the incoming tunnel head to the list (with the
+    overflow fan-out when full), make this agent the IP source and
+    [new_dst] — the next foreign agent or the mobile host's home address —
+    the IP destination.  [None] if the packet is not MHRP. *)
+
+val added_bytes : original:Ipv4.Packet.t -> tunneled:Ipv4.Packet.t -> int
+(** Wire-size difference — the overhead the paper quotes as 8/12 bytes. *)

@@ -1,0 +1,36 @@
+type t = {
+  db : (Ipv4.Addr.t, Ipv4.Addr.t) Hashtbl.t;
+  persistent : bool;
+}
+
+let create ?(persistent = true) () =
+  { db = Hashtbl.create 16; persistent }
+
+let add_mobile t mobile = Hashtbl.replace t.db mobile Ipv4.Addr.zero
+let serves t mobile = Hashtbl.mem t.db mobile
+
+let register t ~mobile ~foreign_agent =
+  if not (serves t mobile) then
+    invalid_arg "Home_agent.register: not my mobile host";
+  Hashtbl.replace t.db mobile foreign_agent
+
+let location t mobile = Hashtbl.find_opt t.db mobile
+
+let is_away t mobile =
+  match location t mobile with
+  | Some fa -> not (Ipv4.Addr.is_zero fa)
+  | None -> false
+
+let away_mobiles t =
+  Hashtbl.fold
+    (fun mobile fa acc ->
+       if Ipv4.Addr.is_zero fa then acc else mobile :: acc)
+    t.db []
+  |> List.sort Ipv4.Addr.compare
+
+let mobiles t =
+  Hashtbl.fold (fun mobile _ acc -> mobile :: acc) t.db []
+  |> List.sort Ipv4.Addr.compare
+
+let reboot t = if not t.persistent then Hashtbl.reset t.db
+let state_bytes t = 8 * Hashtbl.length t.db

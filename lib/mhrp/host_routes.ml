@@ -1,0 +1,33 @@
+module Node = Net.Node
+module Route = Net.Route
+
+let advertise ~domain ~mobile ~towards =
+  List.iter
+    (fun node ->
+       if Node.has_address node towards then
+         (* the origin delivers locally through its own mechanisms *)
+         ()
+       else
+         match Route.lookup (Node.routes node) towards with
+         | Some target ->
+           Node.update_routes node (fun r ->
+               Route.add_host r mobile target)
+         | None -> ())
+    domain
+
+let withdraw ~domain ~mobile =
+  List.iter
+    (fun node ->
+       Node.update_routes node (fun r -> Route.remove_host r mobile))
+    domain
+
+let advertised ~domain ~mobile =
+  List.length
+    (List.filter
+       (fun node ->
+          List.exists
+            (fun e ->
+               Ipv4.Addr.Prefix.equal e.Route.prefix
+                 (Ipv4.Addr.Prefix.make mobile 32))
+            (Route.entries (Node.routes node)))
+       domain)

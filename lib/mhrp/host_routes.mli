@@ -1,0 +1,29 @@
+(** Host-specific route operation (Section 3).
+
+    "It may also be possible to support an entire routing domain with one
+    (or more) home agents or foreign agents by selectively using
+    host-specific IP routes": while a mobile host is away, its home agent
+    advertises a host route for it {e within the home routing domain}, so
+    packets anywhere in the domain reach the home agent without an agent
+    on every network; a visiting mobile host's route is likewise
+    advertised within the visited domain.  Such routes "would not be
+    propagated outside that routing domain".
+
+    We model the intra-domain routing protocol's effect directly: every
+    router in the domain copies its existing next hop toward the
+    advertisement's origin as a host-specific route for the mobile host. *)
+
+val advertise :
+  domain:Net.Node.t list -> mobile:Ipv4.Addr.t -> towards:Ipv4.Addr.t ->
+  unit
+(** Install, on every domain router that can already reach [towards], a
+    host route for [mobile] with the same next hop it uses for
+    [towards].  Nodes with no route toward the origin are skipped. *)
+
+val withdraw : domain:Net.Node.t list -> mobile:Ipv4.Addr.t -> unit
+(** Remove the host routes ("advertised only while the mobile host was
+    disconnected from its home network"). *)
+
+val advertised : domain:Net.Node.t list -> mobile:Ipv4.Addr.t -> int
+(** Number of domain routers currently holding a host route for the
+    mobile host. *)

@@ -1,0 +1,83 @@
+type entry = {
+  foreign_agent : Ipv4.Addr.t;
+  mutable used : int;
+}
+
+type t = {
+  capacity : int;
+  tbl : (Ipv4.Addr.t, entry) Hashtbl.t;
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Location_cache.create: capacity";
+  { capacity; tbl = Hashtbl.create capacity; tick = 0; hits = 0;
+    misses = 0; evictions = 0 }
+
+let capacity t = t.capacity
+let size t = Hashtbl.length t.tbl
+
+let touch t e =
+  t.tick <- t.tick + 1;
+  e.used <- t.tick
+
+let find t mobile =
+  match Hashtbl.find_opt t.tbl mobile with
+  | Some e ->
+    touch t e;
+    t.hits <- t.hits + 1;
+    Some e.foreign_agent
+  | None ->
+    t.misses <- t.misses + 1;
+    None
+
+let peek t mobile =
+  Option.map (fun e -> e.foreign_agent) (Hashtbl.find_opt t.tbl mobile)
+
+let evict_lru t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun mobile e ->
+       match !victim with
+       | None -> victim := Some (mobile, e.used)
+       | Some (_, used) -> if e.used < used then victim := Some (mobile, e.used))
+    t.tbl;
+  match !victim with
+  | None -> ()
+  | Some (mobile, _) ->
+    Hashtbl.remove t.tbl mobile;
+    t.evictions <- t.evictions + 1
+
+let insert t ~mobile ~foreign_agent =
+  if Ipv4.Addr.is_zero foreign_agent then
+    invalid_arg "Location_cache.insert: zero foreign agent (use delete)";
+  match Hashtbl.find_opt t.tbl mobile with
+  | Some _ ->
+    Hashtbl.remove t.tbl mobile;
+    t.tick <- t.tick + 1;
+    Hashtbl.replace t.tbl mobile { foreign_agent; used = t.tick }
+  | None ->
+    if Hashtbl.length t.tbl >= t.capacity then evict_lru t;
+    t.tick <- t.tick + 1;
+    Hashtbl.replace t.tbl mobile { foreign_agent; used = t.tick }
+
+let delete t mobile = Hashtbl.remove t.tbl mobile
+
+let update t ~mobile ~foreign_agent =
+  if Ipv4.Addr.is_zero foreign_agent then delete t mobile
+  else insert t ~mobile ~foreign_agent
+
+let clear t = Hashtbl.reset t.tbl
+
+let entries t =
+  Hashtbl.fold (fun mobile e acc -> (mobile, e) :: acc) t.tbl []
+  |> List.sort (fun (_, a) (_, b) -> Int.compare b.used a.used)
+  |> List.map (fun (mobile, e) -> (mobile, e.foreign_agent))
+
+let hits t = t.hits
+let misses t = t.misses
+let evictions t = t.evictions
+let state_bytes t = 16 * Hashtbl.length t.tbl

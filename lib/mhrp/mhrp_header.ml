@@ -1,0 +1,96 @@
+type t = {
+  orig_proto : Ipv4.Proto.t;
+  mobile : Ipv4.Addr.t;
+  prev_sources : Ipv4.Addr.t list;
+}
+
+let fixed_length = 8
+let length t = fixed_length + (4 * List.length t.prev_sources)
+
+let make ?(prev_sources = []) ~orig_proto ~mobile () =
+  { orig_proto; mobile; prev_sources }
+
+let append_source_max ~max t addr =
+  if List.length t.prev_sources >= max then `Full
+  else `Ok { t with prev_sources = t.prev_sources @ [addr] }
+
+let append_source t addr = append_source_max ~max:max_int t addr
+
+let truncate t addr = { t with prev_sources = [addr] }
+
+let mem_source t addr = List.exists (Ipv4.Addr.equal addr) t.prev_sources
+
+let original_sender t =
+  match t.prev_sources with [] -> None | a :: _ -> Some a
+
+let drop_last_source t =
+  match List.rev t.prev_sources with
+  | [] -> None
+  | last :: rest ->
+    Some ({ t with prev_sources = List.rev rest }, last)
+
+let put_u8 buf i v = Bytes.set buf i (Char.chr (v land 0xFF))
+
+let put_addr buf i a =
+  let v = Ipv4.Addr.to_int a in
+  put_u8 buf i (v lsr 24);
+  put_u8 buf (i + 1) (v lsr 16);
+  put_u8 buf (i + 2) (v lsr 8);
+  put_u8 buf (i + 3) v
+
+let get_u8 buf i = Char.code (Bytes.get buf i)
+
+let get_addr buf i =
+  Ipv4.Addr.of_int
+    ((get_u8 buf i lsl 24) lor (get_u8 buf (i + 1) lsl 16)
+     lor (get_u8 buf (i + 2) lsl 8) lor get_u8 buf (i + 3))
+
+let encode t transport =
+  let count = List.length t.prev_sources in
+  if count > 255 then invalid_arg "Mhrp_header.encode: list too long";
+  let hlen = length t in
+  let buf = Bytes.make (hlen + Bytes.length transport) '\000' in
+  put_u8 buf 0 count;
+  put_u8 buf 1 t.orig_proto;
+  (* checksum at 2..3 *)
+  put_addr buf 4 t.mobile;
+  List.iteri (fun i a -> put_addr buf (8 + (4 * i)) a) t.prev_sources;
+  Ipv4.Checksum.set buf ~at:2 ~off:0 ~len:hlen;
+  Bytes.blit transport 0 buf hlen (Bytes.length transport);
+  buf
+
+let parse buf =
+  if Bytes.length buf < fixed_length then None
+  else begin
+    let count = get_u8 buf 0 in
+    let hlen = fixed_length + (4 * count) in
+    if Bytes.length buf < hlen then None
+    else if not (Ipv4.Checksum.valid ~off:0 ~len:hlen buf) then None
+    else begin
+      let prev_sources =
+        List.init count (fun i -> get_addr buf (8 + (4 * i)))
+      in
+      Some
+        ({ orig_proto = get_u8 buf 1; mobile = get_addr buf 4;
+           prev_sources },
+         hlen)
+    end
+  end
+
+let decode buf =
+  match parse buf with
+  | None -> invalid_arg "Mhrp_header.decode: truncated or corrupt"
+  | Some (t, hlen) -> (t, Bytes.sub buf hlen (Bytes.length buf - hlen))
+
+let decode_prefix = parse
+
+let equal a b =
+  a.orig_proto = b.orig_proto
+  && Ipv4.Addr.equal a.mobile b.mobile
+  && List.length a.prev_sources = List.length b.prev_sources
+  && List.for_all2 Ipv4.Addr.equal a.prev_sources b.prev_sources
+
+let pp ppf t =
+  Format.fprintf ppf "mhrp{proto=%a mobile=%a prev=[%s]}" Ipv4.Proto.pp
+    t.orig_proto Ipv4.Addr.pp t.mobile
+    (String.concat ";" (List.map Ipv4.Addr.to_string t.prev_sources))

@@ -1,0 +1,46 @@
+type t = {
+  capacity : int;
+  min_interval : Netsim.Time.t;
+  tbl : (Ipv4.Addr.t, Netsim.Time.t) Hashtbl.t;
+  mutable n_allowed : int;
+  mutable n_suppressed : int;
+}
+
+let create ~capacity ~min_interval =
+  if capacity <= 0 then invalid_arg "Rate_limiter.create: capacity";
+  { capacity; min_interval; tbl = Hashtbl.create capacity; n_allowed = 0;
+    n_suppressed = 0 }
+
+let evict_oldest t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun addr at ->
+       match !victim with
+       | None -> victim := Some (addr, at)
+       | Some (_, best) ->
+         if Netsim.Time.compare at best < 0 then victim := Some (addr, at))
+    t.tbl;
+  match !victim with
+  | None -> ()
+  | Some (addr, _) -> Hashtbl.remove t.tbl addr
+
+let allow t ~now addr =
+  let ok =
+    match Hashtbl.find_opt t.tbl addr with
+    | None -> true
+    | Some last ->
+      Netsim.Time.(diff now last >= t.min_interval)
+  in
+  if ok then begin
+    if (not (Hashtbl.mem t.tbl addr))
+       && Hashtbl.length t.tbl >= t.capacity
+    then evict_oldest t;
+    Hashtbl.replace t.tbl addr now;
+    t.n_allowed <- t.n_allowed + 1
+  end
+  else t.n_suppressed <- t.n_suppressed + 1;
+  ok
+
+let suppressed t = t.n_suppressed
+let allowed t = t.n_allowed
+let size t = Hashtbl.length t.tbl

@@ -1,0 +1,22 @@
+(** Per-destination rate limiting of location update messages.
+
+    Section 4.3: because not all hosts implement MHRP, a sender of
+    location updates "must provide some mechanism for limiting the rate at
+    which it sends these messages to any single IP address", suggesting a
+    bounded list of (address, last-sent time) with LRU replacement —
+    exactly what this is. *)
+
+type t
+
+val create : capacity:int -> min_interval:Netsim.Time.t -> t
+
+val allow : t -> now:Netsim.Time.t -> Ipv4.Addr.t -> bool
+(** True (recording the send) if at least [min_interval] has passed since
+    the last allowed send to this address — or if the address aged out of
+    the LRU list, which deliberately errs on the side of sending. *)
+
+val suppressed : t -> int
+(** Sends refused so far. *)
+
+val allowed : t -> int
+val size : t -> int

@@ -1,0 +1,57 @@
+type t = {
+  agents : Agent.t list;
+  mutable syncs : int;
+}
+
+let group agents =
+  (match agents with
+   | [] -> invalid_arg "Replication.group: empty group"
+   | _ -> ());
+  List.iter
+    (fun a ->
+       if Agent.home_agent a = None then
+         invalid_arg "Replication.group: member is not a home agent")
+    agents;
+  let t = { agents; syncs = 0 } in
+  List.iter
+    (fun a ->
+       Agent.on_registration a (fun ~mobile ~foreign_agent ->
+           List.iter
+             (fun peer ->
+                if peer != a then begin
+                  t.syncs <- t.syncs + 1;
+                  (* mirror over the wire: replicas may sit anywhere on
+                     the organisation's network *)
+                  let udp =
+                    Ipv4.Udp.make ~src_port:Control.port
+                      ~dst_port:Control.port
+                      (Control.encode
+                         (Control.Ha_sync { mobile; foreign_agent }))
+                  in
+                  Net.Node.send (Agent.node a)
+                    (Ipv4.Packet.make ~proto:Ipv4.Proto.udp
+                       ~src:(Agent.address a) ~dst:(Agent.address peer)
+                       (Ipv4.Udp.encode udp))
+                end)
+             t.agents))
+    agents;
+  t
+
+let members t = t.agents
+
+let add_mobile t mobile = List.iter (fun a -> Agent.add_mobile a mobile) t.agents
+
+let sync_messages t = t.syncs
+
+let consistent t mobile =
+  let locations =
+    List.filter_map
+      (fun a ->
+         match Agent.home_agent a with
+         | Some ha -> Home_agent.location ha mobile
+         | None -> None)
+    t.agents
+  in
+  match locations with
+  | [] -> false
+  | first :: rest -> List.for_all (Ipv4.Addr.equal first) rest

@@ -1,0 +1,33 @@
+(** Replicated home agents (Section 2).
+
+    "If that organization requires increased reliability of service for
+    its own mobile hosts, it can replicate the home agent function on
+    several support hosts on its own network, although these hosts must
+    cooperate to provide a consistent view of the database."
+
+    A group ties several home-agent {!Agent}s together: every registration
+    accepted by one member is mirrored to the others with an [Ha_sync]
+    control message, so each holds the full database and intercepts
+    independently.  With several group members on the home LAN, whichever
+    is up captures the mobile host's traffic: ARP resolution for a
+    departed host is answered by every live member's proxy ARP, and the
+    gratuitous-ARP capture is re-asserted by the member that processes the
+    registration. *)
+
+type t
+
+val group : Agent.t list -> t
+(** Wire the agents into one replica group.  Each must already have the
+    home-agent role.  Raises [Invalid_argument] on an empty list or a
+    member without the role. *)
+
+val members : t -> Agent.t list
+
+val add_mobile : t -> Ipv4.Addr.t -> unit
+(** Serve a mobile host on every member. *)
+
+val sync_messages : t -> int
+(** Synchronisation messages sent so far. *)
+
+val consistent : t -> Ipv4.Addr.t -> bool
+(** All members agree on the mobile host's current location. *)

@@ -1,0 +1,31 @@
+type op = Request | Reply
+
+type t = {
+  op : op;
+  sender_mac : Mac.t;
+  sender_ip : Ipv4.Addr.t;
+  target_mac : Mac.t option;
+  target_ip : Ipv4.Addr.t;
+}
+
+let request ~sender_mac ~sender_ip ~target_ip =
+  { op = Request; sender_mac; sender_ip; target_mac = None; target_ip }
+
+let reply ~sender_mac ~sender_ip ~target_mac ~target_ip =
+  { op = Reply; sender_mac; sender_ip; target_mac = Some target_mac;
+    target_ip }
+
+let gratuitous ~mac ~ip =
+  { op = Reply; sender_mac = mac; sender_ip = ip; target_mac = None;
+    target_ip = ip }
+
+let wire_length = 28
+
+let pp ppf t =
+  match t.op with
+  | Request ->
+    Format.fprintf ppf "arp who-has %a tell %a" Ipv4.Addr.pp t.target_ip
+      Ipv4.Addr.pp t.sender_ip
+  | Reply ->
+    Format.fprintf ppf "arp %a is-at %a" Ipv4.Addr.pp t.sender_ip Mac.pp
+      t.sender_mac

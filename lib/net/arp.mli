@@ -1,0 +1,30 @@
+(** The Address Resolution Protocol (RFC 826) at the level the paper uses
+    it: request/reply plus the two MHRP manoeuvres of Section 2 —
+    a home agent broadcasting a "gratuitous" reply to capture a departed
+    mobile host's traffic, and the returning host broadcasting its own to
+    reclaim it. *)
+
+type op = Request | Reply
+
+type t = {
+  op : op;
+  sender_mac : Mac.t;
+  sender_ip : Ipv4.Addr.t;
+  target_mac : Mac.t option;  (** [None] in requests. *)
+  target_ip : Ipv4.Addr.t;
+}
+
+val request : sender_mac:Mac.t -> sender_ip:Ipv4.Addr.t ->
+  target_ip:Ipv4.Addr.t -> t
+
+val reply : sender_mac:Mac.t -> sender_ip:Ipv4.Addr.t ->
+  target_mac:Mac.t -> target_ip:Ipv4.Addr.t -> t
+
+val gratuitous : mac:Mac.t -> ip:Ipv4.Addr.t -> t
+(** A broadcast reply that binds [ip -> mac] in every listener's cache —
+    sender and target IP both [ip], per the convention. *)
+
+val wire_length : int
+(** 28 bytes: the Ethernet ARP packet size, for byte accounting. *)
+
+val pp : Format.formatter -> t -> unit

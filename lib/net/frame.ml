@@ -1,0 +1,30 @@
+type content =
+  | Ip of bytes
+  | Arp of Arp.t
+
+type t = {
+  src : Mac.t;
+  dst : Mac.t;
+  content : content;
+}
+
+let ip ~src ~dst bytes = { src; dst; content = Ip bytes }
+let arp ~src ~dst a = { src; dst; content = Arp a }
+
+let ethernet_overhead = 18
+
+let wire_length t =
+  let payload =
+    match t.content with
+    | Ip b -> Bytes.length b
+    | Arp _ -> Arp.wire_length
+  in
+  payload + ethernet_overhead
+
+let pp ppf t =
+  match t.content with
+  | Ip b ->
+    Format.fprintf ppf "%a -> %a ip(%d bytes)" Mac.pp t.src Mac.pp t.dst
+      (Bytes.length b)
+  | Arp a -> Format.fprintf ppf "%a -> %a %a" Mac.pp t.src Mac.pp t.dst
+               Arp.pp a

@@ -1,0 +1,84 @@
+type station = Frame.t -> unit
+
+type t = {
+  engine : Netsim.Engine.t;
+  name : string;
+  prefix : Ipv4.Addr.Prefix.t;
+  latency : Netsim.Time.t;
+  bandwidth_bps : int;
+  loss : float;
+  mtu : int;
+  rng : Netsim.Rng.t option;
+  stations : (Mac.t, station) Hashtbl.t;
+  mutable up : bool;
+  mutable frames : int;
+  mutable bytes : int;
+}
+
+let create ~engine ~name ?(latency = Netsim.Time.of_us 500)
+    ?(bandwidth_bps = 10_000_000) ?(loss = 0.0) ?(mtu = 1500) ?rng prefix =
+  if loss < 0.0 || loss >= 1.0 then invalid_arg "Lan.create: loss";
+  if loss > 0.0 && rng = None then
+    invalid_arg "Lan.create: loss > 0 requires rng";
+  if bandwidth_bps <= 0 then invalid_arg "Lan.create: bandwidth";
+  if mtu < 68 then invalid_arg "Lan.create: mtu below the IP minimum";
+  { engine; name; prefix; latency; bandwidth_bps; loss; mtu; rng;
+    stations = Hashtbl.create 8; up = true; frames = 0; bytes = 0 }
+
+let name t = t.name
+let prefix t = t.prefix
+let mtu t = t.mtu
+
+let attach t mac station =
+  if Hashtbl.mem t.stations mac then
+    invalid_arg
+      (Printf.sprintf "Lan.attach: %s already on %s" (Mac.to_string mac)
+         t.name);
+  Hashtbl.replace t.stations mac station
+
+let detach t mac = Hashtbl.remove t.stations mac
+let attached t mac = Hashtbl.mem t.stations mac
+
+let stations t =
+  Hashtbl.fold (fun mac _ acc -> mac :: acc) t.stations []
+  |> List.sort Mac.compare
+
+let tx_delay t frame =
+  let bits = Frame.wire_length frame * 8 in
+  Netsim.Time.of_us (bits * 1_000_000 / t.bandwidth_bps)
+
+let lost t =
+  t.loss > 0.0
+  && (match t.rng with
+      | Some rng -> Netsim.Rng.float rng 1.0 < t.loss
+      | None -> false)
+
+let send t frame =
+  if t.up && not (lost t) then begin
+    t.frames <- t.frames + 1;
+    t.bytes <- t.bytes + Frame.wire_length frame;
+    let delay = Netsim.Time.add t.latency (tx_delay t frame) in
+    let deliver () =
+      if t.up then
+        if Mac.is_broadcast frame.Frame.dst then
+          (* Deliver in deterministic (MAC-sorted) order, skipping the
+             sender, matching how tests expect broadcast fan-out. *)
+          List.iter
+            (fun mac ->
+               if not (Mac.equal mac frame.Frame.src) then
+                 match Hashtbl.find_opt t.stations mac with
+                 | Some station -> station frame
+                 | None -> ())
+            (stations t)
+        else
+          match Hashtbl.find_opt t.stations frame.Frame.dst with
+          | Some station -> station frame
+          | None -> ()
+    in
+    ignore (Netsim.Engine.schedule_after t.engine ~delay deliver)
+  end
+
+let set_up t v = t.up <- v
+let is_up t = t.up
+let frames_sent t = t.frames
+let bytes_sent t = t.bytes

@@ -1,0 +1,44 @@
+(** A broadcast network segment — one of the paper's "networks".
+
+    Each LAN owns an IP prefix (one of the "network numbers" of Section 1)
+    and a set of attached stations keyed by MAC address.  Frames are
+    delivered after a latency plus serialization delay; a destination MAC of
+    {!Mac.broadcast} reaches every station except the sender.  Wireless
+    cells (like network D of Figure 1) are LANs whose stations come and go
+    as mobile hosts move. *)
+
+type t
+
+type station = Frame.t -> unit
+(** Called when a frame addressed to (or broadcast past) this station
+    arrives. *)
+
+val create :
+  engine:Netsim.Engine.t -> name:string -> ?latency:Netsim.Time.t ->
+  ?bandwidth_bps:int -> ?loss:float -> ?mtu:int -> ?rng:Netsim.Rng.t ->
+  Ipv4.Addr.Prefix.t -> t
+(** Defaults: 500µs latency, 10 Mb/s, no loss, 1500-byte MTU.  [rng] is
+    required when [loss > 0]. *)
+
+val mtu : t -> int
+
+val name : t -> string
+val prefix : t -> Ipv4.Addr.Prefix.t
+
+val attach : t -> Mac.t -> station -> unit
+(** Raises [Invalid_argument] if the MAC is already attached. *)
+
+val detach : t -> Mac.t -> unit
+val attached : t -> Mac.t -> bool
+val stations : t -> Mac.t list
+
+val send : t -> Frame.t -> unit
+(** Queue the frame for delivery.  Silently dropped when the LAN is down,
+    the destination is absent (like real Ethernet), or the loss draw
+    fires. *)
+
+val set_up : t -> bool -> unit
+val is_up : t -> bool
+
+val frames_sent : t -> int
+val bytes_sent : t -> int

@@ -1,0 +1,173 @@
+(** A host or router.
+
+    A node owns interfaces onto {!Lan}s, an ARP cache, a routing table, and
+    a protocol stack.  The stack is pluggable through three hook points that
+    are exactly the extension points the paper's agents need:
+
+    - {b protocol handlers} — per-IP-protocol local delivery (MHRP
+      decapsulation, ICMP location updates, baseline tunnels);
+    - {b accept_ip} — claim packets whose destination is not one of this
+      node's addresses (a home agent capturing a departed mobile host's
+      traffic off its home LAN, Section 2; a foreign agent recognising a
+      visiting host's address);
+    - {b rewrite_forward} — observe or transform packets being forwarded (a
+      cache agent tunneling packets for cached mobile hosts and snooping
+      location updates, Sections 4.3 and 6.2).
+
+    Plain IP behaviour — longest-prefix forwarding, TTL decrement with ICMP
+    time-exceeded, ICMP destination-unreachable on routing or ARP failure,
+    echo replies, RFC 791 loose-source-route processing — lives here, so
+    every protocol under test runs over the same substrate. *)
+
+type t
+
+type forward_action =
+  | Forward  (** Normal IP forwarding. *)
+  | Replace of Ipv4.Packet.t  (** Forward this transformed packet instead. *)
+  | Consume  (** The stack disposed of the packet itself. *)
+  | Drop of string
+
+(** How much of an offending packet ICMP errors quote — Section 4.5 hinges
+    on the difference. *)
+type icmp_quote = Quote_min  (** IP header + 8 bytes (RFC 792). *)
+                | Quote_full  (** The entire packet (RFC 1122 allows). *)
+
+val create :
+  engine:Netsim.Engine.t -> mac_alloc:Mac.Alloc.t ->
+  ?trace:Netsim.Trace.t -> ?router:bool -> ?proc_delay:Netsim.Time.t ->
+  ?option_slow_factor:int -> ?icmp_quote:icmp_quote ->
+  ?arp_timeout:Netsim.Time.t -> ?arp_entry_ttl:Netsim.Time.t ->
+  string -> t
+(** [create ~engine ~mac_alloc name].  [router] (default false) enables
+    forwarding.  [proc_delay] is the per-packet processing cost (default
+    50µs for routers, 20µs for hosts); packets carrying IP options cost
+    [option_slow_factor] times that (default 8) — the router "slow path" of
+    Section 7.  [arp_timeout] spaces ARP retries (default 500ms);
+    [arp_entry_ttl] ages resolved entries out of the cache (default 60s,
+    as contemporary BSD stacks did), after which a fresh ARP exchange is
+    required — without aging, a departed host's stale binding would
+    swallow frames silently forever. *)
+
+val name : t -> string
+val engine : t -> Netsim.Engine.t
+val is_router : t -> bool
+val trace : t -> Netsim.Trace.t option
+
+(** {1 Interfaces and addresses} *)
+
+val attach : t -> ?addr:Ipv4.Addr.t -> Lan.t -> int
+(** Attach to a LAN, returning the interface index.  [addr] is the
+    interface address; a visiting mobile host attaches without one. *)
+
+val detach : t -> int -> unit
+(** Leave the LAN; the interface index is retired. *)
+
+val ifaces : t -> (int * Lan.t * Ipv4.Addr.t option) list
+val iface_lan : t -> int -> Lan.t
+val iface_mac : t -> int -> Mac.t
+val iface_addr : t -> int -> Ipv4.Addr.t option
+val iface_to : t -> Ipv4.Addr.Prefix.t -> int option
+(** Interface attached to the LAN with this prefix, if any. *)
+
+val addresses : t -> Ipv4.Addr.t list
+(** All addresses this node answers to (interface addresses plus extras). *)
+
+val add_address : t -> Ipv4.Addr.t -> unit
+(** Claim an extra address — a mobile host keeps answering to its home
+    address wherever it is attached. *)
+
+val remove_address : t -> Ipv4.Addr.t -> unit
+val has_address : t -> Ipv4.Addr.t -> bool
+
+val primary_addr : t -> Ipv4.Addr.t
+(** The node's canonical address (first configured).  Raises [Failure] if
+    the node has none. *)
+
+(** {1 Routing} *)
+
+val routes : t -> Route.t
+val set_routes : t -> Route.t -> unit
+val update_routes : t -> (Route.t -> Route.t) -> unit
+
+(** {1 Stack hooks} *)
+
+val set_proto_handler : t -> Ipv4.Proto.t -> (t -> Ipv4.Packet.t -> unit) -> unit
+val clear_proto_handler : t -> Ipv4.Proto.t -> unit
+val set_accept_ip : t -> (t -> Ipv4.Packet.t -> bool) -> unit
+val set_rewrite_forward : t -> (t -> Ipv4.Packet.t -> forward_action) -> unit
+val set_arp_proxy : t -> (Ipv4.Addr.t -> bool) -> unit
+(** Answer ARP requests for these addresses with this node's MAC —
+    the home agent's proxy ARP (Section 2). *)
+
+val on_reboot : t -> (t -> unit) -> unit
+(** Called after a reboot so stacks can drop volatile state (a foreign
+    agent forgetting its visitor list, Section 5.2). *)
+
+val on_deliver : t -> (t -> Ipv4.Packet.t -> unit) -> unit
+(** Metrics tap: every packet locally consumed. *)
+
+val on_forward : t -> (t -> Ipv4.Packet.t -> unit) -> unit
+(** Metrics tap: every packet this node forwards (including rewritten and
+    source-routed ones). *)
+
+val on_transmit : t -> (t -> Ipv4.Packet.t -> unit) -> unit
+(** Metrics tap: every unicast IP frame this node puts on a LAN —
+    originations, forwards, tunnel re-injections and last-hop deliveries
+    alike.  Experiments count per-packet LAN traversals with it. *)
+
+val on_drop : t -> (t -> string -> Ipv4.Packet.t -> unit) -> unit
+
+(** {1 Sending} *)
+
+val send : t -> Ipv4.Packet.t -> unit
+(** Route and transmit a locally-originated packet. *)
+
+val forward_now : t -> Ipv4.Packet.t -> unit
+(** Route and transmit without TTL decrement or rewrite hooks: used by
+    stacks re-injecting a packet they have transformed (tunneling). *)
+
+val send_ip_to_mac : t -> iface:int -> dst_mac:Mac.t -> Ipv4.Packet.t -> unit
+(** Transmit directly to a known MAC, bypassing routing and ARP — a foreign
+    agent delivering over the last hop to a visiting mobile host whose
+    link address it learned at registration (Section 2). *)
+
+val broadcast_ip : t -> iface:int -> Ipv4.Packet.t -> unit
+(** Link-level broadcast of an IP packet (agent advertisements). *)
+
+val inject_local : t -> Ipv4.Packet.t -> unit
+(** Deliver a packet to this node's own stack as if it had arrived — a
+    mobile host acting as its own foreign agent hands itself the
+    reconstructed inner packet this way. *)
+
+val gratuitous_arp : t -> iface:int -> Ipv4.Addr.t -> unit
+(** Broadcast an ARP reply binding the given IP to this node's MAC on that
+    LAN (Section 2's capture/reclaim manoeuvre). *)
+
+val arp_cache_lookup : t -> Ipv4.Addr.t -> Mac.t option
+val arp_cache_size : t -> int
+
+val arp_probe : t -> iface:int -> Ipv4.Addr.t -> unit
+(** Broadcast an ARP request without queueing a packet behind it.  A
+    rebooted foreign agent verifies a visiting host's presence this way
+    (Section 5.2); check {!arp_cache_lookup} after a round-trip. *)
+
+(** {1 Failure injection} *)
+
+val is_up : t -> bool
+val set_up : t -> bool -> unit
+(** Going down silently discards traffic; state is retained. *)
+
+val reboot : t -> unit
+(** Clear ARP cache and pending queues, run [on_reboot] hooks. *)
+
+val crash_for : t -> Netsim.Time.t -> unit
+(** Down now, back up (with [reboot]) after the given delay. *)
+
+(** {1 Counters} *)
+
+val packets_forwarded : t -> int
+val packets_delivered : t -> int
+val packets_originated : t -> int
+val packets_dropped : t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,59 @@
+type target =
+  | Direct of int
+  | Via of Ipv4.Addr.t
+
+type entry = {
+  prefix : Ipv4.Addr.Prefix.t;
+  target : target;
+}
+
+(* Entries sorted by descending prefix length, so lookup is the first
+   match.  Tables are small (tens of entries); a list keeps this simple
+   and persistent (cheap snapshots when moving hosts). *)
+type t = entry list
+
+let empty = []
+
+let add t prefix target =
+  let rest =
+    List.filter (fun e -> not (Ipv4.Addr.Prefix.equal e.prefix prefix)) t
+  in
+  let entry = { prefix; target } in
+  let longer e = e.prefix.Ipv4.Addr.Prefix.len >= prefix.Ipv4.Addr.Prefix.len in
+  let before, after = List.partition longer rest in
+  before @ (entry :: after)
+
+let remove t prefix =
+  List.filter (fun e -> not (Ipv4.Addr.Prefix.equal e.prefix prefix)) t
+
+let add_host t addr target =
+  add t (Ipv4.Addr.Prefix.make addr 32) target
+
+let remove_host t addr = remove t (Ipv4.Addr.Prefix.make addr 32)
+
+let add_default t target =
+  add t (Ipv4.Addr.Prefix.make Ipv4.Addr.zero 0) target
+
+let lookup t addr =
+  let rec go = function
+    | [] -> None
+    | e :: rest ->
+      if Ipv4.Addr.Prefix.mem addr e.prefix then Some e.target else go rest
+  in
+  go t
+
+let entries t = t
+let size t = List.length t
+
+let pp_target ppf = function
+  | Direct i -> Format.fprintf ppf "direct(if%d)" i
+  | Via a -> Format.fprintf ppf "via %a" Ipv4.Addr.pp a
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun e ->
+       Format.fprintf ppf "%-18s %a@," (Ipv4.Addr.Prefix.to_string e.prefix)
+         pp_target e.target)
+    t;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,38 @@
+(** Per-node IP routing tables with longest-prefix match.
+
+    Host-specific (/32) routes are ordinary entries that happen to be
+    longest, which is exactly how the paper's optional "host-specific route"
+    mode (Section 3) integrates with standard routing. *)
+
+type target =
+  | Direct of int
+      (** Destination is on the LAN of the interface with this index. *)
+  | Via of Ipv4.Addr.t  (** Forward through this gateway address. *)
+
+type entry = {
+  prefix : Ipv4.Addr.Prefix.t;
+  target : target;
+}
+
+type t
+
+val empty : t
+val add : t -> Ipv4.Addr.Prefix.t -> target -> t
+(** Replaces any existing entry with the same prefix. *)
+
+val remove : t -> Ipv4.Addr.Prefix.t -> t
+val add_host : t -> Ipv4.Addr.t -> target -> t
+(** A /32 entry. *)
+
+val remove_host : t -> Ipv4.Addr.t -> t
+val add_default : t -> target -> t
+(** A /0 entry. *)
+
+val lookup : t -> Ipv4.Addr.t -> target option
+(** Longest-prefix match. *)
+
+val entries : t -> entry list
+(** Longest prefix first. *)
+
+val size : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,184 @@
+(* One BFS per node over the LAN-adjacency graph (all edges cost one LAN
+   traversal), expanding only through routers, which matches IP: hosts do
+   not forward.  Neighbour order is sorted by node name so the resulting
+   tables are deterministic. *)
+
+type graph = {
+  nodes : Node.t array;  (* sorted by name *)
+  index : (string, int) Hashtbl.t;
+  adj : (int * Lan.t) list array;  (* neighbour, connecting LAN *)
+}
+
+let build ~nodes ~lans =
+  let nodes =
+    List.sort (fun a b -> String.compare (Node.name a) (Node.name b)) nodes
+    |> Array.of_list
+  in
+  let index = Hashtbl.create 32 in
+  Array.iteri (fun i n -> Hashtbl.replace index (Node.name n) i) nodes;
+  let adj = Array.make (Array.length nodes) [] in
+  let attached_to lan =
+    let on_lan n =
+      List.exists (fun (_, l, _) -> l == lan) (Node.ifaces n)
+    in
+    Array.to_list nodes
+    |> List.filter on_lan
+    |> List.map (fun n -> Hashtbl.find index (Node.name n))
+  in
+  List.iter
+    (fun lan ->
+       if Lan.is_up lan then begin
+         let members = attached_to lan in
+         List.iter
+           (fun u ->
+              List.iter
+                (fun v -> if u <> v then adj.(u) <- (v, lan) :: adj.(u))
+                members)
+           members
+       end)
+    lans;
+  Array.iteri
+    (fun i l ->
+       adj.(i) <-
+         List.sort
+           (fun (a, la) (b, lb) ->
+              match Int.compare a b with
+              | 0 -> String.compare (Lan.name la) (Lan.name lb)
+              | c -> c)
+           l)
+    adj;
+  { nodes; index; adj }
+
+(* BFS from [s]; only routers (and [s] itself) are expanded. *)
+let bfs g s =
+  let n = Array.length g.nodes in
+  let dist = Array.make n max_int in
+  let prev = Array.make n (-1) in
+  let via_lan = Array.make n None in
+  dist.(s) <- 0;
+  let q = Queue.create () in
+  Queue.push s q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    if u = s || Node.is_router g.nodes.(u) then
+      List.iter
+        (fun (v, lan) ->
+           if dist.(v) = max_int then begin
+             dist.(v) <- dist.(u) + 1;
+             prev.(v) <- u;
+             via_lan.(v) <- Some lan;
+             Queue.push v q
+           end)
+        g.adj.(u)
+  done;
+  (dist, prev, via_lan)
+
+let first_hop prev s target =
+  let rec walk v = if prev.(v) = s then v else walk prev.(v) in
+  if prev.(target) = -1 then None
+  else if target = s then None
+  else Some (walk target)
+
+let addr_on node lan =
+  List.find_map
+    (fun (_, l, addr) -> if l == lan then addr else None)
+    (Node.ifaces node)
+
+let iface_on node lan =
+  List.find_map
+    (fun (i, l, _) -> if l == lan then Some i else None)
+    (Node.ifaces node)
+
+let compute ~nodes ~lans =
+  let g = build ~nodes ~lans in
+  let n = Array.length g.nodes in
+  let routers_on lan =
+    List.filter
+      (fun i ->
+         Node.is_router g.nodes.(i)
+         && List.exists (fun (_, l, _) -> l == lan) (Node.ifaces g.nodes.(i)))
+      (List.init n (fun i -> i))
+  in
+  Array.iteri
+    (fun s node ->
+       let dist, prev, via_lan = bfs g s in
+       let table = ref Route.empty in
+       List.iter
+         (fun lan ->
+            if Lan.is_up lan then begin
+              let prefix = Lan.prefix lan in
+              match iface_on node lan with
+              | Some i -> table := Route.add !table prefix (Route.Direct i)
+              | None ->
+                let candidates = routers_on lan in
+                let best =
+                  List.fold_left
+                    (fun acc r ->
+                       if dist.(r) = max_int then acc
+                       else
+                         match acc with
+                         | None -> Some r
+                         | Some b -> if dist.(r) < dist.(b) then Some r
+                           else acc)
+                    None candidates
+                in
+                match best with
+                | None -> () (* unreachable network *)
+                | Some egress ->
+                  let hop =
+                    match first_hop prev s egress with
+                    | Some h -> h
+                    | None -> egress (* egress is a direct neighbour *)
+                  in
+                  (* the LAN over which s reaches [hop] *)
+                  let connecting =
+                    if prev.(hop) = s then via_lan.(hop) else None
+                  in
+                  let connecting =
+                    match connecting with
+                    | Some l -> Some l
+                    | None ->
+                      (* hop is adjacent to s by construction *)
+                      List.find_map
+                        (fun (v, l) -> if v = hop then Some l else None)
+                        g.adj.(s)
+                  in
+                  match connecting with
+                  | None -> ()
+                  | Some l ->
+                    match addr_on g.nodes.(hop) l with
+                    | None -> () (* neighbour has no address there *)
+                    | Some gw ->
+                      table := Route.add !table prefix (Route.Via gw)
+            end)
+         lans;
+       Node.set_routes node !table)
+    g.nodes
+
+let path_length ~nodes ~src ~dst_lan =
+  let lans =
+    (* collect every LAN any node is attached to *)
+    List.concat_map (fun n -> List.map (fun (_, l, _) -> l) (Node.ifaces n))
+      nodes
+  in
+  let g = build ~nodes ~lans in
+  match Hashtbl.find_opt g.index (Node.name src) with
+  | None -> None
+  | Some s ->
+    if List.exists (fun (_, l, _) -> l == dst_lan) (Node.ifaces src) then
+      Some 1
+    else begin
+      let dist, _, _ = bfs g s in
+      let best = ref None in
+      Array.iteri
+        (fun i node ->
+           if Node.is_router node && dist.(i) < max_int
+              && List.exists (fun (_, l, _) -> l == dst_lan)
+                   (Node.ifaces node)
+           then
+             match !best with
+             | None -> best := Some dist.(i)
+             | Some b -> if dist.(i) < b then best := Some dist.(i))
+        g.nodes;
+      Option.map (fun d -> d + 1) !best
+    end

@@ -1,0 +1,22 @@
+(** Computation of the "standard internetwork routing" substrate.
+
+    The paper assumes ordinary IP routing delivers packets to a host's
+    network; MHRP rides on top.  We provide that substrate with a global
+    shortest-path computation (one Dijkstra per node over the LAN-adjacency
+    graph, transit through routers only), filling every node's routing
+    table with one entry per reachable network prefix.
+
+    Host-specific (/32) routes installed later by protocol code survive
+    only until the next [compute]; recompute before protocol setup. *)
+
+val compute : nodes:Node.t list -> lans:Lan.t list -> unit
+(** Replace every node's routing table.  Nodes attached to a LAN get a
+    [Direct] entry; others get [Via] the first-hop router toward the
+    nearest router attached to that LAN.  Unreachable prefixes get no
+    entry.  Deterministic: ties break on node name. *)
+
+val path_length : nodes:Node.t list -> src:Node.t -> dst_lan:Lan.t -> int option
+(** Number of LAN hops from [src] to the nearest router attached to
+    [dst_lan] (plus one for final LAN delivery when [src] is not attached),
+    computed on the same graph as [compute] — used by experiments to
+    report ideal path lengths. *)

@@ -1,0 +1,94 @@
+type t = {
+  engine : Netsim.Engine.t;
+  tr : Netsim.Trace.t;
+  mac_alloc : Mac.Alloc.t;
+  rng : Netsim.Rng.t;
+  icmp_quote : Node.icmp_quote;
+  mutable lan_list : Lan.t list;  (* in creation order *)
+  mutable node_list : Node.t list;
+  mutable node_added_hooks : (Node.t -> unit) list;
+}
+
+let create ?(seed = 42) ?(trace_capacity = 65536)
+    ?(icmp_quote = Node.Quote_full) () =
+  let engine = Netsim.Engine.create ~seed () in
+  { engine;
+    tr = Netsim.Trace.create ~capacity:trace_capacity ();
+    mac_alloc = Mac.Alloc.create ();
+    rng = Netsim.Rng.split (Netsim.Engine.rng engine);
+    icmp_quote;
+    lan_list = [];
+    node_list = [];
+    node_added_hooks = [] }
+
+let engine t = t.engine
+let trace t = t.tr
+let rng t = t.rng
+
+let add_lan t ?latency ?bandwidth_bps ?loss ?mtu ~net name =
+  if List.exists (fun l -> String.equal (Lan.name l) name) t.lan_list then
+    invalid_arg ("Topology.add_lan: duplicate name " ^ name);
+  let lan =
+    Lan.create ~engine:t.engine ~name ?latency ?bandwidth_bps ?loss ?mtu
+      ~rng:(Netsim.Rng.split t.rng) (Ipv4.Addr.net net)
+  in
+  t.lan_list <- t.lan_list @ [lan];
+  lan
+
+let add_node t ~router name =
+  if List.exists (fun n -> String.equal (Node.name n) name) t.node_list
+  then invalid_arg ("Topology: duplicate node name " ^ name);
+  let node =
+    Node.create ~engine:t.engine ~mac_alloc:t.mac_alloc ~trace:t.tr ~router
+      ~icmp_quote:t.icmp_quote name
+  in
+  t.node_list <- t.node_list @ [node];
+  List.iter (fun f -> f node) t.node_added_hooks;
+  node
+
+let add_router t name attachments =
+  let node = add_node t ~router:true name in
+  List.iter
+    (fun (lan, host_id) ->
+       let addr = Ipv4.Addr.Prefix.host (Lan.prefix lan) host_id in
+       ignore (Node.attach node ~addr lan))
+    attachments;
+  node
+
+let add_host t ?(router = false) name lan host_id =
+  let node = add_node t ~router name in
+  let addr = Ipv4.Addr.Prefix.host (Lan.prefix lan) host_id in
+  ignore (Node.attach node ~addr lan);
+  node
+
+let node t name =
+  List.find (fun n -> String.equal (Node.name n) name) t.node_list
+
+let on_node_added t f = t.node_added_hooks <- f :: t.node_added_hooks
+
+let lan t name =
+  List.find (fun l -> String.equal (Lan.name l) name) t.lan_list
+
+let nodes t = t.node_list
+let lans t = t.lan_list
+
+let compute_routes t = Routing.compute ~nodes:t.node_list ~lans:t.lan_list
+
+let move_host t node new_lan =
+  ignore t;
+  let home = Node.primary_addr node in
+  List.iter (fun (i, _, _) -> Node.detach node i) (Node.ifaces node);
+  let addr =
+    if Ipv4.Addr.Prefix.mem home (Lan.prefix new_lan) then Some home
+    else None
+  in
+  ignore (Node.attach node ?addr new_lan)
+
+let run ?until t = Netsim.Engine.run ?until t.engine
+let now t = Netsim.Engine.now t.engine
+
+let total_frames t =
+  List.fold_left (fun acc l -> acc + Lan.frames_sent l) 0 t.lan_list
+
+let total_bytes t =
+  List.fold_left (fun acc l -> acc + Lan.bytes_sent l) 0 t.lan_list

@@ -1,0 +1,42 @@
+(** The discrete-event simulation engine.
+
+    An engine owns the clock and an event queue of thunks.  Components
+    schedule callbacks at absolute or relative times; [run] drains the queue
+    in timestamp order, advancing the clock to each event as it fires. *)
+
+type t
+
+val create : ?seed:int -> unit -> t
+(** Fresh engine with clock at {!Time.zero}.  [seed] (default 42) seeds the
+    root random stream from which components [split]. *)
+
+val now : t -> Time.t
+
+val rng : t -> Rng.t
+(** The engine's root random stream.  Components needing isolation should
+    [Rng.split] it once at setup. *)
+
+val schedule : t -> at:Time.t -> (unit -> unit) -> Event_queue.handle
+(** Schedule at an absolute time, which must be [>= now]. *)
+
+val schedule_after : t -> delay:Time.t -> (unit -> unit) -> Event_queue.handle
+val cancel : t -> Event_queue.handle -> bool
+
+val every : t -> interval:Time.t -> ?until:Time.t -> (unit -> unit) -> unit
+(** [every t ~interval f] runs [f] at [now + interval, now + 2*interval, ...],
+    stopping after [until] when given.  Used for periodic agent
+    advertisements. *)
+
+val run : ?until:Time.t -> t -> unit
+(** Drain the event queue.  With [until], stops (leaving later events
+    queued) once the next event would fire after [until], and sets the
+    clock to [until]. *)
+
+val step : t -> bool
+(** Fire the single earliest event; [false] if the queue was empty. *)
+
+val pending : t -> int
+(** Events currently queued. *)
+
+val events_processed : t -> int
+(** Total events fired since creation. *)

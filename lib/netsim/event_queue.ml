@@ -1,0 +1,105 @@
+type 'a entry = { at : Time.t; seq : int; id : int; payload : 'a }
+
+type 'a t = {
+  mutable heap : 'a entry array;
+  mutable size : int;
+  mutable next_seq : int;
+  mutable next_id : int;
+  pending : (int, unit) Hashtbl.t;
+  (* ids currently in the heap and not cancelled *)
+}
+
+type handle = int
+
+let create () =
+  { heap = [||]; size = 0; next_seq = 0; next_id = 0;
+    pending = Hashtbl.create 64 }
+
+let is_empty q = Hashtbl.length q.pending = 0
+let length q = Hashtbl.length q.pending
+
+let entry_lt a b =
+  match Time.compare a.at b.at with
+  | 0 -> a.seq < b.seq
+  | c -> c < 0
+
+let grow q =
+  let cap = Array.length q.heap in
+  if q.size >= cap then begin
+    let ncap = if cap = 0 then 16 else cap * 2 in
+    let dummy = q.heap.(0) in
+    let nheap = Array.make ncap dummy in
+    Array.blit q.heap 0 nheap 0 q.size;
+    q.heap <- nheap
+  end
+
+let rec sift_up q i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if entry_lt q.heap.(i) q.heap.(parent) then begin
+      let tmp = q.heap.(i) in
+      q.heap.(i) <- q.heap.(parent);
+      q.heap.(parent) <- tmp;
+      sift_up q parent
+    end
+  end
+
+let rec sift_down q i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < q.size && entry_lt q.heap.(l) q.heap.(!smallest) then smallest := l;
+  if r < q.size && entry_lt q.heap.(r) q.heap.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    let tmp = q.heap.(i) in
+    q.heap.(i) <- q.heap.(!smallest);
+    q.heap.(!smallest) <- tmp;
+    sift_down q !smallest
+  end
+
+let push q at payload =
+  let id = q.next_id in
+  q.next_id <- id + 1;
+  let e = { at; seq = q.next_seq; id; payload } in
+  q.next_seq <- q.next_seq + 1;
+  if Array.length q.heap = 0 then q.heap <- Array.make 16 e;
+  grow q;
+  q.heap.(q.size) <- e;
+  q.size <- q.size + 1;
+  sift_up q (q.size - 1);
+  Hashtbl.replace q.pending id ();
+  id
+
+let cancel q h =
+  if Hashtbl.mem q.pending h then begin
+    Hashtbl.remove q.pending h;
+    true
+  end else false
+
+let remove_top q =
+  q.size <- q.size - 1;
+  if q.size > 0 then begin
+    q.heap.(0) <- q.heap.(q.size);
+    sift_down q 0
+  end
+
+let rec pop q =
+  if q.size = 0 then None
+  else begin
+    let top = q.heap.(0) in
+    remove_top q;
+    if Hashtbl.mem q.pending top.id then begin
+      Hashtbl.remove q.pending top.id;
+      Some (top.at, top.payload)
+    end else pop q (* was cancelled; discard *)
+  end
+
+let rec peek_time q =
+  if q.size = 0 then None
+  else begin
+    let top = q.heap.(0) in
+    if Hashtbl.mem q.pending top.id then Some top.at
+    else begin
+      remove_top q;
+      peek_time q
+    end
+  end

@@ -1,0 +1,29 @@
+(** Priority queue of timed events.
+
+    A binary min-heap ordered by (time, sequence number): events scheduled
+    for the same instant fire in the order they were scheduled, which keeps
+    simulations deterministic. *)
+
+type 'a t
+
+type handle
+(** Identifies a scheduled event so it can be cancelled. *)
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+(** Number of live (non-cancelled) events. *)
+
+val push : 'a t -> Time.t -> 'a -> handle
+(** [push q at x] schedules [x] at time [at]. *)
+
+val cancel : 'a t -> handle -> bool
+(** [cancel q h] removes the event; returns [false] if it already fired or
+    was already cancelled. *)
+
+val pop : 'a t -> (Time.t * 'a) option
+(** Earliest live event, removing it. *)
+
+val peek_time : 'a t -> Time.t option
+(** Time of the earliest live event. *)

@@ -1,0 +1,32 @@
+(** Structured simulation trace.
+
+    A trace is an append-only log of tagged events with timestamps.  Tests
+    assert on event sequences; examples pretty-print them; the bench harness
+    counts categories.  Payloads are pre-rendered strings so that the trace
+    layer has no dependency on protocol types. *)
+
+type event = {
+  at : Time.t;
+  node : string;  (** Name of the node where the event occurred. *)
+  kind : string;  (** Category tag, e.g. ["tunnel"], ["loc-update"]. *)
+  detail : string;
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] bounds memory (default 65536 events); older events are
+    dropped once full, keeping the most recent. *)
+
+val enabled : t -> bool
+val set_enabled : t -> bool -> unit
+
+val emit : t -> at:Time.t -> node:string -> kind:string -> string -> unit
+val events : t -> event list
+(** Oldest first. *)
+
+val count : t -> kind:string -> int
+val find : t -> kind:string -> event list
+val clear : t -> unit
+val pp_event : Format.formatter -> event -> unit
+val dump : Format.formatter -> t -> unit

@@ -1,0 +1,50 @@
+(** Per-packet measurement: hops, latency, wire overhead, delivery.
+
+    Tracked packets are keyed by (source address, IP id); the workload
+    allocates unique ids per flow.  The IP id survives MHRP tunneling
+    (only protocol/addresses are rewritten), so a packet is followed
+    end-to-end across any number of tunnels. *)
+
+type key = Ipv4.Addr.t * int
+
+type record = {
+  key : key;
+  sent_at : Netsim.Time.t;
+  sent_bytes : int;  (** Wire size before any tunneling. *)
+  mutable hops : int;  (** LAN traversals observed (unicast transmissions). *)
+  mutable max_bytes : int;  (** Largest wire size seen en route. *)
+  mutable delivered_at : Netsim.Time.t option;
+  mutable dropped : string option;
+}
+
+type t
+
+val create : Net.Topology.t -> t
+(** Installs forward/drop taps on every node currently in the topology. *)
+
+val note_send : t -> Ipv4.Packet.t -> unit
+(** Call with the application-level packet just before handing it to
+    {!Mhrp.Agent.send} (or {!Net.Node.send}). *)
+
+val note_delivery : t -> Ipv4.Packet.t -> unit
+(** Call from the destination's app-receive tap. *)
+
+val watch_receiver : t -> Mhrp.Agent.t -> unit
+(** Register [note_delivery] as the agent's app tap. *)
+
+val find : t -> key -> record option
+val records : t -> record list
+(** In send order. *)
+
+val delivered : t -> record list
+val dropped : t -> record list
+
+val delivery_ratio : t -> float
+val mean_hops : t -> float
+(** Over delivered packets. *)
+
+val mean_latency_us : t -> float
+val mean_overhead_bytes : t -> float
+(** Mean of [max_bytes - sent_bytes] over delivered packets. *)
+
+val pp_summary : Format.formatter -> t -> unit

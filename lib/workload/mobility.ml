@@ -1,0 +1,66 @@
+let move_at topo agent ~at lan =
+  let engine = Net.Topology.engine topo in
+  ignore
+    (Netsim.Engine.schedule engine ~at (fun () ->
+         Mhrp.Agent.move_to ~topo agent lan))
+
+let itinerary topo agent stops =
+  List.iter (fun (at, lan) -> move_at topo agent ~at lan) stops
+
+let current_lan agent =
+  match Net.Node.ifaces (Mhrp.Agent.node agent) with
+  | (_, lan, _) :: _ -> Some lan
+  | [] -> None
+
+let random_waypoint topo agent ~rng ~lans ~dwell_mean ~until =
+  if Array.length lans < 2 then
+    invalid_arg "Mobility.random_waypoint: need at least two LANs";
+  let engine = Net.Topology.engine topo in
+  let rec step () =
+    let dwell =
+      Netsim.Time.of_us
+        (1 + int_of_float
+               (Netsim.Rng.exponential rng
+                  (float_of_int (Netsim.Time.to_us dwell_mean))))
+    in
+    let at = Netsim.Time.add (Netsim.Engine.now engine) dwell in
+    if Netsim.Time.(at <= until) then
+      ignore
+        (Netsim.Engine.schedule engine ~at (fun () ->
+             let here = current_lan agent in
+             let candidates =
+               Array.to_list lans
+               |> List.filter (fun l ->
+                   match here with
+                   | Some h -> not (h == l)
+                   | None -> true)
+             in
+             let target =
+               Netsim.Rng.pick rng (Array.of_list candidates)
+             in
+             Mhrp.Agent.move_to ~topo agent target;
+             step ()))
+  in
+  step ()
+
+let commuter topo agent ~home ~work ~leave_home ~day_length ~days =
+  for day = 0 to days - 1 do
+    let day_start =
+      Netsim.Time.of_us
+        (Netsim.Time.to_us leave_home
+         + (day * 2 * Netsim.Time.to_us day_length))
+    in
+    move_at topo agent ~at:day_start work;
+    move_at topo agent
+      ~at:(Netsim.Time.add day_start day_length)
+      home
+  done
+
+let ping_pong topo agent ~a ~b ~start ~period ~moves =
+  for k = 0 to moves - 1 do
+    let at =
+      Netsim.Time.add start
+        (Netsim.Time.of_us (k * Netsim.Time.to_us period))
+    in
+    move_at topo agent ~at (if k mod 2 = 0 then a else b)
+  done

@@ -1,0 +1,32 @@
+(** Movement models driving mobile hosts between networks.
+
+    Section 3 defines movement as sequences of link-level attachment plus
+    registration; these helpers schedule such sequences. *)
+
+val move_at :
+  Net.Topology.t -> Mhrp.Agent.t -> at:Netsim.Time.t -> Net.Lan.t -> unit
+(** One scheduled move. *)
+
+val itinerary :
+  Net.Topology.t -> Mhrp.Agent.t -> (Netsim.Time.t * Net.Lan.t) list -> unit
+(** A scripted commuter pattern (e.g. home → cell 1 → cell 2 → home). *)
+
+val random_waypoint :
+  Net.Topology.t -> Mhrp.Agent.t -> rng:Netsim.Rng.t ->
+  lans:Net.Lan.t array -> dwell_mean:Netsim.Time.t ->
+  until:Netsim.Time.t -> unit
+(** Move to a uniformly random LAN (never the current one), dwell for an
+    exponentially-distributed time with the given mean, repeat until the
+    deadline. *)
+
+val commuter :
+  Net.Topology.t -> Mhrp.Agent.t -> home:Net.Lan.t -> work:Net.Lan.t ->
+  leave_home:Netsim.Time.t -> day_length:Netsim.Time.t -> days:int -> unit
+(** The daily pattern of the paper's introduction: leave home, spend the
+    day attached at work, return in the evening, every day. *)
+
+val ping_pong :
+  Net.Topology.t -> Mhrp.Agent.t -> a:Net.Lan.t -> b:Net.Lan.t ->
+  start:Netsim.Time.t -> period:Netsim.Time.t -> moves:int -> unit
+(** Alternate between two cells every [period] — the frequently-moving
+    host of Section 2's forwarding-pointer discussion. *)

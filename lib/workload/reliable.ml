@@ -1,0 +1,158 @@
+module Time = Netsim.Time
+module Engine = Netsim.Engine
+module Packet = Ipv4.Packet
+module Tcp = Ipv4.Tcp_lite
+
+type stats = {
+  chunks : int;
+  sent : int;
+  retransmissions : int;
+  acks : int;
+  completed_at : Time.t option;
+}
+
+type t = {
+  engine : Engine.t;
+  sender : Mhrp.Agent.t;
+  receiver : Mhrp.Agent.t;
+  chunk : int;
+  window : int;
+  rto : Time.t;
+  total_chunks : int;
+  data : bytes;
+  (* sender state *)
+  mutable base : int;  (* first unacked chunk *)
+  mutable next : int;  (* next chunk to send *)
+  mutable sent : int;
+  mutable retransmissions : int;
+  mutable acks : int;
+  mutable completed_at : Time.t option;
+  mutable timer_armed : bool;
+  (* receiver state *)
+  received : (int, bytes) Hashtbl.t;
+  mutable delivered_prefix : int;  (* chunks received in order *)
+}
+
+let seq_of_chunk t k = k * t.chunk
+
+let chunk_data t k =
+  let off = k * t.chunk in
+  Bytes.sub t.data off (min t.chunk (Bytes.length t.data - off))
+
+let send_segment t k ~retransmit =
+  t.sent <- t.sent + 1;
+  if retransmit then t.retransmissions <- t.retransmissions + 1;
+  let seg =
+    Tcp.make ~seq:(seq_of_chunk t k) ~ack:0 ~flags:[Tcp.Psh] ~src_port:5001
+      ~dst_port:5002 (chunk_data t k)
+  in
+  Mhrp.Agent.send t.sender
+    (Packet.make
+       ~id:(1 + (k mod 0xFFFE))
+       ~proto:Ipv4.Proto.tcp
+       ~src:(Mhrp.Agent.address t.sender)
+       ~dst:(Mhrp.Agent.address t.receiver)
+       (Tcp.encode seg))
+
+let rec fill_window t =
+  while t.next < t.total_chunks && t.next < t.base + t.window do
+    send_segment t t.next ~retransmit:false;
+    t.next <- t.next + 1
+  done;
+  arm_timer t
+
+and arm_timer t =
+  if (not t.timer_armed) && t.base < t.total_chunks then begin
+    t.timer_armed <- true;
+    let base_at_arm = t.base in
+    ignore
+      (Engine.schedule_after t.engine ~delay:t.rto (fun () ->
+           t.timer_armed <- false;
+           if t.completed_at = None then
+             if t.base = base_at_arm then begin
+               (* nothing acked within the RTO: go-back-N *)
+               let stop = min t.next (t.base + t.window) in
+               for k = t.base to stop - 1 do
+                 send_segment t k ~retransmit:true
+               done;
+               arm_timer t
+             end
+             else arm_timer t))
+  end
+
+let sender_handle_ack t (seg : Tcp.t) =
+  t.acks <- t.acks + 1;
+  let acked_chunks = seg.Tcp.ack / t.chunk in
+  if acked_chunks > t.base then begin
+    t.base <- acked_chunks;
+    if t.base >= t.total_chunks then
+      t.completed_at <- Some (Engine.now t.engine)
+    else fill_window t
+  end
+
+let receiver_handle_data t (seg : Tcp.t) =
+  let k = seg.Tcp.seq / t.chunk in
+  if k < t.total_chunks && not (Hashtbl.mem t.received k) then
+    Hashtbl.replace t.received k seg.Tcp.data;
+  while Hashtbl.mem t.received t.delivered_prefix do
+    t.delivered_prefix <- t.delivered_prefix + 1
+  done;
+  (* cumulative ack *)
+  let ack = t.delivered_prefix * t.chunk in
+  let reply =
+    Tcp.make ~seq:0 ~ack ~flags:[Tcp.Ack] ~src_port:5002 ~dst_port:5001
+      Bytes.empty
+  in
+  Mhrp.Agent.send t.receiver
+    (Packet.make
+       ~id:(1 + (t.delivered_prefix mod 0xFFFE))
+       ~proto:Ipv4.Proto.tcp
+       ~src:(Mhrp.Agent.address t.receiver)
+       ~dst:(Mhrp.Agent.address t.sender)
+       (Tcp.encode reply))
+
+let start ?(chunk = 512) ?(window = 8) ?(rto = Time.of_ms 300) ~sender
+    ~receiver ~bytes ~at () =
+  if chunk <= 0 || window <= 0 || bytes <= 0 then
+    invalid_arg "Reliable.start";
+  let engine = Net.Node.engine (Mhrp.Agent.node sender) in
+  let data = Bytes.init bytes (fun i -> Char.chr (i land 0xFF)) in
+  let t =
+    { engine; sender; receiver; chunk; window; rto;
+      total_chunks = (bytes + chunk - 1) / chunk;
+      data;
+      base = 0; next = 0; sent = 0; retransmissions = 0; acks = 0;
+      completed_at = None; timer_armed = false;
+      received = Hashtbl.create 64; delivered_prefix = 0 }
+  in
+  Mhrp.Agent.on_app_receive receiver (fun pkt ->
+      if pkt.Packet.proto = Ipv4.Proto.tcp then
+        match Tcp.decode pkt.Packet.payload with
+        | seg when Tcp.has_flag seg Tcp.Psh -> receiver_handle_data t seg
+        | _ -> ()
+        | exception Invalid_argument _ -> ());
+  Mhrp.Agent.on_app_receive sender (fun pkt ->
+      if pkt.Packet.proto = Ipv4.Proto.tcp then
+        match Tcp.decode pkt.Packet.payload with
+        | seg when Tcp.has_flag seg Tcp.Ack -> sender_handle_ack t seg
+        | _ -> ()
+        | exception Invalid_argument _ -> ());
+  ignore (Engine.schedule engine ~at (fun () -> fill_window t));
+  t
+
+let stats t =
+  { chunks = t.total_chunks; sent = t.sent;
+    retransmissions = t.retransmissions; acks = t.acks;
+    completed_at = t.completed_at }
+
+let complete t = t.completed_at <> None
+
+let received_ok t =
+  t.delivered_prefix = t.total_chunks
+  && (let ok = ref true in
+      for k = 0 to t.total_chunks - 1 do
+        match Hashtbl.find_opt t.received k with
+        | Some data -> if not (Bytes.equal data (chunk_data t k)) then ok := false
+        | None -> ok := false
+      done;
+      !ok)

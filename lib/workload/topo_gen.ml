@@ -1,0 +1,257 @@
+module Topology = Net.Topology
+module Lan = Net.Lan
+module Node = Net.Node
+module Agent = Mhrp.Agent
+
+type figure1 = {
+  topo : Topology.t;
+  net_a : Lan.t;
+  net_b : Lan.t;
+  net_c : Lan.t;
+  net_d : Lan.t;
+  backbone : Lan.t;
+  s : Agent.t;
+  m : Agent.t;
+  r1 : Agent.t;
+  r2 : Agent.t;
+  r3 : Agent.t;
+  r4 : Agent.t;
+}
+
+let fa_iface_for agent lan =
+  match Node.iface_to (Agent.node agent) (Lan.prefix lan) with
+  | Some i -> i
+  | None -> failwith "fa_iface_for: agent not attached to LAN"
+
+let figure1 ?(config = Mhrp.Config.default) ?(seed = 42)
+    ?(snoop_routers = true) ?icmp_quote () =
+  let topo = Topology.create ~seed ?icmp_quote () in
+  let backbone = Topology.add_lan topo ~net:0 "backbone" in
+  let net_a = Topology.add_lan topo ~net:1 "netA" in
+  let net_b = Topology.add_lan topo ~net:2 "netB" in
+  let net_c = Topology.add_lan topo ~net:3 "netC" in
+  let net_d =
+    Topology.add_lan topo ~net:4 ~latency:(Netsim.Time.of_ms 2)
+      ~bandwidth_bps:2_000_000 "netD"
+  in
+  let r1n = Topology.add_router topo "R1" [(backbone, 11); (net_a, 1)] in
+  let r2n = Topology.add_router topo "R2" [(backbone, 12); (net_b, 1)] in
+  let r3n = Topology.add_router topo "R3" [(backbone, 13); (net_c, 1)] in
+  let r4n = Topology.add_router topo "R4" [(net_c, 2); (net_d, 1)] in
+  let sn = Topology.add_host topo "S" net_a 10 in
+  let mn = Topology.add_host topo "M" net_b 10 in
+  Topology.compute_routes topo;
+  let r1 = Agent.create ~config ~snoop:snoop_routers r1n in
+  let r2 = Agent.create ~config ~snoop:snoop_routers r2n in
+  let r3 = Agent.create ~config ~snoop:snoop_routers r3n in
+  let r4 = Agent.create ~config ~snoop:snoop_routers r4n in
+  let s = Agent.create ~config sn in
+  let m = Agent.create ~config mn in
+  Agent.enable_home_agent r2;
+  Agent.add_mobile r2 (Node.primary_addr mn);
+  Agent.enable_foreign_agent r4 ~iface:(fa_iface_for r4 net_d);
+  Agent.make_mobile m
+    ~home_agent:(Ipv4.Addr.Prefix.host (Lan.prefix net_b) 1);
+  { topo; net_a; net_b; net_c; net_d; backbone; s; m; r1; r2; r3; r4 }
+
+type plain = {
+  p_topo : Topology.t;
+  p_net_a : Lan.t;
+  p_net_b : Lan.t;
+  p_net_c : Lan.t;
+  p_net_d : Lan.t;
+  p_backbone : Lan.t;
+  p_s : Node.t;
+  p_m : Node.t;
+  p_r1 : Node.t;
+  p_r2 : Node.t;
+  p_r3 : Node.t;
+  p_r4 : Node.t;
+}
+
+let figure1_plain ?(seed = 42) () =
+  let topo = Topology.create ~seed () in
+  let backbone = Topology.add_lan topo ~net:0 "backbone" in
+  let net_a = Topology.add_lan topo ~net:1 "netA" in
+  let net_b = Topology.add_lan topo ~net:2 "netB" in
+  let net_c = Topology.add_lan topo ~net:3 "netC" in
+  let net_d =
+    Topology.add_lan topo ~net:4 ~latency:(Netsim.Time.of_ms 2)
+      ~bandwidth_bps:2_000_000 "netD"
+  in
+  let p_r1 = Topology.add_router topo "R1" [(backbone, 11); (net_a, 1)] in
+  let p_r2 = Topology.add_router topo "R2" [(backbone, 12); (net_b, 1)] in
+  let p_r3 = Topology.add_router topo "R3" [(backbone, 13); (net_c, 1)] in
+  let p_r4 = Topology.add_router topo "R4" [(net_c, 2); (net_d, 1)] in
+  let p_s = Topology.add_host topo "S" net_a 10 in
+  let p_m = Topology.add_host topo "M" net_b 10 in
+  Topology.compute_routes topo;
+  { p_topo = topo; p_net_a = net_a; p_net_b = net_b; p_net_c = net_c;
+    p_net_d = net_d; p_backbone = backbone; p_s; p_m; p_r1; p_r2; p_r3;
+    p_r4 }
+
+type campus = {
+  c_topo : Topology.t;
+  c_backbone : Lan.t;
+  c_routers : Agent.t array;
+  c_cells : Lan.t array;
+  c_homes : Lan.t array;
+  c_mobiles : Agent.t array;
+  c_senders : Agent.t array;
+}
+
+let campuses ?(config = Mhrp.Config.default) ?(seed = 42) ~campuses
+    ~mobiles_per_campus ~correspondents () =
+  if campuses <= 0 || mobiles_per_campus < 0 || correspondents < 0 then
+    invalid_arg "Topo_gen.campuses";
+  let topo = Topology.create ~seed () in
+  let backbone = Topology.add_lan topo ~net:0 "backbone" in
+  let homes =
+    Array.init campuses (fun i ->
+        Topology.add_lan topo ~net:(1 + (2 * i))
+          (Printf.sprintf "home%d" i))
+  in
+  let cells =
+    Array.init campuses (fun i ->
+        Topology.add_lan topo ~net:(2 + (2 * i))
+          ~latency:(Netsim.Time.of_ms 2)
+          (Printf.sprintf "cell%d" i))
+  in
+  let router_nodes =
+    Array.init campuses (fun i ->
+        Topology.add_router topo
+          (Printf.sprintf "R%d" i)
+          [(backbone, 10 + i); (homes.(i), 1); (cells.(i), 1)])
+  in
+  let mobile_nodes =
+    Array.init (campuses * mobiles_per_campus) (fun k ->
+        let c = k / mobiles_per_campus and j = k mod mobiles_per_campus in
+        Topology.add_host topo
+          (Printf.sprintf "M%d_%d" c j)
+          homes.(c) (10 + j))
+  in
+  let sender_nodes =
+    Array.init correspondents (fun k ->
+        let c = k mod campuses in
+        Topology.add_host topo (Printf.sprintf "S%d" k) homes.(c)
+          (100 + (k / campuses)))
+  in
+  Topology.compute_routes topo;
+  let routers =
+    Array.mapi
+      (fun i n ->
+         let a = Agent.create ~config ~snoop:true n in
+         Agent.enable_home_agent a;
+         Agent.enable_foreign_agent a ~iface:(fa_iface_for a cells.(i));
+         a)
+      router_nodes
+  in
+  Array.iteri
+    (fun k mn ->
+       let c = k / mobiles_per_campus in
+       ignore c;
+       Agent.add_mobile routers.(k / mobiles_per_campus)
+         (Node.primary_addr mn))
+    mobile_nodes;
+  let mobiles =
+    Array.mapi
+      (fun k mn ->
+         let c = k / mobiles_per_campus in
+         let a = Agent.create ~config mn in
+         Agent.make_mobile a
+           ~home_agent:(Ipv4.Addr.Prefix.host (Lan.prefix homes.(c)) 1);
+         a)
+      mobile_nodes
+  in
+  let senders =
+    Array.map (fun n -> Agent.create ~config n) sender_nodes
+  in
+  { c_topo = topo; c_backbone = backbone; c_routers = routers;
+    c_cells = cells; c_homes = homes; c_mobiles = mobiles;
+    c_senders = senders }
+
+type campus_plain = {
+  cp_topo : Topology.t;
+  cp_backbone : Lan.t;
+  cp_routers : Node.t array;
+  cp_cells : Lan.t array;
+  cp_homes : Lan.t array;
+  cp_mobiles : Node.t array;
+  cp_senders : Node.t array;
+}
+
+let campuses_plain ?(seed = 42) ~campuses ~mobiles_per_campus
+    ~correspondents () =
+  if campuses <= 0 || mobiles_per_campus < 0 || correspondents < 0 then
+    invalid_arg "Topo_gen.campuses_plain";
+  let topo = Topology.create ~seed () in
+  let backbone = Topology.add_lan topo ~net:0 "backbone" in
+  let homes =
+    Array.init campuses (fun i ->
+        Topology.add_lan topo ~net:(1 + (2 * i))
+          (Printf.sprintf "home%d" i))
+  in
+  let cells =
+    Array.init campuses (fun i ->
+        Topology.add_lan topo ~net:(2 + (2 * i))
+          ~latency:(Netsim.Time.of_ms 2)
+          (Printf.sprintf "cell%d" i))
+  in
+  let routers =
+    Array.init campuses (fun i ->
+        Topology.add_router topo
+          (Printf.sprintf "R%d" i)
+          [(backbone, 10 + i); (homes.(i), 1); (cells.(i), 1)])
+  in
+  let mobiles =
+    Array.init (campuses * mobiles_per_campus) (fun k ->
+        let c = k / mobiles_per_campus and j = k mod mobiles_per_campus in
+        Topology.add_host topo
+          (Printf.sprintf "M%d_%d" c j)
+          homes.(c) (10 + j))
+  in
+  let senders =
+    Array.init correspondents (fun k ->
+        let c = k mod campuses in
+        Topology.add_host topo (Printf.sprintf "S%d" k) homes.(c)
+          (100 + (k / campuses)))
+  in
+  Topology.compute_routes topo;
+  { cp_topo = topo; cp_backbone = backbone; cp_routers = routers;
+    cp_cells = cells; cp_homes = homes; cp_mobiles = mobiles;
+    cp_senders = senders }
+
+type chain = {
+  ch_topo : Topology.t;
+  ch_routers : Agent.t array;
+  ch_stubs : Lan.t array;
+  ch_links : Lan.t array;
+}
+
+let chain ?(config = Mhrp.Config.default) ?(seed = 42) ~n () =
+  if n < 2 then invalid_arg "Topo_gen.chain: need at least two routers";
+  let topo = Topology.create ~seed () in
+  let stubs =
+    Array.init n (fun i ->
+        Topology.add_lan topo ~net:(10 + i) (Printf.sprintf "stub%d" i))
+  in
+  let links =
+    Array.init (n - 1) (fun i ->
+        Topology.add_lan topo ~net:(100 + i) (Printf.sprintf "link%d" i))
+  in
+  let nodes =
+    Array.init n (fun i ->
+        let attach = [(stubs.(i), 1)] in
+        let attach =
+          if i > 0 then (links.(i - 1), 2) :: attach else attach
+        in
+        let attach = if i < n - 1 then (links.(i), 1) :: attach else attach
+        in
+        Topology.add_router topo (Printf.sprintf "C%d" i) attach)
+  in
+  Topology.compute_routes topo;
+  let routers =
+    Array.map (fun node -> Agent.create ~config ~snoop:true node) nodes
+  in
+  { ch_topo = topo; ch_routers = routers; ch_stubs = stubs;
+    ch_links = links }

@@ -1,0 +1,103 @@
+type t = {
+  metrics : Metrics.t;
+  engine : Netsim.Engine.t;
+  mutable next_id : int;
+  mutable responses : int;
+}
+
+let create ?(first_id = 1) metrics engine =
+  { metrics; engine; next_id = first_id; responses = 0 }
+
+let fresh_id t =
+  let id = t.next_id in
+  (* IP ids are 16-bit; wrap but skip 0 (untracked default). *)
+  t.next_id <- (if id >= 0xFFFF then 1 else id + 1);
+  id
+
+let send_udp t ~src ~dst ?(size = 64) () =
+  let id = fresh_id t in
+  let udp =
+    Ipv4.Udp.make ~src_port:4000 ~dst_port:4000 (Bytes.create size)
+  in
+  let pkt =
+    Ipv4.Packet.make ~id ~proto:Ipv4.Proto.udp
+      ~src:(Mhrp.Agent.address src) ~dst (Ipv4.Udp.encode udp)
+  in
+  Metrics.note_send t.metrics pkt;
+  Mhrp.Agent.send src pkt
+
+let at t time f = ignore (Netsim.Engine.schedule t.engine ~at:time f)
+
+let cbr t ~src ~dst ?size ~start ~interval ~count () =
+  for k = 0 to count - 1 do
+    let time =
+      Netsim.Time.add start
+        (Netsim.Time.of_us (k * Netsim.Time.to_us interval))
+    in
+    at t time (fun () -> send_udp t ~src ~dst ?size ())
+  done
+
+let request_response t ~client ~server ?(size = 32) ~start ~interval
+    ~count () =
+  let server_addr = Mhrp.Agent.address server in
+  let client_addr = Mhrp.Agent.address client in
+  (* the server answers request segments with response segments *)
+  Mhrp.Agent.on_app_receive server (fun pkt ->
+      if pkt.Ipv4.Packet.proto = Ipv4.Proto.tcp then
+        match Ipv4.Tcp_lite.decode pkt.Ipv4.Packet.payload with
+        | exception Invalid_argument _ -> ()
+        | seg ->
+          Metrics.note_delivery t.metrics pkt;
+          let reply =
+            Ipv4.Tcp_lite.make ~seq:seg.Ipv4.Tcp_lite.ack
+              ~ack:(seg.Ipv4.Tcp_lite.seq + Bytes.length seg.Ipv4.Tcp_lite.data)
+              ~flags:[Ipv4.Tcp_lite.Ack]
+              ~src_port:seg.Ipv4.Tcp_lite.dst_port
+              ~dst_port:seg.Ipv4.Tcp_lite.src_port (Bytes.create size)
+          in
+          let id = fresh_id t in
+          let out =
+            Ipv4.Packet.make ~id ~proto:Ipv4.Proto.tcp ~src:server_addr
+              ~dst:pkt.Ipv4.Packet.src (Ipv4.Tcp_lite.encode reply)
+          in
+          Metrics.note_send t.metrics out;
+          Mhrp.Agent.send server out);
+  Mhrp.Agent.on_app_receive client (fun pkt ->
+      if pkt.Ipv4.Packet.proto = Ipv4.Proto.tcp then begin
+        Metrics.note_delivery t.metrics pkt;
+        t.responses <- t.responses + 1
+      end);
+  for k = 0 to count - 1 do
+    let time =
+      Netsim.Time.add start
+        (Netsim.Time.of_us (k * Netsim.Time.to_us interval))
+    in
+    at t time (fun () ->
+        let seg =
+          Ipv4.Tcp_lite.make ~seq:(k * size) ~ack:0
+            ~flags:[Ipv4.Tcp_lite.Psh] ~src_port:5001 ~dst_port:80
+            (Bytes.create size)
+        in
+        let id = fresh_id t in
+        let pkt =
+          Ipv4.Packet.make ~id ~proto:Ipv4.Proto.tcp ~src:client_addr
+            ~dst:server_addr (Ipv4.Tcp_lite.encode seg)
+        in
+        Metrics.note_send t.metrics pkt;
+        Mhrp.Agent.send client pkt)
+  done
+
+let responses_received t = t.responses
+
+let ping t ~src ~dst ~at:time =
+  at t time (fun () ->
+      let id = fresh_id t in
+      let msg =
+        Ipv4.Icmp.Echo_request { ident = id; seq = 0; data = Bytes.create 16 }
+      in
+      let pkt =
+        Ipv4.Packet.make ~id ~proto:Ipv4.Proto.icmp
+          ~src:(Mhrp.Agent.address src) ~dst (Ipv4.Icmp.encode msg)
+      in
+      Metrics.note_send t.metrics pkt;
+      Mhrp.Agent.send src pkt)

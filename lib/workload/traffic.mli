@@ -1,0 +1,39 @@
+(** Traffic generation over MHRP agents, wired into {!Metrics}.
+
+    Allocates unique IP ids so each packet is individually trackable. *)
+
+type t
+
+val create : ?first_id:int -> Metrics.t -> Netsim.Engine.t -> t
+val fresh_id : t -> int
+
+val send_udp : t -> src:Mhrp.Agent.t -> dst:Ipv4.Addr.t -> ?size:int ->
+  unit -> unit
+(** Send one UDP datagram now ([size] bytes of payload, default 64),
+    recording it in the metrics. *)
+
+val at : t -> Netsim.Time.t -> (unit -> unit) -> unit
+(** Schedule an action at an absolute time. *)
+
+val cbr :
+  t -> src:Mhrp.Agent.t -> dst:Ipv4.Addr.t -> ?size:int ->
+  start:Netsim.Time.t -> interval:Netsim.Time.t -> count:int -> unit -> unit
+(** Constant-bit-rate flow: [count] datagrams, one per [interval]. *)
+
+val ping :
+  t -> src:Mhrp.Agent.t -> dst:Ipv4.Addr.t -> at:Netsim.Time.t -> unit
+(** One echo request (the reply is the destination's business). *)
+
+val request_response :
+  t -> client:Mhrp.Agent.t -> server:Mhrp.Agent.t -> ?size:int ->
+  start:Netsim.Time.t -> interval:Netsim.Time.t -> count:int -> unit ->
+  unit
+(** A TCP-segment request/response exchange: the client sends [count]
+    20-byte-header segments; the server's app tap answers each with a
+    response segment.  Both directions are tracked in the metrics, so
+    mobile servers exercise tunneling on requests and plain routing on
+    responses.  Installs the server's app tap (one such workload per
+    server). *)
+
+val responses_received : t -> int
+(** Responses the request/response clients got back. *)

@@ -1,0 +1,231 @@
+(* Staleness and recovery behaviour of the baseline protocols — the
+   second-order behaviours the paper's Section 7 comparison leans on. *)
+
+module Time = Netsim.Time
+module Node = Net.Node
+module Packet = Ipv4.Packet
+module Addr = Ipv4.Addr
+module TG = Workload.Topo_gen
+
+let check = Alcotest.check
+
+let mk_pkt ~id ~src ~dst =
+  let udp = Ipv4.Udp.make ~src_port:4000 ~dst_port:4000 (Bytes.create 64) in
+  Packet.make ~id ~proto:Ipv4.Proto.udp ~src:(Node.primary_addr src) ~dst
+    (Ipv4.Udp.encode udp)
+
+let schedule p at f =
+  ignore
+    (Netsim.Engine.schedule (Net.Topology.engine p.TG.p_topo)
+       ~at:(Time.of_sec at) f)
+
+(* add a second cell behind R3 so baselines can move twice *)
+let with_second_cell p =
+  let net_e = Net.Topology.add_lan p.TG.p_topo ~net:5 "netE" in
+  let r5 =
+    Net.Topology.add_router p.TG.p_topo "R5" [(p.TG.p_net_c, 3); (net_e, 1)]
+  in
+  Net.Topology.compute_routes p.TG.p_topo;
+  (net_e, r5)
+
+let columbia_tests =
+  [ Alcotest.test_case
+      "stale MSR cache re-tunnels after a second move (who-has again)"
+      `Quick (fun () ->
+          let p = TG.figure1_plain () in
+          let m_addr = Node.primary_addr p.TG.p_m in
+          let net_e, r5 = with_second_cell p in
+          ignore net_e;
+          let co = Baselines.Columbia.create p.TG.p_topo in
+          let home = Baselines.Columbia.add_msr co p.TG.p_r2 ~cell:p.TG.p_net_b in
+          let msr4 = Baselines.Columbia.add_msr co p.TG.p_r4 ~cell:p.TG.p_net_d in
+          let msr5 = Baselines.Columbia.add_msr co r5 ~cell:net_e in
+          Baselines.Columbia.make_mobile co p.TG.p_m ~home;
+          let received = ref 0 in
+          Node.set_proto_handler p.TG.p_m Ipv4.Proto.udp (fun _ _ ->
+              incr received);
+          schedule p 1.0 (fun () ->
+              Baselines.Columbia.move co p.TG.p_m ~to_msr:msr4);
+          schedule p 2.0 (fun () ->
+              Baselines.Columbia.send co ~src:p.TG.p_s
+                (mk_pkt ~id:1 ~src:p.TG.p_s ~dst:m_addr));
+          (* the home MSR now has msr4 cached; M moves on *)
+          schedule p 3.0 (fun () ->
+              Baselines.Columbia.move co p.TG.p_m ~to_msr:msr5);
+          schedule p 4.0 (fun () ->
+              Baselines.Columbia.send co ~src:p.TG.p_s
+                (mk_pkt ~id:2 ~src:p.TG.p_s ~dst:m_addr));
+          Net.Topology.run ~until:(Time.of_sec 20.0) p.TG.p_topo;
+          (* the stale tunnel hit msr4, which re-queried and re-tunneled *)
+          check Alcotest.int "both delivered" 2 !received) ]
+
+let matsushita_tests =
+  [ Alcotest.test_case
+      "autonomous cache goes stale; unreachable error falls back to PFS"
+      `Quick (fun () ->
+          let p = TG.figure1_plain () in
+          let m_addr = Node.primary_addr p.TG.p_m in
+          let net_e, r5 = with_second_cell p in
+          let ma =
+            Baselines.Matsushita.create p.TG.p_topo
+              Baselines.Matsushita.Autonomous
+          in
+          Baselines.Matsushita.add_pfs ma p.TG.p_r2;
+          Baselines.Matsushita.make_mobile ma p.TG.p_m ~pfs:p.TG.p_r2;
+          let received = ref 0 in
+          Baselines.Matsushita.on_receive ma p.TG.p_m (fun _ ->
+              incr received);
+          let temp1 = Addr.Prefix.host (Net.Lan.prefix p.TG.p_net_d) 50 in
+          let temp2 = Addr.Prefix.host (Net.Lan.prefix net_e) 50 in
+          schedule p 1.0 (fun () ->
+              Baselines.Matsushita.move ma p.TG.p_m ~lan:p.TG.p_net_d
+                ~via_router:p.TG.p_r4 ~temp:temp1);
+          (* two packets: the second tunnels directly after the notice *)
+          schedule p 2.0 (fun () ->
+              Baselines.Matsushita.send ma ~src:p.TG.p_s
+                (mk_pkt ~id:1 ~src:p.TG.p_s ~dst:m_addr));
+          schedule p 3.0 (fun () ->
+              Baselines.Matsushita.send ma ~src:p.TG.p_s
+                (mk_pkt ~id:2 ~src:p.TG.p_s ~dst:m_addr));
+          (* move: the sender's cached temp1 is now dead.  Until the old
+             cell's ARP entries age out (60 s) stale tunnels are a silent
+             black hole — contrast with MHRP, whose explicit old-FA
+             notification removes the visitor immediately.  Send after the
+             aging so the error-driven fallback engages. *)
+          schedule p 4.0 (fun () ->
+              Baselines.Matsushita.move ma p.TG.p_m ~lan:net_e
+                ~via_router:r5 ~temp:temp2);
+          schedule p 70.0 (fun () ->
+              Baselines.Matsushita.send ma ~src:p.TG.p_s
+                (mk_pkt ~id:3 ~src:p.TG.p_s ~dst:m_addr));
+          Net.Topology.run ~until:(Time.of_sec 90.0) p.TG.p_topo;
+          (* the stale direct tunnel dies, the unreachable error triggers
+             retransmission through the PFS: all three arrive *)
+          check Alcotest.int "all delivered" 3 !received) ]
+
+let ibm_tests =
+  [ Alcotest.test_case
+      "stale reversed route dies at the old base; sender falls back"
+      `Quick (fun () ->
+          let p = TG.figure1_plain () in
+          let m_addr = Node.primary_addr p.TG.p_m in
+          let s_addr = Node.primary_addr p.TG.p_s in
+          let net_e, r5 = with_second_cell p in
+          ignore net_e;
+          let ib = Baselines.Ibm_lsrr.create p.TG.p_topo in
+          let home_base =
+            Baselines.Ibm_lsrr.add_base ib p.TG.p_r2 ~lan:p.TG.p_net_b
+          in
+          let base4 =
+            Baselines.Ibm_lsrr.add_base ib p.TG.p_r4 ~lan:p.TG.p_net_d
+          in
+          let base5 = Baselines.Ibm_lsrr.add_base ib r5 ~lan:net_e in
+          Baselines.Ibm_lsrr.make_mobile ib p.TG.p_m ~home_base;
+          let m_received = ref 0 in
+          Baselines.Ibm_lsrr.on_receive ib p.TG.p_m (fun _ ->
+              incr m_received);
+          Baselines.Ibm_lsrr.on_receive ib p.TG.p_s (fun _ -> ());
+          schedule p 1.0 (fun () ->
+              Baselines.Ibm_lsrr.move ib p.TG.p_m ~base:base4);
+          (* the mobile sends first so S learns a reversed route via
+             base4 *)
+          schedule p 2.0 (fun () ->
+              Baselines.Ibm_lsrr.send ib ~src:p.TG.p_m
+                (mk_pkt ~id:1 ~src:p.TG.p_m ~dst:s_addr));
+          (* M moves; S's reversed route is now stale.  As with the
+             other temporary-address protocols, the old base is a silent
+             black hole until its ARP entry for M ages out; send after
+             that so the unreachable-driven fallback engages. *)
+          schedule p 3.0 (fun () ->
+              Baselines.Ibm_lsrr.move ib p.TG.p_m ~base:base5);
+          schedule p 70.0 (fun () ->
+              Baselines.Ibm_lsrr.send ib ~src:p.TG.p_s
+                (mk_pkt ~id:2 ~src:p.TG.p_s ~dst:m_addr));
+          Net.Topology.run ~until:(Time.of_sec 90.0) p.TG.p_topo;
+          (* the paper: packets keep going to the old location until
+             something corrects the route — here the old base's
+             unreachable error makes S retransmit via the home base *)
+          check Alcotest.int "recovered delivery" 1 !m_received) ]
+
+let sony_tests =
+  [ Alcotest.test_case "every packet pays the VIP header, even at home"
+      `Quick (fun () ->
+          let p = TG.figure1_plain () in
+          let sv = Baselines.Sony_vip.create p.TG.p_topo in
+          List.iter (Baselines.Sony_vip.add_router sv)
+            [p.TG.p_r1; p.TG.p_r2];
+          Baselines.Sony_vip.make_host sv p.TG.p_s ~home_router:p.TG.p_r1;
+          Baselines.Sony_vip.make_host sv p.TG.p_m ~home_router:p.TG.p_r2;
+          Baselines.Sony_vip.on_receive sv p.TG.p_m (fun _ -> ());
+          let sizes = ref [] in
+          Node.on_transmit p.TG.p_s (fun _ pkt ->
+              sizes := Packet.total_length pkt :: !sizes);
+          for k = 1 to 3 do
+            schedule p (float_of_int k) (fun () ->
+                Baselines.Sony_vip.send sv ~src:p.TG.p_s
+                  (mk_pkt ~id:k ~src:p.TG.p_s
+                     ~dst:(Node.primary_addr p.TG.p_m)))
+          done;
+          Net.Topology.run ~until:(Time.of_sec 5.0) p.TG.p_topo;
+          check Alcotest.int "three sends" 3 (List.length !sizes);
+          List.iter
+            (fun size -> check Alcotest.int "92+28 bytes" 120 size)
+            !sizes) ]
+
+let vip_timestamp_tests =
+  [ Alcotest.test_case
+      "an older in-flight packet cannot regress a newer VIP binding"
+      `Quick (fun () ->
+          (* direct codec-level check of the timestamp guard *)
+          let p = TG.figure1_plain () in
+          let sv = Baselines.Sony_vip.create p.TG.p_topo in
+          Baselines.Sony_vip.add_router sv p.TG.p_r1;
+          Baselines.Sony_vip.make_host sv p.TG.p_m ~home_router:p.TG.p_r2;
+          (* craft two VIP packets from M with different timestamps and
+             different claimed physical sources, deliver newer first *)
+          let vip = Node.primary_addr p.TG.p_m in
+          let mkvip ~stamp ~phys =
+            let inner = mk_pkt ~id:1 ~src:p.TG.p_m ~dst:(Addr.host 1 10) in
+            Baselines.Viph.add
+              { Baselines.Viph.vip_src = vip; vip_dst = Addr.host 1 10;
+                hop_count = 0; timestamp = stamp }
+              { inner with Ipv4.Packet.src = phys }
+          in
+          (* R1 snoops via its forward hook: run packets through it *)
+          let newer = mkvip ~stamp:10 ~phys:(Addr.host 4 50) in
+          let older = mkvip ~stamp:5 ~phys:(Addr.host 5 50) in
+          (* push through the rewrite hook directly *)
+          let run pkt = Node.inject_local p.TG.p_r1 pkt in
+          ignore run;
+          (* instead of injecting (local delivery skips the hook), send
+             them from S's node so R1 forwards them *)
+          Node.set_routes p.TG.p_s
+            (Net.Route.add_default Net.Route.empty
+               (Net.Route.Via (Addr.host 1 1)));
+          Node.send p.TG.p_s newer;
+          Net.Topology.run ~until:(Time.of_sec 0.5) p.TG.p_topo;
+          Node.send p.TG.p_s older;
+          Net.Topology.run ~until:(Time.of_sec 1.0) p.TG.p_topo;
+          (* the router's cache must still hold the newer binding: a
+             packet addressed by VIP gets rewritten to 4.50, not 5.50 *)
+          let probe =
+            Baselines.Viph.add
+              { Baselines.Viph.vip_src = Addr.host 1 10; vip_dst = vip;
+                hop_count = 0; timestamp = 11 }
+              (mk_pkt ~id:9 ~src:p.TG.p_s ~dst:vip)
+          in
+          let seen = ref None in
+          Node.on_forward p.TG.p_r1 (fun _ pkt ->
+              if pkt.Ipv4.Packet.proto = Ipv4.Proto.vip then
+                seen := Some pkt.Ipv4.Packet.dst);
+          Node.send p.TG.p_s probe;
+          Net.Topology.run ~until:(Time.of_sec 2.0) p.TG.p_topo;
+          check
+            (Alcotest.option (Alcotest.testable Addr.pp Addr.equal))
+            "rewritten to the newer phys" (Some (Addr.host 4 50)) !seen) ]
+
+let suite =
+  [ ("columbia-stale", columbia_tests);
+    ("sony-vip-timestamps", vip_timestamp_tests);
+    ("matsushita-stale", matsushita_tests); ("ibm-stale", ibm_tests);
+    ("sony-always-pays", sony_tests) ]

@@ -1,0 +1,115 @@
+(* Edge cases and small-API coverage that the larger suites do not touch:
+   builder validation, printer formats, counters, the commuter model and
+   the reliable transfer's argument checking. *)
+
+module Time = Netsim.Time
+module Addr = Ipv4.Addr
+module Node = Net.Node
+module Topology = Net.Topology
+module Agent = Mhrp.Agent
+module TG = Workload.Topo_gen
+
+let check = Alcotest.check
+
+let edge_tests =
+  [ Alcotest.test_case "duplicate names rejected by the builder" `Quick
+      (fun () ->
+         let topo = Topology.create () in
+         let lan = Topology.add_lan topo ~net:1 "lan" in
+         ignore (Topology.add_host topo "x" lan 1);
+         check Alcotest.bool "node" true
+           (try
+              ignore (Topology.add_host topo "x" lan 2);
+              false
+            with Invalid_argument _ -> true);
+         check Alcotest.bool "lan" true
+           (try
+              ignore (Topology.add_lan topo ~net:2 "lan");
+              false
+            with Invalid_argument _ -> true));
+    Alcotest.test_case "proto names" `Quick (fun () ->
+        check Alcotest.string "udp" "udp" (Ipv4.Proto.name Ipv4.Proto.udp);
+        check Alcotest.string "mhrp" "mhrp"
+          (Ipv4.Proto.name Ipv4.Proto.mhrp);
+        check Alcotest.string "unknown" "proto-200" (Ipv4.Proto.name 200));
+    Alcotest.test_case "prefix parser rejects garbage" `Quick (fun () ->
+        List.iter
+          (fun s ->
+             check Alcotest.bool s true
+               (try
+                  ignore (Addr.Prefix.of_string s);
+                  false
+                with Invalid_argument _ -> true))
+          ["10.0.0.0"; "10.0.0.0/33"; "10.0.0.0/x"; "zz/8"]);
+    Alcotest.test_case "node counters track the four packet fates" `Quick
+      (fun () ->
+         let topo = Topology.create () in
+         let l1 = Topology.add_lan topo ~net:1 "l1" in
+         let l2 = Topology.add_lan topo ~net:2 "l2" in
+         let r = Topology.add_router topo "r" [(l1, 1); (l2, 1)] in
+         let a = Topology.add_host topo "a" l1 10 in
+         let b = Topology.add_host topo "b" l2 10 in
+         Topology.compute_routes topo;
+         Node.set_proto_handler b Ipv4.Proto.udp (fun _ _ -> ());
+         Node.send a
+           (Ipv4.Packet.make ~proto:Ipv4.Proto.udp
+              ~src:(Node.primary_addr a) ~dst:(Node.primary_addr b)
+              (Ipv4.Udp.encode
+                 (Ipv4.Udp.make ~src_port:1 ~dst_port:2 Bytes.empty)));
+         Topology.run topo;
+         check Alcotest.int "a originated" 1 (Node.packets_originated a);
+         check Alcotest.int "r forwarded" 1 (Node.packets_forwarded r);
+         check Alcotest.int "b delivered" 1 (Node.packets_delivered b);
+         check Alcotest.int "nothing dropped" 0
+           (Node.packets_dropped a + Node.packets_dropped r
+            + Node.packets_dropped b));
+    Alcotest.test_case "commuter model alternates work and home" `Quick
+      (fun () ->
+         let f = TG.figure1 () in
+         let visited = ref [] in
+         Agent.on_registered f.TG.m (fun fa -> visited := fa :: !visited);
+         Workload.Mobility.commuter f.TG.topo f.TG.m ~home:f.TG.net_b
+           ~work:f.TG.net_d ~leave_home:(Time.of_sec 1.0)
+           ~day_length:(Time.of_sec 2.0) ~days:2;
+         Topology.run ~until:(Time.of_sec 12.0) f.TG.topo;
+         check
+           (Alcotest.list (Alcotest.testable Addr.pp Addr.equal))
+           "two days"
+           [Addr.host 4 1; Addr.zero; Addr.host 4 1; Addr.zero]
+           (List.rev !visited));
+    Alcotest.test_case "reliable transfer validates its arguments" `Quick
+      (fun () ->
+         let f = TG.figure1 () in
+         check Alcotest.bool "zero bytes" true
+           (try
+              ignore
+                (Workload.Reliable.start ~sender:f.TG.s ~receiver:f.TG.m
+                   ~bytes:0 ~at:Time.zero ());
+              false
+            with Invalid_argument _ -> true));
+    Alcotest.test_case "agent role validation" `Quick (fun () ->
+        let f = TG.figure1 () in
+        check Alcotest.bool "add_mobile without HA role" true
+          (try
+             Agent.add_mobile f.TG.s (Addr.host 1 1);
+             false
+           with Failure _ -> true);
+        check Alcotest.bool "move_to without mobile role" true
+          (try
+             Agent.move_to ~topo:f.TG.topo f.TG.s f.TG.net_d;
+             false
+           with Invalid_argument _ -> true));
+    Alcotest.test_case
+      "stationary traffic is unperturbed by installed agents" `Quick
+      (fun () ->
+        (* sanity: the MHRP hooks never perturb ordinary traffic *)
+        let f = TG.figure1 () in
+        let got = ref 0 in
+        Agent.on_app_receive f.TG.s (fun _ -> incr got);
+        (* R3 -> S: crosses two routers, no mobility anywhere *)
+        Agent.send_udp f.TG.r3 ~dst:(Agent.address f.TG.s)
+          (Bytes.create 32);
+        Topology.run ~until:(Time.of_sec 1.0) f.TG.topo;
+        check Alcotest.int "delivered" 1 !got) ]
+
+let suite = [ ("edge-cases", edge_tests) ]

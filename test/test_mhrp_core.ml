@@ -1,0 +1,471 @@
+(* Tests for the MHRP data structures: the Figure 3 header, the
+   encapsulation transforms of Sections 4.1/4.4, caches, rate limiting and
+   control-message codecs. *)
+
+module Addr = Ipv4.Addr
+module Packet = Ipv4.Packet
+module Header = Mhrp.Mhrp_header
+module Encap = Mhrp.Encap
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+let addr_testable = Alcotest.testable Addr.pp Addr.equal
+let header_testable = Alcotest.testable Header.pp Header.equal
+
+let a n = Addr.host 1 n
+let arb_addr = QCheck.map (fun n -> Addr.host (n mod 100) (n mod 250 + 1))
+    QCheck.(int_bound 100_000)
+
+let sample_udp = Ipv4.Udp.encode (Ipv4.Udp.make ~src_port:1234 ~dst_port:80
+                                    (Bytes.of_string "payload-data"))
+
+let plain_packet ?(src = a 1) ?(dst = Addr.host 2 10) () =
+  Packet.make ~id:77 ~proto:Ipv4.Proto.udp ~src ~dst sample_udp
+
+(* --- Mhrp_header (Figure 3) --- *)
+
+let header_tests =
+  [ Alcotest.test_case "empty header is exactly 8 bytes" `Quick (fun () ->
+        let h = Header.make ~orig_proto:Ipv4.Proto.tcp ~mobile:(a 9) () in
+        check Alcotest.int "length" 8 (Header.length h);
+        check Alcotest.int "encoded" 8
+          (Bytes.length (Header.encode h Bytes.empty)));
+    Alcotest.test_case "each previous source adds 4 bytes" `Quick
+      (fun () ->
+         let h =
+           Header.make ~prev_sources:[a 1; a 2; a 3]
+             ~orig_proto:Ipv4.Proto.udp ~mobile:(a 9) ()
+         in
+         check Alcotest.int "length" 20 (Header.length h));
+    Alcotest.test_case "roundtrip with transport bytes" `Quick (fun () ->
+        let h =
+          Header.make ~prev_sources:[a 4] ~orig_proto:Ipv4.Proto.udp
+            ~mobile:(a 9) ()
+        in
+        let encoded = Header.encode h sample_udp in
+        let h', transport = Header.decode encoded in
+        check header_testable "header" h h';
+        check Alcotest.string "transport" (Bytes.to_string sample_udp)
+          (Bytes.to_string transport));
+    Alcotest.test_case "checksum corruption detected" `Quick (fun () ->
+        let h = Header.make ~orig_proto:Ipv4.Proto.udp ~mobile:(a 9) () in
+        let encoded = Header.encode h sample_udp in
+        Bytes.set encoded 4 '\xAA';
+        Alcotest.check_raises "corrupt"
+          (Invalid_argument "Mhrp_header.decode: truncated or corrupt")
+          (fun () -> ignore (Header.decode encoded)));
+    Alcotest.test_case "append respects max and truncate resets" `Quick
+      (fun () ->
+         let h =
+           Header.make ~prev_sources:[a 1; a 2] ~orig_proto:Ipv4.Proto.udp
+             ~mobile:(a 9) ()
+         in
+         (match Header.append_source_max ~max:3 h (a 3) with
+          | `Ok h' ->
+            check Alcotest.int "grew" 3 (List.length h'.Header.prev_sources);
+            check Alcotest.bool "full now" true
+              (Header.append_source_max ~max:3 h' (a 4) = `Full)
+          | `Full -> Alcotest.fail "should fit");
+         let t = Header.truncate h (a 7) in
+         check (Alcotest.list addr_testable) "reset" [a 7]
+           t.Header.prev_sources);
+    Alcotest.test_case "membership and original sender" `Quick (fun () ->
+        let h =
+          Header.make ~prev_sources:[a 1; a 2] ~orig_proto:Ipv4.Proto.udp
+            ~mobile:(a 9) ()
+        in
+        check Alcotest.bool "mem" true (Header.mem_source h (a 2));
+        check Alcotest.bool "not mem" false (Header.mem_source h (a 3));
+        check (Alcotest.option addr_testable) "sender" (Some (a 1))
+          (Header.original_sender h));
+    Alcotest.test_case "drop_last_source reverses appends" `Quick
+      (fun () ->
+         let h =
+           Header.make ~prev_sources:[a 1; a 2; a 3]
+             ~orig_proto:Ipv4.Proto.udp ~mobile:(a 9) ()
+         in
+         match Header.drop_last_source h with
+         | Some (h', last) ->
+           check addr_testable "last" (a 3) last;
+           check (Alcotest.list addr_testable) "rest" [a 1; a 2]
+             h'.Header.prev_sources
+         | None -> Alcotest.fail "expected an entry");
+    Alcotest.test_case "decode_prefix needs full header only" `Quick
+      (fun () ->
+         let h =
+           Header.make ~prev_sources:[a 1] ~orig_proto:Ipv4.Proto.udp
+             ~mobile:(a 9) ()
+         in
+         let encoded = Header.encode h sample_udp in
+         (* cut inside the transport: header still parses *)
+         let cut = Bytes.sub encoded 0 14 in
+         (match Header.decode_prefix cut with
+          | Some (h', len) ->
+            check header_testable "header" h h';
+            check Alcotest.int "len" 12 len
+          | None -> Alcotest.fail "expected decode");
+         (* cut inside the header: refused *)
+         check Alcotest.bool "short" true
+           (Header.decode_prefix (Bytes.sub encoded 0 10) = None));
+    qtest
+      (QCheck.Test.make ~name:"header roundtrip (random lists)" ~count:300
+         QCheck.(pair (list_of_size Gen.(int_range 0 20) arb_addr)
+                   (string_of_size Gen.(int_range 0 64)))
+         (fun (sources, transport) ->
+            let h =
+              Header.make ~prev_sources:sources ~orig_proto:Ipv4.Proto.tcp
+                ~mobile:(a 9) ()
+            in
+            let h', tr = Header.decode (Header.encode h (Bytes.of_string transport)) in
+            Header.equal h h' && Bytes.to_string tr = transport));
+    qtest
+      (QCheck.Test.make ~name:"length = 8 + 4n" ~count:100
+         QCheck.(list_of_size Gen.(int_range 0 30) arb_addr)
+         (fun sources ->
+            let h =
+              Header.make ~prev_sources:sources ~orig_proto:Ipv4.Proto.udp
+                ~mobile:(a 9) ()
+            in
+            Header.length h = 8 + (4 * List.length sources))) ]
+
+(* --- Encap (Sections 4.1, 4.4, 5.3) --- *)
+
+let encap_tests =
+  [ Alcotest.test_case "sender-built tunnel adds exactly 8 bytes" `Quick
+      (fun () ->
+         let pkt = plain_packet () in
+         let t = Encap.tunnel_by_sender ~foreign_agent:(Addr.host 4 1) pkt in
+         check Alcotest.int "overhead" 8
+           (Encap.added_bytes ~original:pkt ~tunneled:t);
+         check addr_testable "src kept" pkt.Packet.src t.Packet.src;
+         check addr_testable "dst is fa" (Addr.host 4 1) t.Packet.dst;
+         check Alcotest.int "proto" Ipv4.Proto.mhrp t.Packet.proto;
+         check Alcotest.int "id preserved" 77 t.Packet.id);
+    Alcotest.test_case "agent-built tunnel adds exactly 12 bytes" `Quick
+      (fun () ->
+         let pkt = plain_packet () in
+         let t =
+           Encap.tunnel_by_agent ~agent:(Addr.host 2 1)
+             ~foreign_agent:(Addr.host 4 1) pkt
+         in
+         check Alcotest.int "overhead" 12
+           (Encap.added_bytes ~original:pkt ~tunneled:t);
+         check addr_testable "src is agent" (Addr.host 2 1) t.Packet.src;
+         match Encap.header_of t with
+         | Some h ->
+           check (Alcotest.list addr_testable) "sender recorded"
+             [pkt.Packet.src] h.Header.prev_sources
+         | None -> Alcotest.fail "no header");
+    Alcotest.test_case "detunnel restores the original packet" `Quick
+      (fun () ->
+         let pkt = plain_packet () in
+         let t =
+           Encap.tunnel_by_agent ~agent:(Addr.host 2 1)
+             ~foreign_agent:(Addr.host 4 1) pkt
+         in
+         match Encap.detunnel t with
+         | Some (original, _) ->
+           check addr_testable "src" pkt.Packet.src original.Packet.src;
+           check addr_testable "dst" pkt.Packet.dst original.Packet.dst;
+           check Alcotest.int "proto" pkt.Packet.proto original.Packet.proto;
+           check Alcotest.string "payload"
+             (Bytes.to_string pkt.Packet.payload)
+             (Bytes.to_string original.Packet.payload)
+         | None -> Alcotest.fail "detunnel failed");
+    Alcotest.test_case "detunnel of sender-built keeps IP source" `Quick
+      (fun () ->
+         let pkt = plain_packet () in
+         let t = Encap.tunnel_by_sender ~foreign_agent:(Addr.host 4 1) pkt in
+         match Encap.detunnel t with
+         | Some (original, _) ->
+           check addr_testable "src" pkt.Packet.src original.Packet.src
+         | None -> Alcotest.fail "detunnel failed");
+    Alcotest.test_case "retunnel follows the Section 4.4 steps" `Quick
+      (fun () ->
+         let pkt = plain_packet () in
+         let t =
+           Encap.tunnel_by_agent ~agent:(Addr.host 2 1)
+             ~foreign_agent:(Addr.host 4 1) pkt
+         in
+         (* the stale FA 4.1 re-tunnels to the new FA 5.1 *)
+         match
+           Encap.retunnel ~max_prev_sources:8 ~me:(Addr.host 4 1)
+             ~new_dst:(Addr.host 5 1) t
+         with
+         | Some (Encap.Retunneled p) ->
+           check addr_testable "src me" (Addr.host 4 1) p.Packet.src;
+           check addr_testable "dst new fa" (Addr.host 5 1) p.Packet.dst;
+           check Alcotest.int "+4 bytes" 4
+             (Packet.total_length p - Packet.total_length t);
+           (match Encap.header_of p with
+            | Some h ->
+              check (Alcotest.list addr_testable) "list grew"
+                [pkt.Packet.src; Addr.host 2 1] h.Header.prev_sources
+            | None -> Alcotest.fail "no header")
+         | _ -> Alcotest.fail "expected plain retunnel");
+    Alcotest.test_case "retunnel overflow truncates and reports" `Quick
+      (fun () ->
+         let pkt = plain_packet () in
+         let t =
+           Encap.tunnel_by_agent ~agent:(Addr.host 2 1)
+             ~foreign_agent:(Addr.host 4 1) pkt
+         in
+         (* with max 1 the list [sender] is already full *)
+         match
+           Encap.retunnel ~max_prev_sources:1 ~me:(Addr.host 4 1)
+             ~new_dst:(Addr.host 5 1) t
+         with
+         | Some (Encap.Retunneled_overflow { packet; notify }) ->
+           check (Alcotest.list addr_testable) "notify stale"
+             [pkt.Packet.src] notify;
+           (match Encap.header_of packet with
+            | Some h ->
+              check (Alcotest.list addr_testable) "reset to incoming head"
+                [Addr.host 2 1] h.Header.prev_sources
+            | None -> Alcotest.fail "no header")
+         | _ -> Alcotest.fail "expected overflow");
+    Alcotest.test_case "loop detected when own address in list" `Quick
+      (fun () ->
+         let pkt = plain_packet () in
+         let t =
+           Encap.tunnel_by_agent ~agent:(Addr.host 2 1)
+             ~foreign_agent:(Addr.host 4 1) pkt
+         in
+         (* 4.1 -> 5.1 -> back at 4.1 *)
+         let t2 =
+           match
+             Encap.retunnel ~max_prev_sources:8 ~me:(Addr.host 4 1)
+               ~new_dst:(Addr.host 5 1) t
+           with
+           | Some (Encap.Retunneled p) -> p
+           | _ -> Alcotest.fail "setup"
+         in
+         let t3 =
+           match
+             Encap.retunnel ~max_prev_sources:8 ~me:(Addr.host 5 1)
+               ~new_dst:(Addr.host 4 1) t2
+           with
+           | Some (Encap.Retunneled p) -> p
+           | _ -> Alcotest.fail "setup2"
+         in
+         match
+           Encap.retunnel ~max_prev_sources:8 ~me:(Addr.host 4 1)
+             ~new_dst:(Addr.host 5 1) t3
+         with
+         | Some (Encap.Loop_detected { members }) ->
+           check Alcotest.bool "old fa in loop" true
+             (List.exists (Addr.equal (Addr.host 5 1)) members)
+         | _ -> Alcotest.fail "expected loop detection");
+    Alcotest.test_case "retunnel refuses non-mhrp packets" `Quick
+      (fun () ->
+         check Alcotest.bool "none" true
+           (Encap.retunnel ~max_prev_sources:8 ~me:(a 1)
+              ~new_dst:(a 2) (plain_packet ())
+            = None));
+    qtest
+      (QCheck.Test.make ~name:"tunnel/detunnel identity (random packets)"
+         ~count:300
+         QCheck.(triple arb_addr arb_addr
+                   (string_of_size Gen.(int_range 0 100)))
+         (fun (src, dst, payload) ->
+            QCheck.assume (not (Addr.equal src dst));
+            let pkt =
+              Packet.make ~proto:Ipv4.Proto.udp ~src ~dst
+                (Bytes.of_string payload)
+            in
+            let t =
+              Encap.tunnel_by_agent ~agent:(Addr.host 200 1)
+                ~foreign_agent:(Addr.host 201 1) pkt
+            in
+            match Encap.detunnel t with
+            | Some (original, _) ->
+              Addr.equal original.Packet.src src
+              && Addr.equal original.Packet.dst dst
+              && Bytes.to_string original.Packet.payload = payload
+            | None -> false)) ]
+
+(* --- Location cache --- *)
+
+let cache_tests =
+  [ Alcotest.test_case "insert, find, delete" `Quick (fun () ->
+        let c = Mhrp.Location_cache.create ~capacity:4 in
+        Mhrp.Location_cache.insert c ~mobile:(a 1) ~foreign_agent:(a 2);
+        check (Alcotest.option addr_testable) "hit" (Some (a 2))
+          (Mhrp.Location_cache.find c (a 1));
+        Mhrp.Location_cache.delete c (a 1);
+        check (Alcotest.option addr_testable) "gone" None
+          (Mhrp.Location_cache.find c (a 1));
+        check Alcotest.int "hit count" 1 (Mhrp.Location_cache.hits c);
+        check Alcotest.int "miss count" 1 (Mhrp.Location_cache.misses c));
+    Alcotest.test_case "LRU eviction at capacity" `Quick (fun () ->
+        let c = Mhrp.Location_cache.create ~capacity:2 in
+        Mhrp.Location_cache.insert c ~mobile:(a 1) ~foreign_agent:(a 10);
+        Mhrp.Location_cache.insert c ~mobile:(a 2) ~foreign_agent:(a 20);
+        (* touch a1 so a2 is LRU *)
+        ignore (Mhrp.Location_cache.find c (a 1));
+        Mhrp.Location_cache.insert c ~mobile:(a 3) ~foreign_agent:(a 30);
+        check (Alcotest.option addr_testable) "lru evicted" None
+          (Mhrp.Location_cache.peek c (a 2));
+        check (Alcotest.option addr_testable) "recent kept" (Some (a 10))
+          (Mhrp.Location_cache.peek c (a 1));
+        check Alcotest.int "evictions" 1
+          (Mhrp.Location_cache.evictions c));
+    Alcotest.test_case "update with zero deletes (at-home signal)" `Quick
+      (fun () ->
+         let c = Mhrp.Location_cache.create ~capacity:4 in
+         Mhrp.Location_cache.insert c ~mobile:(a 1) ~foreign_agent:(a 2);
+         Mhrp.Location_cache.update c ~mobile:(a 1)
+           ~foreign_agent:Addr.zero;
+         check Alcotest.int "empty" 0 (Mhrp.Location_cache.size c));
+    Alcotest.test_case "zero insert rejected" `Quick (fun () ->
+        let c = Mhrp.Location_cache.create ~capacity:4 in
+        Alcotest.check_raises "zero"
+          (Invalid_argument
+             "Location_cache.insert: zero foreign agent (use delete)")
+          (fun () ->
+             Mhrp.Location_cache.insert c ~mobile:(a 1)
+               ~foreign_agent:Addr.zero));
+    Alcotest.test_case "reinsert updates without eviction" `Quick
+      (fun () ->
+         let c = Mhrp.Location_cache.create ~capacity:2 in
+         Mhrp.Location_cache.insert c ~mobile:(a 1) ~foreign_agent:(a 10);
+         Mhrp.Location_cache.insert c ~mobile:(a 2) ~foreign_agent:(a 20);
+         Mhrp.Location_cache.insert c ~mobile:(a 1) ~foreign_agent:(a 11);
+         check Alcotest.int "no eviction" 0
+           (Mhrp.Location_cache.evictions c);
+         check (Alcotest.option addr_testable) "updated" (Some (a 11))
+           (Mhrp.Location_cache.peek c (a 1)));
+    qtest
+      (QCheck.Test.make ~name:"size never exceeds capacity" ~count:100
+         QCheck.(list_of_size Gen.(int_range 0 100) (pair arb_addr arb_addr))
+         (fun ops ->
+            let c = Mhrp.Location_cache.create ~capacity:8 in
+            List.iter
+              (fun (m, f) ->
+                 if not (Addr.is_zero f) then
+                   Mhrp.Location_cache.insert c ~mobile:m ~foreign_agent:f)
+              ops;
+            Mhrp.Location_cache.size c <= 8)) ]
+
+(* --- Rate limiter (Section 4.3) --- *)
+
+let rate_tests =
+  [ Alcotest.test_case "suppresses within min interval" `Quick (fun () ->
+        let r =
+          Mhrp.Rate_limiter.create ~capacity:8
+            ~min_interval:(Netsim.Time.of_sec 1.0)
+        in
+        let t0 = Netsim.Time.zero in
+        check Alcotest.bool "first" true (Mhrp.Rate_limiter.allow r ~now:t0 (a 1));
+        check Alcotest.bool "suppressed" false
+          (Mhrp.Rate_limiter.allow r ~now:(Netsim.Time.of_ms 500) (a 1));
+        check Alcotest.bool "other addr ok" true
+          (Mhrp.Rate_limiter.allow r ~now:(Netsim.Time.of_ms 500) (a 2));
+        check Alcotest.bool "after interval" true
+          (Mhrp.Rate_limiter.allow r ~now:(Netsim.Time.of_ms 1500) (a 1));
+        check Alcotest.int "counts" 1 (Mhrp.Rate_limiter.suppressed r));
+    Alcotest.test_case "LRU list bounded; aged-out addresses may send"
+      `Quick (fun () ->
+          let r =
+            Mhrp.Rate_limiter.create ~capacity:2
+              ~min_interval:(Netsim.Time.of_sec 10.0)
+          in
+          let now = Netsim.Time.of_sec 1.0 in
+          ignore (Mhrp.Rate_limiter.allow r ~now (a 1));
+          ignore (Mhrp.Rate_limiter.allow r ~now (a 2));
+          ignore (Mhrp.Rate_limiter.allow r ~now (a 3));
+          (* a1 aged out of the bounded list: allowed again (errs toward
+             sending, as the paper's LRU list does) *)
+          check Alcotest.int "bounded" 2 (Mhrp.Rate_limiter.size r);
+          check Alcotest.bool "aged out" true
+            (Mhrp.Rate_limiter.allow r ~now:(Netsim.Time.of_sec 2.0) (a 1))) ]
+
+(* --- Control codec --- *)
+
+let control_roundtrip m =
+  match Mhrp.Control.decode (Mhrp.Control.encode m) with
+  | Some m' -> Mhrp.Control.encode m = Mhrp.Control.encode m'
+  | None -> false
+
+let control_tests =
+  [ Alcotest.test_case "all message kinds roundtrip" `Quick (fun () ->
+        let mac = Net.Mac.of_int 0x0200_0000_0001 in
+        List.iter
+          (fun m -> check Alcotest.bool "roundtrip" true (control_roundtrip m))
+          [ Mhrp.Control.Reg_request { mobile = a 1; foreign_agent = a 2 };
+            Mhrp.Control.Reg_reply { mobile = a 1; accepted = true };
+            Mhrp.Control.Reg_reply { mobile = a 1; accepted = false };
+            Mhrp.Control.Fa_connect { mobile = a 1; mac };
+            Mhrp.Control.Fa_connect_ack { mobile = a 1 };
+            Mhrp.Control.Fa_disconnect
+              { mobile = a 1; new_foreign_agent = a 3 } ]);
+    Alcotest.test_case "garbage rejected" `Quick (fun () ->
+        check Alcotest.bool "none" true
+          (Mhrp.Control.decode (Bytes.of_string "zz") = None);
+        check Alcotest.bool "unknown tag" true
+          (Mhrp.Control.decode (Bytes.make 12 '\xFE') = None)) ]
+
+(* --- Home/foreign agent state --- *)
+
+let ha_state_tests =
+  [ Alcotest.test_case "registration lifecycle" `Quick (fun () ->
+        let ha = Mhrp.Home_agent.create () in
+        Mhrp.Home_agent.add_mobile ha (a 1);
+        check Alcotest.bool "serves" true (Mhrp.Home_agent.serves ha (a 1));
+        check Alcotest.bool "at home" false (Mhrp.Home_agent.is_away ha (a 1));
+        Mhrp.Home_agent.register ha ~mobile:(a 1) ~foreign_agent:(a 9);
+        check Alcotest.bool "away" true (Mhrp.Home_agent.is_away ha (a 1));
+        check (Alcotest.list addr_testable) "away list" [a 1]
+          (Mhrp.Home_agent.away_mobiles ha);
+        Mhrp.Home_agent.register ha ~mobile:(a 1) ~foreign_agent:Addr.zero;
+        check Alcotest.bool "home again" false
+          (Mhrp.Home_agent.is_away ha (a 1)));
+    Alcotest.test_case "unknown mobile rejected" `Quick (fun () ->
+        let ha = Mhrp.Home_agent.create () in
+        Alcotest.check_raises "not mine"
+          (Invalid_argument "Home_agent.register: not my mobile host")
+          (fun () ->
+             Mhrp.Home_agent.register ha ~mobile:(a 1)
+               ~foreign_agent:(a 2)));
+    Alcotest.test_case "persistence across reboot" `Quick (fun () ->
+        let ha = Mhrp.Home_agent.create ~persistent:true () in
+        Mhrp.Home_agent.add_mobile ha (a 1);
+        Mhrp.Home_agent.register ha ~mobile:(a 1) ~foreign_agent:(a 9);
+        Mhrp.Home_agent.reboot ha;
+        check Alcotest.bool "survives" true (Mhrp.Home_agent.is_away ha (a 1));
+        let volatile = Mhrp.Home_agent.create ~persistent:false () in
+        Mhrp.Home_agent.add_mobile volatile (a 1);
+        Mhrp.Home_agent.reboot volatile;
+        check Alcotest.bool "cleared" false
+          (Mhrp.Home_agent.serves volatile (a 1)));
+    Alcotest.test_case "state is 8 bytes per mobile" `Quick (fun () ->
+        let ha = Mhrp.Home_agent.create () in
+        for i = 1 to 5 do
+          Mhrp.Home_agent.add_mobile ha (a i)
+        done;
+        check Alcotest.int "bytes" 40 (Mhrp.Home_agent.state_bytes ha)) ]
+
+let fa_state_tests =
+  [ Alcotest.test_case "visitor list lifecycle" `Quick (fun () ->
+        let fa = Mhrp.Foreign_agent.create () in
+        Mhrp.Foreign_agent.add fa
+          { Mhrp.Foreign_agent.mobile = a 1; mac = None; iface = 0 };
+        check Alcotest.bool "mem" true (Mhrp.Foreign_agent.mem fa (a 1));
+        check Alcotest.int "count" 1 (Mhrp.Foreign_agent.count fa);
+        Mhrp.Foreign_agent.remove fa (a 1);
+        check Alcotest.bool "removed" false (Mhrp.Foreign_agent.mem fa (a 1)));
+    Alcotest.test_case "clear empties (the reboot behaviour)" `Quick
+      (fun () ->
+         let fa = Mhrp.Foreign_agent.create () in
+         for i = 1 to 4 do
+           Mhrp.Foreign_agent.add fa
+             { Mhrp.Foreign_agent.mobile = a i; mac = None; iface = 0 }
+         done;
+         Mhrp.Foreign_agent.clear fa;
+         check Alcotest.int "empty" 0 (Mhrp.Foreign_agent.count fa)) ]
+
+let suite =
+  [ ("mhrp-header", header_tests); ("encap", encap_tests);
+    ("location-cache", cache_tests); ("rate-limiter", rate_tests);
+    ("control", control_tests); ("home-agent-state", ha_state_tests);
+    ("foreign-agent-state", fa_state_tests) ]

@@ -1,0 +1,190 @@
+(* Additional behavioural coverage: rerouting after link failure, periodic
+   agent advertisements when solicitation finds nobody, the Sony VIP
+   always-pay contrast with MHRP's at-home free ride, and the explicit
+   disconnect-then-reconnect life cycle. *)
+
+module Time = Netsim.Time
+module Addr = Ipv4.Addr
+module Node = Net.Node
+module Lan = Net.Lan
+module Topology = Net.Topology
+module Agent = Mhrp.Agent
+module TG = Workload.Topo_gen
+
+let check = Alcotest.check
+
+let misc_tests =
+  [ Alcotest.test_case
+      "link failure + route recomputation restores delivery" `Quick
+      (fun () ->
+         (* a ring: two disjoint paths between the endpoints *)
+         let topo = Topology.create () in
+         let l_a = Topology.add_lan topo ~net:1 "lanA" in
+         let l_b = Topology.add_lan topo ~net:2 "lanB" in
+         let top = Topology.add_lan topo ~net:10 "top" in
+         let bottom = Topology.add_lan topo ~net:11 "bottom" in
+         let _r1 = Topology.add_router topo "r1" [(l_a, 1); (top, 1)] in
+         let _r2 = Topology.add_router topo "r2" [(top, 2); (l_b, 1)] in
+         let _r3 = Topology.add_router topo "r3" [(l_a, 2); (bottom, 1)] in
+         let _r4 = Topology.add_router topo "r4" [(bottom, 2); (l_b, 2)] in
+         let a = Topology.add_host topo "a" l_a 10 in
+         let b = Topology.add_host topo "b" l_b 10 in
+         Topology.compute_routes topo;
+         let got = ref 0 in
+         Node.set_proto_handler b Ipv4.Proto.udp (fun _ _ -> incr got);
+         let send () =
+           Node.send a
+             (Ipv4.Packet.make ~proto:Ipv4.Proto.udp
+                ~src:(Node.primary_addr a) ~dst:(Node.primary_addr b)
+                (Ipv4.Udp.encode
+                   (Ipv4.Udp.make ~src_port:1 ~dst_port:2 Bytes.empty)))
+         in
+         send ();
+         Topology.run topo;
+         check Alcotest.int "initial path works" 1 !got;
+         (* the path in use dies; the routing protocol reconverges *)
+         Lan.set_up top false;
+         Topology.compute_routes topo;
+         send ();
+         Topology.run topo;
+         check Alcotest.int "rerouted over the other path" 2 !got);
+    Alcotest.test_case
+      "mobile host registers from a periodic advertisement when its \
+       solicitation found nobody"
+      `Quick (fun () ->
+          let f = TG.figure1 () in
+          let topo = f.TG.topo in
+          (* a cell with a router but no foreign agent yet *)
+          let net_e = Topology.add_lan topo ~net:5 "netE" in
+          let r5n =
+            Topology.add_router topo "R5" [(f.TG.net_c, 3); (net_e, 1)]
+          in
+          Topology.compute_routes topo;
+          let r5 = Agent.create r5n in
+          Workload.Mobility.move_at topo f.TG.m ~at:(Time.of_sec 1.0) net_e;
+          (* the foreign agent comes up only after the move: its next
+             periodic advertisement (10 s period) rescues the stranded
+             host *)
+          ignore
+            (Netsim.Engine.schedule (Topology.engine topo)
+               ~at:(Time.of_sec 2.0) (fun () ->
+                   Agent.enable_foreign_agent r5
+                     ~iface:(Option.get
+                               (Node.iface_to r5n (Net.Lan.prefix net_e)))));
+          Topology.run ~until:(Time.of_sec 6.0) topo;
+          (match Agent.mobile f.TG.m with
+           | Some mh ->
+             check Alcotest.bool "still searching before the advert" true
+               (mh.Mhrp.Mobile_host.phase = Mhrp.Mobile_host.Searching)
+           | None -> Alcotest.fail "no mobile");
+          Topology.run ~until:(Time.of_sec 15.0) topo;
+          match Agent.mobile f.TG.m with
+          | Some mh ->
+            check Alcotest.bool "registered off the periodic advert" true
+              (match mh.Mhrp.Mobile_host.phase with
+               | Mhrp.Mobile_host.Registered _ -> true
+               | _ -> false)
+          | None -> Alcotest.fail "no mobile");
+    Alcotest.test_case
+      "Sony VIP pays 28 bytes even between stationary hosts; MHRP pays 0"
+      `Quick (fun () ->
+          (* the E9 contrast: the same stationary-to-stationary exchange
+             under both protocols *)
+          let p = TG.figure1_plain () in
+          let sv = Baselines.Sony_vip.create p.TG.p_topo in
+          List.iter (Baselines.Sony_vip.add_router sv)
+            [p.TG.p_r1; p.TG.p_r2];
+          Baselines.Sony_vip.make_host sv p.TG.p_s ~home_router:p.TG.p_r1;
+          Baselines.Sony_vip.make_host sv p.TG.p_m ~home_router:p.TG.p_r2;
+          let vip_bytes = ref 0 in
+          Baselines.Sony_vip.on_receive sv p.TG.p_m (fun _ -> ());
+          Node.on_transmit p.TG.p_s (fun _ pkt ->
+              vip_bytes := Ipv4.Packet.total_length pkt);
+          Baselines.Sony_vip.send sv ~src:p.TG.p_s
+            (Ipv4.Packet.make ~id:1 ~proto:Ipv4.Proto.udp
+               ~src:(Node.primary_addr p.TG.p_s)
+               ~dst:(Node.primary_addr p.TG.p_m)
+               (Ipv4.Udp.encode
+                  (Ipv4.Udp.make ~src_port:1 ~dst_port:2 (Bytes.create 64))));
+          Topology.run ~until:(Time.of_sec 1.0) p.TG.p_topo;
+          check Alcotest.int "VIP wire size" (92 + 28) !vip_bytes;
+          (* MHRP: same exchange, mobile-capable but at home *)
+          let f = TG.figure1 () in
+          let mhrp_bytes = ref 0 in
+          Node.on_transmit (Agent.node f.TG.s) (fun _ pkt ->
+              mhrp_bytes := Ipv4.Packet.total_length pkt);
+          Agent.send_udp f.TG.s ~id:1 ~dst:(Agent.address f.TG.m)
+            (Bytes.create 64);
+          Topology.run ~until:(Time.of_sec 1.0) f.TG.topo;
+          check Alcotest.int "MHRP wire size" 92 !mhrp_bytes);
+    Alcotest.test_case
+      "silent link-level move is noticed via advert expiry (Section 3)"
+      `Quick (fun () ->
+          (* short advertisement cadence so the test runs quickly *)
+          let config =
+            { Mhrp.Config.default with
+              Mhrp.Config.advert_interval = Time.of_sec 1.0;
+              advert_lifetime = Time.of_sec 3.0 }
+          in
+          let f = TG.figure1 ~config () in
+          let topo = f.TG.topo in
+          let metrics = Workload.Metrics.create topo in
+          let traffic =
+            Workload.Traffic.create metrics (Topology.engine topo)
+          in
+          Workload.Metrics.watch_receiver metrics f.TG.m;
+          let m_addr = Agent.address f.TG.m in
+          (* the host is carried away WITHOUT any protocol call: only the
+             link layer changes *)
+          ignore
+            (Netsim.Engine.schedule (Topology.engine topo)
+               ~at:(Time.of_sec 1.0) (fun () ->
+                   Topology.move_host topo (Agent.node f.TG.m)
+                     f.TG.net_d));
+          (* after the advertisement lifetime lapses the host searches,
+             hears R4, and registers by itself *)
+          Workload.Traffic.at traffic (Time.of_sec 8.0) (fun () ->
+              Workload.Traffic.send_udp traffic ~src:f.TG.s ~dst:m_addr ());
+          Topology.run ~until:(Time.of_sec 12.0) topo;
+          (match Agent.mobile f.TG.m with
+           | Some mh ->
+             check Alcotest.bool "implicitly disconnected" true
+               (mh.Mhrp.Mobile_host.implicit_disconnects >= 1);
+             check Alcotest.bool "re-registered by itself" true
+               (match mh.Mhrp.Mobile_host.phase with
+                | Mhrp.Mobile_host.Registered _ -> true
+                | _ -> false)
+           | None -> Alcotest.fail "no mobile");
+          check Alcotest.bool "traffic flows again" true
+            (List.exists
+               (fun r -> r.Workload.Metrics.delivered_at <> None)
+               (Workload.Metrics.records metrics)));
+    Alcotest.test_case "disconnect then reconnect restores service" `Quick
+      (fun () ->
+         let f = TG.figure1 () in
+         let topo = f.TG.topo in
+         let metrics = Workload.Metrics.create topo in
+         let traffic =
+           Workload.Traffic.create metrics (Topology.engine topo)
+         in
+         Workload.Metrics.watch_receiver metrics f.TG.m;
+         let m_addr = Agent.address f.TG.m in
+         Workload.Mobility.move_at topo f.TG.m ~at:(Time.of_sec 1.0)
+           f.TG.net_d;
+         Workload.Traffic.at traffic (Time.of_sec 2.0) (fun () ->
+             Agent.disconnect f.TG.m);
+         Workload.Traffic.at traffic (Time.of_sec 3.0) (fun () ->
+             Workload.Traffic.send_udp traffic ~src:f.TG.s ~dst:m_addr ());
+         (* reconnect at the same cell *)
+         Workload.Mobility.move_at topo f.TG.m ~at:(Time.of_sec 4.0)
+           f.TG.net_d;
+         Workload.Traffic.at traffic (Time.of_sec 5.0) (fun () ->
+             Workload.Traffic.send_udp traffic ~src:f.TG.s ~dst:m_addr ());
+         Topology.run ~until:(Time.of_sec 8.0) topo;
+         let rs = Workload.Metrics.records metrics in
+         check Alcotest.bool "lost while disconnected" true
+           ((List.nth rs 0).Workload.Metrics.delivered_at = None);
+         check Alcotest.bool "delivered after reconnect" true
+           ((List.nth rs 1).Workload.Metrics.delivered_at <> None)) ]
+
+let suite = [ ("misc-behaviour", misc_tests) ]

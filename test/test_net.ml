@@ -1,0 +1,533 @@
+(* Tests for the network substrate: link layer, LANs, routing tables,
+   nodes, shortest-path computation, topology plumbing. *)
+
+module Time = Netsim.Time
+module Addr = Ipv4.Addr
+module Packet = Ipv4.Packet
+module Mac = Net.Mac
+module Lan = Net.Lan
+module Node = Net.Node
+module Route = Net.Route
+module Topology = Net.Topology
+
+let check = Alcotest.check
+let addr_testable = Alcotest.testable Addr.pp Addr.equal
+let mac_testable = Alcotest.testable Mac.pp Mac.equal
+
+(* --- Mac --- *)
+
+let mac_tests =
+  [ Alcotest.test_case "formatting" `Quick (fun () ->
+        check Alcotest.string "format" "02:00:00:00:00:2a"
+          (Mac.to_string (Mac.of_int 0x0200_0000_002A)));
+    Alcotest.test_case "broadcast is reserved" `Quick (fun () ->
+        check Alcotest.bool "is broadcast" true
+          (Mac.is_broadcast Mac.broadcast);
+        Alcotest.check_raises "reserved"
+          (Invalid_argument "Mac.of_int: broadcast reserved") (fun () ->
+            ignore (Mac.of_int (Mac.to_int Mac.broadcast))));
+    Alcotest.test_case "allocator yields distinct addresses" `Quick
+      (fun () ->
+         let alloc = Mac.Alloc.create () in
+         let a = Mac.Alloc.fresh alloc and b = Mac.Alloc.fresh alloc in
+         check Alcotest.bool "distinct" false (Mac.equal a b)) ]
+
+(* --- Arp / Frame --- *)
+
+let arp_tests =
+  [ Alcotest.test_case "request has no target mac" `Quick (fun () ->
+        let a =
+          Net.Arp.request ~sender_mac:(Mac.of_int 1)
+            ~sender_ip:(Addr.host 1 1) ~target_ip:(Addr.host 1 2)
+        in
+        check Alcotest.bool "none" true (a.Net.Arp.target_mac = None));
+    Alcotest.test_case "gratuitous binds ip to mac on both fields" `Quick
+      (fun () ->
+         let g = Net.Arp.gratuitous ~mac:(Mac.of_int 2) ~ip:(Addr.host 1 5) in
+         check addr_testable "sender" (Addr.host 1 5) g.Net.Arp.sender_ip;
+         check addr_testable "target" (Addr.host 1 5) g.Net.Arp.target_ip;
+         check mac_testable "mac" (Mac.of_int 2) g.Net.Arp.sender_mac);
+    Alcotest.test_case "frame wire length includes ethernet overhead"
+      `Quick (fun () ->
+          let f =
+            Net.Frame.ip ~src:(Mac.of_int 1) ~dst:(Mac.of_int 2)
+              (Bytes.create 100)
+          in
+          check Alcotest.int "ip" 118 (Net.Frame.wire_length f);
+          let g =
+            Net.Frame.arp ~src:(Mac.of_int 1) ~dst:Mac.broadcast
+              (Net.Arp.gratuitous ~mac:(Mac.of_int 1) ~ip:Addr.zero)
+          in
+          check Alcotest.int "arp" 46 (Net.Frame.wire_length g)) ]
+
+(* --- Lan --- *)
+
+let with_lan f =
+  let engine = Netsim.Engine.create () in
+  let lan = Lan.create ~engine ~name:"test" (Addr.net 1) in
+  f engine lan
+
+let lan_tests =
+  [ Alcotest.test_case "unicast reaches only its target" `Quick (fun () ->
+        with_lan (fun engine lan ->
+            let got_a = ref 0 and got_b = ref 0 in
+            Lan.attach lan (Mac.of_int 1) (fun _ -> incr got_a);
+            Lan.attach lan (Mac.of_int 2) (fun _ -> incr got_b);
+            Lan.send lan
+              (Net.Frame.ip ~src:(Mac.of_int 1) ~dst:(Mac.of_int 2)
+                 (Bytes.create 10));
+            Netsim.Engine.run engine;
+            check Alcotest.int "a" 0 !got_a;
+            check Alcotest.int "b" 1 !got_b));
+    Alcotest.test_case "broadcast reaches all but sender" `Quick (fun () ->
+        with_lan (fun engine lan ->
+            let got = ref [] in
+            List.iter
+              (fun i ->
+                 Lan.attach lan (Mac.of_int i) (fun _ ->
+                     got := i :: !got))
+              [1; 2; 3];
+            Lan.send lan
+              (Net.Frame.ip ~src:(Mac.of_int 1) ~dst:Mac.broadcast
+                 (Bytes.create 10));
+            Netsim.Engine.run engine;
+            check (Alcotest.list Alcotest.int) "receivers" [2; 3]
+              (List.sort compare !got)));
+    Alcotest.test_case "absent destination silently dropped" `Quick
+      (fun () ->
+         with_lan (fun engine lan ->
+             Lan.attach lan (Mac.of_int 1) (fun _ -> ());
+             Lan.send lan
+               (Net.Frame.ip ~src:(Mac.of_int 1) ~dst:(Mac.of_int 9)
+                  (Bytes.create 10));
+             Netsim.Engine.run engine;
+             check Alcotest.int "sent counted" 1 (Lan.frames_sent lan)));
+    Alcotest.test_case "down LAN delivers nothing" `Quick (fun () ->
+        with_lan (fun engine lan ->
+            let got = ref 0 in
+            Lan.attach lan (Mac.of_int 1) (fun _ -> incr got);
+            Lan.set_up lan false;
+            Lan.send lan
+              (Net.Frame.ip ~src:(Mac.of_int 2) ~dst:(Mac.of_int 1)
+                 (Bytes.create 10));
+            Netsim.Engine.run engine;
+            check Alcotest.int "nothing" 0 !got));
+    Alcotest.test_case "latency and serialization delay apply" `Quick
+      (fun () ->
+         let engine = Netsim.Engine.create () in
+         let lan =
+           Lan.create ~engine ~name:"slow" ~latency:(Time.of_ms 10)
+             ~bandwidth_bps:8_000 (Addr.net 1)
+         in
+         let at = ref Time.zero in
+         Lan.attach lan (Mac.of_int 1) (fun _ ->
+             at := Netsim.Engine.now engine);
+         (* 100-byte payload + 18 ethernet = 118 bytes = 944 bits at
+            8 kb/s = 118 ms serialization + 10 ms latency *)
+         Lan.send lan
+           (Net.Frame.ip ~src:(Mac.of_int 2) ~dst:(Mac.of_int 1)
+              (Bytes.create 100));
+         Netsim.Engine.run engine;
+         check Alcotest.int "arrival time" 128_000 (Time.to_us !at));
+    Alcotest.test_case "detach stops delivery, reattach allowed" `Quick
+      (fun () ->
+         with_lan (fun engine lan ->
+             let got = ref 0 in
+             Lan.attach lan (Mac.of_int 1) (fun _ -> incr got);
+             Lan.detach lan (Mac.of_int 1);
+             Lan.send lan
+               (Net.Frame.ip ~src:(Mac.of_int 2) ~dst:(Mac.of_int 1)
+                  (Bytes.create 4));
+             Netsim.Engine.run engine;
+             check Alcotest.int "after detach" 0 !got;
+             Lan.attach lan (Mac.of_int 1) (fun _ -> incr got);
+             check Alcotest.bool "attached" true
+               (Lan.attached lan (Mac.of_int 1))));
+    Alcotest.test_case "duplicate attach rejected" `Quick (fun () ->
+        with_lan (fun _ lan ->
+            Lan.attach lan (Mac.of_int 1) (fun _ -> ());
+            check Alcotest.bool "raises" true
+              (try
+                 Lan.attach lan (Mac.of_int 1) (fun _ -> ());
+                 false
+               with Invalid_argument _ -> true))) ]
+
+(* --- Route --- *)
+
+let route_tests =
+  [ Alcotest.test_case "longest prefix wins" `Quick (fun () ->
+        let t =
+          Route.empty
+          |> (fun t -> Route.add_default t (Route.Via (Addr.host 0 1)))
+          |> (fun t ->
+              Route.add t (Addr.net 5) (Route.Via (Addr.host 0 2)))
+          |> fun t -> Route.add_host t (Addr.host 5 9) (Route.Direct 0)
+        in
+        check Alcotest.bool "host route" true
+          (Route.lookup t (Addr.host 5 9) = Some (Route.Direct 0));
+        check Alcotest.bool "net route" true
+          (Route.lookup t (Addr.host 5 8)
+           = Some (Route.Via (Addr.host 0 2)));
+        check Alcotest.bool "default" true
+          (Route.lookup t (Addr.host 9 1)
+           = Some (Route.Via (Addr.host 0 1))));
+    Alcotest.test_case "add replaces same prefix" `Quick (fun () ->
+        let t = Route.add Route.empty (Addr.net 1) (Route.Direct 0) in
+        let t = Route.add t (Addr.net 1) (Route.Direct 1) in
+        check Alcotest.int "one entry" 1 (Route.size t);
+        check Alcotest.bool "replaced" true
+          (Route.lookup t (Addr.host 1 1) = Some (Route.Direct 1)));
+    Alcotest.test_case "remove host route restores net route" `Quick
+      (fun () ->
+         let t = Route.add Route.empty (Addr.net 1) (Route.Direct 0) in
+         let t = Route.add_host t (Addr.host 1 7) (Route.Direct 3) in
+         let t = Route.remove_host t (Addr.host 1 7) in
+         check Alcotest.bool "net again" true
+           (Route.lookup t (Addr.host 1 7) = Some (Route.Direct 0)));
+    Alcotest.test_case "empty table finds nothing" `Quick (fun () ->
+        check Alcotest.bool "none" true
+          (Route.lookup Route.empty (Addr.host 1 1) = None)) ]
+
+(* --- Node + Topology integration --- *)
+
+let two_hosts () =
+  let topo = Topology.create () in
+  let lan = Topology.add_lan topo ~net:1 "lan1" in
+  let a = Topology.add_host topo "a" lan 1 in
+  let b = Topology.add_host topo "b" lan 2 in
+  Topology.compute_routes topo;
+  (topo, lan, a, b)
+
+let udp_to ~src ~dst_addr data =
+  Packet.make ~proto:Ipv4.Proto.udp ~src:(Node.primary_addr src)
+    ~dst:dst_addr
+    (Ipv4.Udp.encode (Ipv4.Udp.make ~src_port:1 ~dst_port:2 data))
+
+let node_tests =
+  [ Alcotest.test_case "same-LAN delivery with ARP resolution" `Quick
+      (fun () ->
+         let topo, _, a, b = two_hosts () in
+         let got = ref 0 in
+         Node.set_proto_handler b Ipv4.Proto.udp (fun _ _ -> incr got);
+         Node.send a
+           (udp_to ~src:a ~dst_addr:(Node.primary_addr b)
+              (Bytes.of_string "hi"));
+         Topology.run topo;
+         check Alcotest.int "delivered" 1 !got;
+         (* ARP cache warmed on both sides *)
+         check Alcotest.bool "a knows b" true
+           (Node.arp_cache_lookup a (Node.primary_addr b) <> None));
+    Alcotest.test_case "multi-hop routed delivery" `Quick (fun () ->
+        let topo = Topology.create () in
+        let l1 = Topology.add_lan topo ~net:1 "l1" in
+        let l2 = Topology.add_lan topo ~net:2 "l2" in
+        let l3 = Topology.add_lan topo ~net:3 "l3" in
+        let _r1 = Topology.add_router topo "r1" [(l1, 1); (l2, 1)] in
+        let _r2 = Topology.add_router topo "r2" [(l2, 2); (l3, 1)] in
+        let a = Topology.add_host topo "a" l1 10 in
+        let b = Topology.add_host topo "b" l3 10 in
+        Topology.compute_routes topo;
+        let got_ttl = ref 0 in
+        Node.set_proto_handler b Ipv4.Proto.udp (fun _ pkt ->
+            got_ttl := pkt.Packet.ttl);
+        Node.send a
+          (udp_to ~src:a ~dst_addr:(Node.primary_addr b)
+             (Bytes.of_string "x"));
+        Topology.run topo;
+        check Alcotest.int "ttl decremented twice" 62 !got_ttl);
+    Alcotest.test_case "ttl expiry generates time exceeded" `Quick
+      (fun () ->
+         let topo = Topology.create () in
+         let l1 = Topology.add_lan topo ~net:1 "l1" in
+         let l2 = Topology.add_lan topo ~net:2 "l2" in
+         let _r = Topology.add_router topo "r" [(l1, 1); (l2, 1)] in
+         let a = Topology.add_host topo "a" l1 10 in
+         let b = Topology.add_host topo "b" l2 10 in
+         Topology.compute_routes topo;
+         let errors = ref [] in
+         Node.set_proto_handler a Ipv4.Proto.icmp (fun _ pkt ->
+             match Ipv4.Icmp.decode_opt pkt.Packet.payload with
+             | Some (Ipv4.Icmp.Time_exceeded _) ->
+               errors := pkt.Packet.src :: !errors
+             | _ -> ());
+         let pkt =
+           Packet.make ~ttl:1 ~proto:Ipv4.Proto.udp
+             ~src:(Node.primary_addr a) ~dst:(Node.primary_addr b)
+             (Ipv4.Udp.encode
+                (Ipv4.Udp.make ~src_port:1 ~dst_port:2 Bytes.empty))
+         in
+         Node.send a pkt;
+         Topology.run topo;
+         check Alcotest.int "one error" 1 (List.length !errors));
+    Alcotest.test_case "no route generates net unreachable" `Quick
+      (fun () ->
+         let topo, _, a, _ = two_hosts () in
+         let got = ref 0 in
+         Node.set_proto_handler a Ipv4.Proto.icmp (fun _ _ -> incr got);
+         Node.send a (udp_to ~src:a ~dst_addr:(Addr.host 99 1) Bytes.empty);
+         Topology.run topo;
+         (* locally-originated packet with no route: dropped quietly, the
+            sender is the source so no ICMP is self-addressed *)
+         check Alcotest.int "dropped" 1 (Node.packets_dropped a));
+    Alcotest.test_case "arp failure at router returns host unreachable"
+      `Quick (fun () ->
+          let topo = Topology.create () in
+          let l1 = Topology.add_lan topo ~net:1 "l1" in
+          let l2 = Topology.add_lan topo ~net:2 "l2" in
+          let _r = Topology.add_router topo "r" [(l1, 1); (l2, 1)] in
+          let a = Topology.add_host topo "a" l1 10 in
+          Topology.compute_routes topo;
+          let unreachable = ref 0 in
+          Node.set_proto_handler a Ipv4.Proto.icmp (fun _ pkt ->
+              match Ipv4.Icmp.decode_opt pkt.Packet.payload with
+              | Some (Ipv4.Icmp.Dest_unreachable { code = 1; _ }) ->
+                incr unreachable
+              | _ -> ());
+          (* host 10.0.2.77 does not exist on l2 *)
+          Node.send a (udp_to ~src:a ~dst_addr:(Addr.host 2 77) Bytes.empty);
+          Topology.run topo;
+          check Alcotest.int "unreachable" 1 !unreachable);
+    Alcotest.test_case "gratuitous arp poisons neighbour caches" `Quick
+      (fun () ->
+         let topo, _, a, b = two_hosts () in
+         (* warm a's cache with b's real mac *)
+         let got = ref 0 in
+         Node.set_proto_handler b Ipv4.Proto.udp (fun _ _ -> incr got);
+         Node.send a
+           (udp_to ~src:a ~dst_addr:(Node.primary_addr b) Bytes.empty);
+         Topology.run topo;
+         let real = Node.arp_cache_lookup a (Node.primary_addr b) in
+         (* now b claims... rather, a third node c claims b's address *)
+         let lan = Topology.lan topo "lan1" in
+         let c = Topology.add_host topo "c" lan 3 in
+         Node.gratuitous_arp c ~iface:0 (Node.primary_addr b);
+         Topology.run topo;
+         let poisoned = Node.arp_cache_lookup a (Node.primary_addr b) in
+         check Alcotest.bool "changed" true (real <> poisoned));
+    Alcotest.test_case "proxy arp answers for foreign address" `Quick
+      (fun () ->
+         let topo, _, a, b = two_hosts () in
+         let ghost = Addr.host 1 99 in
+         Node.set_arp_proxy b (fun addr -> Addr.equal addr ghost);
+         Node.arp_probe a ~iface:0 ghost;
+         Topology.run topo;
+         check mac_testable "proxy mac" (Node.iface_mac b 0)
+           (match Node.arp_cache_lookup a ghost with
+            | Some m -> m
+            | None -> Alcotest.fail "no answer"));
+    Alcotest.test_case "accept_ip claims foreign packets" `Quick (fun () ->
+        let topo, _, a, b = two_hosts () in
+        let ghost = Addr.host 1 99 in
+        let claimed = ref 0 in
+        Node.set_accept_ip b (fun _ pkt ->
+            Addr.equal pkt.Packet.dst ghost);
+        Node.set_arp_proxy b (fun addr -> Addr.equal addr ghost);
+        Node.set_proto_handler b Ipv4.Proto.udp (fun _ pkt ->
+            if Addr.equal pkt.Packet.dst ghost then incr claimed);
+        Node.send a (udp_to ~src:a ~dst_addr:ghost Bytes.empty);
+        Topology.run topo;
+        check Alcotest.int "claimed" 1 !claimed);
+    Alcotest.test_case "rewrite_forward can replace packets" `Quick
+      (fun () ->
+         let topo = Topology.create () in
+         let l1 = Topology.add_lan topo ~net:1 "l1" in
+         let l2 = Topology.add_lan topo ~net:2 "l2" in
+         let r = Topology.add_router topo "r" [(l1, 1); (l2, 1)] in
+         let a = Topology.add_host topo "a" l1 10 in
+         let b = Topology.add_host topo "b" l2 10 in
+         let c = Topology.add_host topo "c" l2 11 in
+         Topology.compute_routes topo;
+         Node.set_rewrite_forward r (fun _ pkt ->
+             if Addr.equal pkt.Packet.dst (Node.primary_addr b) then
+               Node.Replace { pkt with Packet.dst = Node.primary_addr c }
+             else Node.Forward);
+         let got_b = ref 0 and got_c = ref 0 in
+         Node.set_proto_handler b Ipv4.Proto.udp (fun _ _ -> incr got_b);
+         Node.set_proto_handler c Ipv4.Proto.udp (fun _ _ -> incr got_c);
+         Node.send a
+           (udp_to ~src:a ~dst_addr:(Node.primary_addr b) Bytes.empty);
+         Topology.run topo;
+         check Alcotest.int "b" 0 !got_b;
+         check Alcotest.int "c" 1 !got_c);
+    Alcotest.test_case "builtin echo responder" `Quick (fun () ->
+        let topo, _, a, b = two_hosts () in
+        let replies = ref 0 in
+        Node.set_proto_handler a Ipv4.Proto.icmp (fun _ pkt ->
+            match Ipv4.Icmp.decode_opt pkt.Packet.payload with
+            | Some (Ipv4.Icmp.Echo_reply _) -> incr replies
+            | _ -> ());
+        let ping =
+          Packet.make ~proto:Ipv4.Proto.icmp ~src:(Node.primary_addr a)
+            ~dst:(Node.primary_addr b)
+            (Ipv4.Icmp.encode
+               (Ipv4.Icmp.Echo_request
+                  { ident = 1; seq = 1; data = Bytes.empty }))
+        in
+        Node.send a ping;
+        Topology.run topo;
+        check Alcotest.int "pong" 1 !replies);
+    Alcotest.test_case "lsrr is followed and recorded" `Quick (fun () ->
+        let topo = Topology.create () in
+        let l1 = Topology.add_lan topo ~net:1 "l1" in
+        let l2 = Topology.add_lan topo ~net:2 "l2" in
+        let r = Topology.add_router topo "r" [(l1, 1); (l2, 1)] in
+        let a = Topology.add_host topo "a" l1 10 in
+        let b = Topology.add_host topo "b" l2 10 in
+        Topology.compute_routes topo;
+        let recorded = ref None in
+        Node.set_proto_handler b Ipv4.Proto.udp (fun _ pkt ->
+            recorded := Some pkt.Packet.options);
+        (* source-route a -> r (waypoint) -> b *)
+        let pkt =
+          Packet.make ~proto:Ipv4.Proto.udp ~src:(Node.primary_addr a)
+            ~dst:(Node.primary_addr r)
+            ~options:[Ipv4.Ip_option.lsrr [Node.primary_addr b]]
+            (Ipv4.Udp.encode (Ipv4.Udp.make ~src_port:1 ~dst_port:2 Bytes.empty))
+        in
+        Node.send a pkt;
+        Topology.run topo;
+        match !recorded with
+        | Some [Ipv4.Ip_option.Lsrr { route; _ }] ->
+          check addr_testable "recorded waypoint" (Node.primary_addr r)
+            route.(0)
+        | _ -> Alcotest.fail "expected a recorded LSRR");
+    Alcotest.test_case "node down drops traffic; crash_for recovers" `Quick
+      (fun () ->
+         let topo, _, a, b = two_hosts () in
+         let got = ref 0 in
+         Node.set_proto_handler b Ipv4.Proto.udp (fun _ _ -> incr got);
+         Node.set_up b false;
+         Node.send a
+           (udp_to ~src:a ~dst_addr:(Node.primary_addr b) Bytes.empty);
+         Topology.run topo;
+         check Alcotest.int "down: nothing" 0 !got;
+         Node.set_up b true;
+         Node.send a
+           (udp_to ~src:a ~dst_addr:(Node.primary_addr b) Bytes.empty);
+         Topology.run topo;
+         check Alcotest.int "up again" 1 !got);
+    Alcotest.test_case "arp entries age out and are re-resolved" `Quick
+      (fun () ->
+         let topo = Topology.create () in
+         let lan = Topology.add_lan topo ~net:1 "lan1" in
+         let a = Topology.add_host topo "a" lan 1 in
+         let b = Topology.add_host topo "b" lan 2 in
+         Topology.compute_routes topo;
+         let got = ref 0 in
+         Node.set_proto_handler b Ipv4.Proto.udp (fun _ _ -> incr got);
+         Node.send a
+           (udp_to ~src:a ~dst_addr:(Node.primary_addr b) Bytes.empty);
+         Topology.run topo;
+         check Alcotest.bool "resolved" true
+           (Node.arp_cache_lookup a (Node.primary_addr b) <> None);
+         (* default TTL is 60 s: advance past it *)
+         ignore
+           (Netsim.Engine.schedule (Topology.engine topo)
+              ~at:(Time.of_sec 61.0) (fun () -> ()));
+         Topology.run topo;
+         check Alcotest.bool "aged out" true
+           (Node.arp_cache_lookup a (Node.primary_addr b) = None);
+         (* traffic still flows: a re-ARPs *)
+         Node.send a
+           (udp_to ~src:a ~dst_addr:(Node.primary_addr b) Bytes.empty);
+         Topology.run topo;
+         check Alcotest.int "redelivered" 2 !got);
+    Alcotest.test_case "reboot clears arp and fires hooks" `Quick
+      (fun () ->
+         let topo, _, a, b = two_hosts () in
+         let rebooted = ref false in
+         Node.on_reboot b (fun _ -> rebooted := true);
+         Node.set_proto_handler b Ipv4.Proto.udp (fun _ _ -> ());
+         Node.send a
+           (udp_to ~src:a ~dst_addr:(Node.primary_addr b) Bytes.empty);
+         Topology.run topo;
+         check Alcotest.bool "cache warm" true (Node.arp_cache_size b > 0);
+         Node.reboot b;
+         check Alcotest.bool "hook ran" true !rebooted;
+         check Alcotest.int "cache cold" 0 (Node.arp_cache_size b)) ]
+
+(* --- Routing computation --- *)
+
+let routing_tests =
+  [ Alcotest.test_case "hosts get routes to all reachable nets" `Quick
+      (fun () ->
+         let topo = Topology.create () in
+         let l1 = Topology.add_lan topo ~net:1 "l1" in
+         let l2 = Topology.add_lan topo ~net:2 "l2" in
+         let l3 = Topology.add_lan topo ~net:3 "l3" in
+         let _r1 = Topology.add_router topo "r1" [(l1, 1); (l2, 1)] in
+         let _r2 = Topology.add_router topo "r2" [(l2, 2); (l3, 1)] in
+         let a = Topology.add_host topo "a" l1 10 in
+         Topology.compute_routes topo;
+         check Alcotest.bool "direct l1" true
+           (Route.lookup (Node.routes a) (Addr.host 1 5)
+            = Some (Route.Direct 0));
+         check Alcotest.bool "l2 via r1" true
+           (Route.lookup (Node.routes a) (Addr.host 2 9)
+            = Some (Route.Via (Addr.host 1 1)));
+         check Alcotest.bool "l3 via r1 too" true
+           (Route.lookup (Node.routes a) (Addr.host 3 9)
+            = Some (Route.Via (Addr.host 1 1))));
+    Alcotest.test_case "unreachable networks get no route" `Quick
+      (fun () ->
+         let topo = Topology.create () in
+         let l1 = Topology.add_lan topo ~net:1 "l1" in
+         let l9 = Topology.add_lan topo ~net:9 "l9" in
+         let a = Topology.add_host topo "a" l1 10 in
+         let _b = Topology.add_host topo "b" l9 10 in
+         Topology.compute_routes topo;
+         check Alcotest.bool "none" true
+           (Route.lookup (Node.routes a) (Addr.host 9 10) = None));
+    Alcotest.test_case "hosts are not transit" `Quick (fun () ->
+        (* a - l1 - h(two ifaces, not router) - l2 - b : no path *)
+        let topo = Topology.create () in
+        let l1 = Topology.add_lan topo ~net:1 "l1" in
+        let l2 = Topology.add_lan topo ~net:2 "l2" in
+        let h = Topology.add_host topo "h" l1 5 in
+        ignore (Node.attach h ~addr:(Addr.host 2 5) l2);
+        let a = Topology.add_host topo "a" l1 10 in
+        Topology.compute_routes topo;
+        check Alcotest.bool "no route through host" true
+          (Route.lookup (Node.routes a) (Addr.host 2 9) = None));
+    Alcotest.test_case "path_length measures LAN traversals" `Quick
+      (fun () ->
+         let topo = Topology.create () in
+         let l1 = Topology.add_lan topo ~net:1 "l1" in
+         let l2 = Topology.add_lan topo ~net:2 "l2" in
+         let l3 = Topology.add_lan topo ~net:3 "l3" in
+         let _r1 = Topology.add_router topo "r1" [(l1, 1); (l2, 1)] in
+         let _r2 = Topology.add_router topo "r2" [(l2, 2); (l3, 1)] in
+         let a = Topology.add_host topo "a" l1 10 in
+         Topology.compute_routes topo;
+         check (Alcotest.option Alcotest.int) "to own lan" (Some 1)
+           (Net.Routing.path_length ~nodes:(Topology.nodes topo) ~src:a
+              ~dst_lan:l1);
+         check (Alcotest.option Alcotest.int) "two routers away" (Some 3)
+           (Net.Routing.path_length ~nodes:(Topology.nodes topo) ~src:a
+              ~dst_lan:l3));
+    Alcotest.test_case "move_host rewires attachment" `Quick (fun () ->
+        let topo = Topology.create () in
+        let l1 = Topology.add_lan topo ~net:1 "l1" in
+        let l2 = Topology.add_lan topo ~net:2 "l2" in
+        let m = Topology.add_host topo "m" l1 10 in
+        Topology.compute_routes topo;
+        let home = Node.primary_addr m in
+        Node.add_address m home;
+        Topology.move_host topo m l2;
+        (match Node.ifaces m with
+         | [(_, lan, addr)] ->
+           check Alcotest.string "on l2" "l2" (Lan.name lan);
+           check Alcotest.bool "no foreign addr" true (addr = None)
+         | _ -> Alcotest.fail "expected one interface");
+        Topology.move_host topo m l1;
+        match Node.ifaces m with
+        | [(_, lan, addr)] ->
+          check Alcotest.string "back home" "l1" (Lan.name lan);
+          check (Alcotest.option addr_testable) "home addr restored"
+            (Some home) addr
+        | _ -> Alcotest.fail "expected one interface") ]
+
+let suite =
+  [ ("mac", mac_tests); ("arp-frame", arp_tests); ("lan", lan_tests);
+    ("route", route_tests); ("node", node_tests);
+    ("routing", routing_tests) ]

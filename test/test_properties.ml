@@ -1,0 +1,287 @@
+(* Property-based tests of protocol-level invariants: random roaming
+   itineraries always converge, the cache behaves like its functional
+   model, re-tunneling respects the list bound, and the rate limiter never
+   violates its interval. *)
+
+module Time = Netsim.Time
+module Addr = Ipv4.Addr
+module Node = Net.Node
+module Topology = Net.Topology
+module Agent = Mhrp.Agent
+module TG = Workload.Topo_gen
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* --- random roaming always converges --- *)
+
+(* Build figure1 + second cell; apply a random itinerary of moves over
+   {netB(home), netD, netE}; after quiescence, a packet from S must be
+   delivered, the home-agent database must match the mobile host's own
+   idea of its location, and a second packet must take the optimal path
+   for that location. *)
+let roaming_converges (seed, stops) =
+  let f = TG.figure1 ~seed () in
+  let topo = f.TG.topo in
+  Netsim.Trace.set_enabled (Topology.trace topo) false;
+  let net_e = Topology.add_lan topo ~net:5 "netE" in
+  let r5n = Topology.add_router topo "R5" [(f.TG.net_c, 3); (net_e, 1)] in
+  Topology.compute_routes topo;
+  let r5 = Agent.create r5n in
+  Agent.enable_foreign_agent r5
+    ~iface:(Option.get (Node.iface_to r5n (Net.Lan.prefix net_e)));
+  let metrics = Workload.Metrics.create topo in
+  let traffic = Workload.Traffic.create metrics (Topology.engine topo) in
+  Workload.Metrics.watch_receiver metrics f.TG.m;
+  let m_addr = Agent.address f.TG.m in
+  let lan_of = function
+    | 0 -> f.TG.net_b
+    | 1 -> f.TG.net_d
+    | _ -> net_e
+  in
+  List.iteri
+    (fun k stop ->
+       Workload.Mobility.move_at topo f.TG.m
+         ~at:(Time.of_sec (1.0 +. float_of_int k)) (lan_of stop))
+    stops;
+  let settle = 1.0 +. float_of_int (List.length stops) +. 1.0 in
+  Workload.Traffic.at traffic (Time.of_sec settle) (fun () ->
+      Workload.Traffic.send_udp traffic ~src:f.TG.s ~dst:m_addr ());
+  Workload.Traffic.at traffic (Time.of_sec (settle +. 1.0)) (fun () ->
+      Workload.Traffic.send_udp traffic ~src:f.TG.s ~dst:m_addr ());
+  Topology.run ~until:(Time.of_sec (settle +. 4.0)) topo;
+  let records = Workload.Metrics.records metrics in
+  let all_delivered =
+    List.for_all (fun r -> r.Workload.Metrics.delivered_at <> None) records
+  in
+  let db_matches =
+    match Agent.home_agent f.TG.r2, Agent.mobile f.TG.m with
+    | Some ha, Some mh ->
+      let db = Mhrp.Home_agent.location ha m_addr in
+      (match mh.Mhrp.Mobile_host.phase with
+       | Mhrp.Mobile_host.At_home -> db = Some Addr.zero
+       | Mhrp.Mobile_host.Registered fa -> db = Some fa
+       | _ -> false)
+    | _ -> false
+  in
+  all_delivered && db_matches
+
+let arb_itinerary =
+  QCheck.make
+    ~print:(fun (seed, stops) ->
+        Printf.sprintf "seed=%d stops=[%s]" seed
+          (String.concat ";" (List.map string_of_int stops)))
+    QCheck.Gen.(
+      pair (int_bound 1000)
+        (list_size (int_range 1 6) (int_bound 2)))
+
+(* --- location cache vs a functional model --- *)
+
+type cache_op =
+  | Insert of int * int
+  | Delete of int
+  | Find of int
+
+let arb_cache_ops =
+  let gen_op =
+    QCheck.Gen.(
+      frequency
+        [ (4, map2 (fun m f -> Insert (m, f)) (int_bound 20) (int_range 1 20));
+          (1, map (fun m -> Delete m) (int_bound 20));
+          (3, map (fun m -> Find m) (int_bound 20)) ])
+  in
+  QCheck.make
+    ~print:(fun ops ->
+        String.concat ";"
+          (List.map
+             (function
+               | Insert (m, f) -> Printf.sprintf "I(%d,%d)" m f
+               | Delete m -> Printf.sprintf "D(%d)" m
+               | Find m -> Printf.sprintf "F(%d)" m)
+             ops))
+    QCheck.Gen.(list_size (int_range 0 200) gen_op)
+
+(* With capacity >= key-space the cache must agree exactly with a Map. *)
+let cache_matches_model ops =
+  let cache = Mhrp.Location_cache.create ~capacity:32 in
+  let module M = Map.Make (Int) in
+  let model = ref M.empty in
+  List.for_all
+    (fun op ->
+       match op with
+       | Insert (m, f) ->
+         Mhrp.Location_cache.insert cache ~mobile:(Addr.host 1 (m + 1))
+           ~foreign_agent:(Addr.host 2 f);
+         model := M.add m f !model;
+         true
+       | Delete m ->
+         Mhrp.Location_cache.delete cache (Addr.host 1 (m + 1));
+         model := M.remove m !model;
+         true
+       | Find m ->
+         let got = Mhrp.Location_cache.find cache (Addr.host 1 (m + 1)) in
+         let expect =
+           Option.map (fun f -> Addr.host 2 f) (M.find_opt m !model)
+         in
+         got = expect)
+    ops
+
+(* --- re-tunneling invariants --- *)
+
+let retunnel_list_bounded (max_list, hops) =
+  let pkt =
+    Ipv4.Packet.make ~proto:Ipv4.Proto.udp ~src:(Addr.host 100 1)
+      ~dst:(Addr.host 2 10)
+      (Ipv4.Udp.encode (Ipv4.Udp.make ~src_port:1 ~dst_port:2 Bytes.empty))
+  in
+  let rec walk k pkt =
+    if k >= hops then true
+    else begin
+      let me = Addr.host 50 (k + 1) in
+      let next = Addr.host 50 (k + 2) in
+      match Mhrp.Encap.retunnel ~max_prev_sources:max_list ~me ~new_dst:next pkt with
+      | Some (Mhrp.Encap.Retunneled p)
+      | Some (Mhrp.Encap.Retunneled_overflow { packet = p; _ }) ->
+        (match Mhrp.Encap.header_of p with
+         | Some h ->
+           List.length h.Mhrp.Mhrp_header.prev_sources <= max_list
+           && walk (k + 1) p
+         | None -> false)
+      | Some (Mhrp.Encap.Loop_detected _) -> true (* distinct addrs: cannot happen *)
+      | None -> false
+    end
+  in
+  walk 0
+    (Mhrp.Encap.tunnel_by_agent ~agent:(Addr.host 100 1)
+       ~foreign_agent:(Addr.host 50 1) pkt)
+
+(* --- routing over random topologies --- *)
+
+(* Generate a random connected internetwork: [n] routers, each attached to
+   its own stub LAN, joined by a random spanning tree plus extra random
+   links.  Every pair of stub hosts must be mutually reachable and the
+   computed routes must contain no forwarding loops (delivery implies
+   loop-freedom: a loop would eat the TTL and drop). *)
+let random_topology_routes (seed, n, extra_links) =
+  let topo = Topology.create ~seed () in
+  Netsim.Trace.set_enabled (Topology.trace topo) false;
+  let rng = Netsim.Rng.of_int (seed + 1) in
+  let stubs =
+    Array.init n (fun i ->
+        Topology.add_lan topo ~net:(10 + i) (Printf.sprintf "stub%d" i))
+  in
+  let link_lans = ref [] in
+  let next_link = ref 0 in
+  let attachments = Array.make n [] in
+  let link a b =
+    let lan =
+      Topology.add_lan topo ~net:(100 + !next_link)
+        (Printf.sprintf "link%d" !next_link)
+    in
+    incr next_link;
+    link_lans := lan :: !link_lans;
+    attachments.(a) <- (lan, 1) :: attachments.(a);
+    attachments.(b) <- (lan, 2) :: attachments.(b)
+  in
+  (* spanning tree *)
+  for i = 1 to n - 1 do
+    link (Netsim.Rng.int rng i) i
+  done;
+  for _ = 1 to extra_links do
+    let a = Netsim.Rng.int rng n and b = Netsim.Rng.int rng n in
+    if a <> b then link a b
+  done;
+  let _routers =
+    Array.init n (fun i ->
+        Topology.add_router topo (Printf.sprintf "r%d" i)
+          ((stubs.(i), 1) :: attachments.(i)))
+  in
+  let hosts =
+    Array.init n (fun i ->
+        Topology.add_host topo (Printf.sprintf "h%d" i) stubs.(i) 10)
+  in
+  Topology.compute_routes topo;
+  let delivered = Hashtbl.create 16 in
+  Array.iter
+    (fun h ->
+       Node.set_proto_handler h Ipv4.Proto.udp (fun node pkt ->
+           Hashtbl.replace delivered
+             (Node.primary_addr node, pkt.Ipv4.Packet.id) ()))
+    hosts;
+  (* a few random host pairs *)
+  let pairs =
+    List.init (min 6 (n * (n - 1))) (fun k ->
+        let a = Netsim.Rng.int rng n in
+        let b = (a + 1 + Netsim.Rng.int rng (n - 1)) mod n in
+        (k + 1, a, b))
+  in
+  List.iter
+    (fun (id, a, b) ->
+       Node.send hosts.(a)
+         (Ipv4.Packet.make ~id ~proto:Ipv4.Proto.udp
+            ~src:(Node.primary_addr hosts.(a))
+            ~dst:(Node.primary_addr hosts.(b))
+            (Ipv4.Udp.encode
+               (Ipv4.Udp.make ~src_port:1 ~dst_port:2 Bytes.empty))))
+    pairs;
+  Topology.run ~until:(Time.of_sec 30.0) topo;
+  List.for_all
+    (fun (id, _, b) ->
+       Hashtbl.mem delivered (Node.primary_addr hosts.(b), id))
+    pairs
+
+let arb_topology =
+  QCheck.make
+    ~print:(fun (seed, n, extra) ->
+        Printf.sprintf "seed=%d n=%d extra=%d" seed n extra)
+    QCheck.Gen.(
+      triple (int_bound 10_000) (int_range 2 12) (int_range 0 8))
+
+(* --- rate limiter interval invariant --- *)
+
+let limiter_respects_interval times =
+  let r =
+    Mhrp.Rate_limiter.create ~capacity:1024
+      ~min_interval:(Time.of_ms 100)
+  in
+  let sorted = List.sort compare (List.map (fun t -> t mod 10_000_000) times) in
+  let last_allowed = ref None in
+  List.for_all
+    (fun us ->
+       let now = Time.of_us us in
+       let ok = Mhrp.Rate_limiter.allow r ~now (Addr.host 1 1) in
+       if ok then begin
+         let fine =
+           match !last_allowed with
+           | None -> true
+           | Some prev -> us - prev >= 100_000
+         in
+         last_allowed := Some us;
+         fine
+       end
+       else true)
+    sorted
+
+let suite =
+  [ ( "protocol-properties",
+      [ qtest
+          (QCheck.Test.make ~name:"random roaming always converges"
+             ~count:15 arb_itinerary roaming_converges);
+        qtest
+          (QCheck.Test.make
+             ~name:"location cache agrees with a map model (no eviction)"
+             ~count:200 arb_cache_ops cache_matches_model);
+        qtest
+          (QCheck.Test.make
+             ~name:"re-tunnel chains never exceed the list bound" ~count:100
+             QCheck.(pair (int_range 1 8) (int_range 1 40))
+             retunnel_list_bounded);
+        qtest
+          (QCheck.Test.make
+             ~name:"random connected topologies route every host pair"
+             ~count:25 arb_topology random_topology_routes);
+        qtest
+          (QCheck.Test.make
+             ~name:"rate limiter never allows two sends within the interval"
+             ~count:200
+             QCheck.(list_of_size Gen.(int_range 0 100) (int_bound 10_000_000))
+             limiter_respects_interval) ] ) ]

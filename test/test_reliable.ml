@@ -1,0 +1,106 @@
+(* Tests for the reliable-transfer workload: the "transparent above IP"
+   demonstration.  A window/retransmission transport — unmodified, unaware
+   of mobility — must complete across hand-offs, home-agent triangles,
+   returns home, and even a foreign-agent crash. *)
+
+module Time = Netsim.Time
+module Topology = Net.Topology
+module Node = Net.Node
+module Agent = Mhrp.Agent
+module TG = Workload.Topo_gen
+
+let check = Alcotest.check
+
+let setup () =
+  let f = TG.figure1 () in
+  Netsim.Trace.set_enabled (Topology.trace f.TG.topo) false;
+  f
+
+let reliable_tests =
+  [ Alcotest.test_case "transfer to a stationary mobile host" `Quick
+      (fun () ->
+         let f = setup () in
+         let xfer =
+           Workload.Reliable.start ~sender:f.TG.s ~receiver:f.TG.m
+             ~bytes:8192 ~at:(Time.of_sec 0.5) ()
+         in
+         Topology.run ~until:(Time.of_sec 10.0) f.TG.topo;
+         check Alcotest.bool "complete" true (Workload.Reliable.complete xfer);
+         check Alcotest.bool "intact" true
+           (Workload.Reliable.received_ok xfer);
+         let s = Workload.Reliable.stats xfer in
+         check Alcotest.int "no retransmissions at home" 0
+           s.Workload.Reliable.retransmissions);
+    Alcotest.test_case "transfer survives a hand-off mid-stream" `Quick
+      (fun () ->
+         let f = setup () in
+         let xfer =
+           Workload.Reliable.start ~sender:f.TG.s ~receiver:f.TG.m
+             ~bytes:65536 ~window:4 ~at:(Time.of_sec 0.5) ()
+         in
+         (* move while the window is in flight *)
+         Workload.Mobility.move_at f.TG.topo f.TG.m ~at:(Time.of_sec 0.6)
+           f.TG.net_d;
+         Topology.run ~until:(Time.of_sec 30.0) f.TG.topo;
+         check Alcotest.bool "complete" true (Workload.Reliable.complete xfer);
+         check Alcotest.bool "intact" true
+           (Workload.Reliable.received_ok xfer);
+         (* the hand-off cost at most retransmissions, never the
+            connection: above-IP software needed no change (Section 1) *)
+         let s = Workload.Reliable.stats xfer in
+         check Alcotest.bool "needed some retransmissions" true
+           (s.Workload.Reliable.retransmissions > 0));
+    Alcotest.test_case "transfer survives moving away AND returning home"
+      `Quick (fun () ->
+          let f = setup () in
+          let xfer =
+            Workload.Reliable.start ~sender:f.TG.s ~receiver:f.TG.m
+              ~bytes:131072 ~window:4 ~at:(Time.of_sec 0.5) ()
+          in
+          Workload.Mobility.itinerary f.TG.topo f.TG.m
+            [ (Time.of_sec 1.0, f.TG.net_d);
+              (Time.of_sec 3.0, f.TG.net_b) ];
+          Topology.run ~until:(Time.of_sec 60.0) f.TG.topo;
+          check Alcotest.bool "complete" true
+            (Workload.Reliable.complete xfer);
+          check Alcotest.bool "intact" true
+            (Workload.Reliable.received_ok xfer));
+    Alcotest.test_case "transfer survives a foreign-agent crash" `Quick
+      (fun () ->
+         let f = setup () in
+         Workload.Mobility.move_at f.TG.topo f.TG.m ~at:(Time.of_sec 0.5)
+           f.TG.net_d;
+         let xfer =
+           Workload.Reliable.start ~sender:f.TG.s ~receiver:f.TG.m
+             ~bytes:32768 ~window:4 ~at:(Time.of_sec 1.0) ()
+         in
+         ignore
+           (Netsim.Engine.schedule (Topology.engine f.TG.topo)
+              ~at:(Time.of_sec 1.5) (fun () ->
+                  Node.crash_for (Agent.node f.TG.r4) (Time.of_sec 1.0)));
+         Topology.run ~until:(Time.of_sec 60.0) f.TG.topo;
+         check Alcotest.bool "complete" true (Workload.Reliable.complete xfer);
+         check Alcotest.bool "intact" true
+           (Workload.Reliable.received_ok xfer));
+    Alcotest.test_case "mobile-to-mobile transfer, both away" `Quick
+      (fun () ->
+         let c =
+           TG.campuses ~campuses:2 ~mobiles_per_campus:1 ~correspondents:0
+             ()
+         in
+         Netsim.Trace.set_enabled (Topology.trace c.TG.c_topo) false;
+         let m0 = c.TG.c_mobiles.(0) and m1 = c.TG.c_mobiles.(1) in
+         Workload.Mobility.move_at c.TG.c_topo m0 ~at:(Time.of_sec 0.5)
+           c.TG.c_cells.(1);
+         Workload.Mobility.move_at c.TG.c_topo m1 ~at:(Time.of_sec 0.5)
+           c.TG.c_cells.(0);
+         let xfer =
+           Workload.Reliable.start ~sender:m0 ~receiver:m1 ~bytes:16384
+             ~at:(Time.of_sec 2.0) ()
+         in
+         Topology.run ~until:(Time.of_sec 30.0) c.TG.c_topo;
+         check Alcotest.bool "complete" true (Workload.Reliable.complete xfer);
+         check Alcotest.bool "intact" true
+           (Workload.Reliable.received_ok xfer)) ]
+
+let suite = [ ("reliable-transfer", reliable_tests) ]

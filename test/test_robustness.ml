@@ -1,0 +1,423 @@
+(* Tests for the Section 5 robustness machinery: foreign-agent state
+   recovery, cache-loop detection and dissolution, returned ICMP error
+   handling, home-agent persistence and unavailability, and the optional
+   own-foreign-agent mode of Section 2. *)
+
+module Time = Netsim.Time
+module Addr = Ipv4.Addr
+module Packet = Ipv4.Packet
+module Node = Net.Node
+module Topology = Net.Topology
+module Agent = Mhrp.Agent
+module TG = Workload.Topo_gen
+
+let check = Alcotest.check
+let addr_testable = Alcotest.testable Addr.pp Addr.equal
+
+type env = {
+  f : TG.figure1;
+  metrics : Workload.Metrics.t;
+  traffic : Workload.Traffic.t;
+  m_addr : Addr.t;
+}
+
+let setup ?config () =
+  let f = TG.figure1 ?config () in
+  let metrics = Workload.Metrics.create f.TG.topo in
+  let traffic = Workload.Traffic.create metrics (Topology.engine f.TG.topo) in
+  Workload.Metrics.watch_receiver metrics f.TG.m;
+  Workload.Metrics.watch_receiver metrics f.TG.s;
+  { f; metrics; traffic; m_addr = Agent.address f.TG.m }
+
+let at env sec f = Workload.Traffic.at env.traffic (Time.of_sec sec) f
+
+let send env sec ~src =
+  at env sec (fun () ->
+      Workload.Traffic.send_udp env.traffic ~src ~dst:env.m_addr ())
+
+let move env sec lan =
+  Workload.Mobility.move_at env.f.TG.topo env.f.TG.m ~at:(Time.of_sec sec)
+    lan
+
+let run ?(until = 12.0) env =
+  Topology.run ~until:(Time.of_sec until) env.f.TG.topo
+
+let records env = Workload.Metrics.records env.metrics
+let delivered r = r.Workload.Metrics.delivered_at <> None
+
+(* --- Section 5.2: foreign-agent state recovery --- *)
+
+let fa_recovery_tests =
+  [ Alcotest.test_case
+      "rebooted FA recovers its visitor through the home agent" `Quick
+      (fun () ->
+         let env = setup () in
+         move env 1.0 env.f.TG.net_d;
+         send env 2.0 ~src:env.f.TG.s;
+         (* R4 forgets everything *)
+         at env 3.0 (fun () -> Node.reboot (Agent.node env.f.TG.r4));
+         (* S still tunnels directly to R4, which bounces the packet to
+            the home agent; R2 recognises R4 as the registered FA and
+            sends it a location update naming itself (Section 5.2) *)
+         send env 4.0 ~src:env.f.TG.s;
+         send env 6.0 ~src:env.f.TG.s;
+         run env;
+         (match Agent.foreign_agent env.f.TG.r4 with
+          | Some fa ->
+            check Alcotest.bool "visitor re-added" true
+              (Mhrp.Foreign_agent.mem fa env.m_addr)
+          | None -> Alcotest.fail "no fa role");
+         check Alcotest.int "one recovery" 1
+           (Agent.counters env.f.TG.r4).Mhrp.Counters.recoveries;
+         (* the packet after recovery is delivered *)
+         let last = List.nth (records env) 2 in
+         check Alcotest.bool "delivered after recovery" true
+           (delivered last));
+    Alcotest.test_case "recovered visitor is delivered to via ARP" `Quick
+      (fun () ->
+         let env = setup () in
+         move env 1.0 env.f.TG.net_d;
+         send env 2.0 ~src:env.f.TG.s;
+         at env 3.0 (fun () -> Node.reboot (Agent.node env.f.TG.r4));
+         send env 4.0 ~src:env.f.TG.s;
+         send env 6.0 ~src:env.f.TG.s;
+         run env;
+         (match Agent.foreign_agent env.f.TG.r4 with
+          | Some fa ->
+            (match Mhrp.Foreign_agent.find fa env.m_addr with
+             | Some v ->
+               check Alcotest.bool "no recorded mac" true
+                 (v.Mhrp.Foreign_agent.mac = None)
+             | None -> Alcotest.fail "no visitor")
+          | None -> Alcotest.fail "no fa role");
+         (* final packet delivered end-to-end despite the lost MAC *)
+         check Alcotest.bool "delivered" true
+           (delivered (List.nth (records env) 2)));
+    Alcotest.test_case
+      "verification mode probes before re-adding (Section 5.2)" `Quick
+      (fun () ->
+         let config =
+           { Mhrp.Config.default with
+             Mhrp.Config.verify_recovered_visitors = true }
+         in
+         let env = setup ~config () in
+         move env 1.0 env.f.TG.net_d;
+         send env 2.0 ~src:env.f.TG.s;
+         at env 3.0 (fun () -> Node.reboot (Agent.node env.f.TG.r4));
+         send env 4.0 ~src:env.f.TG.s;
+         run env;
+         match Agent.foreign_agent env.f.TG.r4 with
+         | Some fa ->
+           (match Mhrp.Foreign_agent.find fa env.m_addr with
+            | Some v ->
+              check Alcotest.bool "mac learned by probe" true
+                (v.Mhrp.Foreign_agent.mac <> None)
+            | None -> Alcotest.fail "visitor not re-added after probe")
+         | None -> Alcotest.fail "no fa role");
+    Alcotest.test_case "crash_for loses packets while down, then recovers"
+      `Quick (fun () ->
+          let env = setup () in
+          move env 1.0 env.f.TG.net_d;
+          send env 2.0 ~src:env.f.TG.s;
+          at env 3.0 (fun () ->
+              Node.crash_for (Agent.node env.f.TG.r4) (Time.of_sec 1.0));
+          send env 3.5 ~src:env.f.TG.s; (* lost: FA down *)
+          send env 6.0 ~src:env.f.TG.s; (* recovered *)
+          run env;
+          let rs = records env in
+          check Alcotest.bool "first ok" true (delivered (List.nth rs 0));
+          check Alcotest.bool "mid lost" true
+            (not (delivered (List.nth rs 1)));
+          check Alcotest.bool "last ok" true (delivered (List.nth rs 2))) ]
+
+(* --- Section 5.3: loops --- *)
+
+(* Manufacture a cache loop: two routers each believing the other is the
+   mobile host's foreign agent. *)
+let loop_tests =
+  [ Alcotest.test_case "loop detected, dissolved, members purged" `Quick
+      (fun () ->
+         let env = setup () in
+         move env 1.0 env.f.TG.net_d;
+         at env 2.0 (fun () ->
+             (* poison: R4 -> R5?  Use R4 and R1 as the loop members by
+                planting cache entries directly (an "incorrect
+                implementation" per the paper). *)
+             Mhrp.Location_cache.insert (Agent.cache env.f.TG.r4)
+               ~mobile:env.m_addr ~foreign_agent:(Addr.host 1 1);
+             (* R1's address *)
+             Mhrp.Location_cache.insert (Agent.cache env.f.TG.r1)
+               ~mobile:env.m_addr ~foreign_agent:(Addr.host 3 2));
+         (* remove the visitor so R4 treats arriving tunnels as stale *)
+         at env 2.1 (fun () ->
+             match Agent.foreign_agent env.f.TG.r4 with
+             | Some fa -> Mhrp.Foreign_agent.remove fa env.m_addr
+             | None -> ());
+         (* S has no cache: first packet goes via home agent R2, which
+            tunnels to R4 (db) -> R4 tunnels to R1 (poisoned) -> R1
+            tunnels to R4 -> loop closes at R4 *)
+         send env 3.0 ~src:env.f.TG.s;
+         run env;
+         let loops r = (Agent.counters r).Mhrp.Counters.loops_detected in
+         check Alcotest.bool "someone detected the loop" true
+           (loops env.f.TG.r1 + loops env.f.TG.r4 > 0);
+         (* dissolution: both poisoned caches are purged *)
+         check (Alcotest.option addr_testable) "R4 purged" None
+           (Mhrp.Location_cache.peek (Agent.cache env.f.TG.r4) env.m_addr);
+         check (Alcotest.option addr_testable) "R1 purged" None
+           (Mhrp.Location_cache.peek (Agent.cache env.f.TG.r1) env.m_addr));
+    Alcotest.test_case "packet survives when configured to tunnel home"
+      `Quick (fun () ->
+          let config =
+            { Mhrp.Config.default with
+              Mhrp.Config.on_loop = Mhrp.Config.Tunnel_home }
+          in
+          let env = setup ~config () in
+          move env 1.0 env.f.TG.net_d;
+          at env 2.0 (fun () ->
+              Mhrp.Location_cache.insert (Agent.cache env.f.TG.r1)
+                ~mobile:env.m_addr ~foreign_agent:(Addr.host 0 13));
+          at env 2.0 (fun () ->
+              Mhrp.Location_cache.insert (Agent.cache env.f.TG.r3)
+                ~mobile:env.m_addr ~foreign_agent:(Addr.host 0 11));
+          (* build a tunneled packet bouncing between R1 and R3 *)
+          at env 3.0 (fun () ->
+              let udp =
+                Ipv4.Udp.make ~src_port:1 ~dst_port:2 (Bytes.create 16)
+              in
+              let pkt =
+                Packet.make ~id:321 ~proto:Ipv4.Proto.udp
+                  ~src:(Agent.address env.f.TG.s) ~dst:env.m_addr
+                  (Ipv4.Udp.encode udp)
+              in
+              Workload.Metrics.note_send env.metrics pkt;
+              let tunneled =
+                Mhrp.Encap.tunnel_by_agent ~agent:(Agent.address env.f.TG.s)
+                  ~foreign_agent:(Addr.host 0 11) pkt
+              in
+              Node.send (Agent.node env.f.TG.s) tunneled);
+          run env;
+          let loops r = (Agent.counters r).Mhrp.Counters.loops_detected in
+          check Alcotest.bool "loop detected" true
+            (loops env.f.TG.r1 + loops env.f.TG.r3 > 0);
+          (* the packet was re-tunneled home and still delivered *)
+          check Alcotest.bool "delivered anyway" true
+            (delivered (List.nth (records env) 0)));
+    Alcotest.test_case "loop contraction under truncated lists" `Quick
+      (fun () ->
+         (* With a list cap smaller than the loop, detection still happens
+            after contraction (Section 5.3): build a 3-agent loop with
+            max_prev_sources = 2. *)
+         let config =
+           { Mhrp.Config.default with Mhrp.Config.max_prev_sources = 2 }
+         in
+         let env = setup ~config () in
+         move env 1.0 env.f.TG.net_d;
+         let r1a = Addr.host 0 11 and r3a = Addr.host 0 13 in
+         let r4a = Addr.host 3 2 in
+         at env 2.0 (fun () ->
+             Mhrp.Location_cache.insert (Agent.cache env.f.TG.r1)
+               ~mobile:env.m_addr ~foreign_agent:r3a;
+             Mhrp.Location_cache.insert (Agent.cache env.f.TG.r3)
+               ~mobile:env.m_addr ~foreign_agent:r4a;
+             Mhrp.Location_cache.insert (Agent.cache env.f.TG.r4)
+               ~mobile:env.m_addr ~foreign_agent:r1a;
+             match Agent.foreign_agent env.f.TG.r4 with
+             | Some fa -> Mhrp.Foreign_agent.remove fa env.m_addr
+             | None -> ());
+         at env 3.0 (fun () ->
+             let udp = Ipv4.Udp.make ~src_port:1 ~dst_port:2 Bytes.empty in
+             let pkt =
+               Packet.make ~id:99 ~proto:Ipv4.Proto.udp
+                 ~src:(Agent.address env.f.TG.s) ~dst:env.m_addr
+                 (Ipv4.Udp.encode udp)
+             in
+             Node.send (Agent.node env.f.TG.s)
+               (Mhrp.Encap.tunnel_by_agent
+                  ~agent:(Agent.address env.f.TG.s) ~foreign_agent:r1a
+                  pkt));
+         run env;
+         let total f =
+           f env.f.TG.r1 + f env.f.TG.r3 + f env.f.TG.r4
+         in
+         check Alcotest.bool "truncations happened" true
+           (total (fun r ->
+                (Agent.counters r).Mhrp.Counters.list_truncations)
+            > 0);
+         check Alcotest.bool "loop eventually detected" true
+           (total (fun r ->
+                (Agent.counters r).Mhrp.Counters.loops_detected)
+            > 0)) ]
+
+(* --- Section 4.5: returned ICMP errors --- *)
+
+let icmp_error_tests =
+  [ Alcotest.test_case
+      "error inside a tunnel travels back to the original sender" `Quick
+      (fun () ->
+         let env = setup () in
+         let got = ref [] in
+         Agent.on_icmp_error env.f.TG.s (fun msg original ->
+             got := (msg, original) :: !got);
+         move env 1.0 env.f.TG.net_d;
+         send env 2.0 ~src:env.f.TG.s; (* S caches R4 *)
+         (* net C becomes unroutable at R3: S -> R4 tunnels die there,
+            while the backbone (and thus the error's reverse path) stays
+            intact *)
+         at env 3.0 (fun () ->
+             Node.update_routes (Agent.node env.f.TG.r3) (fun r ->
+                 Net.Route.remove
+                   (Net.Route.remove r (Net.Lan.prefix env.f.TG.net_c))
+                   (Net.Lan.prefix env.f.TG.net_d)));
+         send env 4.0 ~src:env.f.TG.s;
+         run env;
+         check Alcotest.bool "error reported to app" true (!got <> []);
+         (* the sender's cache entry for M is gone (4.5: delete on
+            unreachable) *)
+         check (Alcotest.option addr_testable) "cache dropped" None
+           (Mhrp.Location_cache.peek (Agent.cache env.f.TG.s) env.m_addr));
+    Alcotest.test_case
+      "error on a home-agent tunnel is reversed to the sender" `Quick
+      (fun () ->
+         (* S has no cache (snooping off so R1 does not interfere);
+            packet goes via R2 which tunnels; the tunnel breaks; the ICMP
+            error must come back through R2, reversed, to S *)
+         let env' = TG.figure1 ~snoop_routers:false () in
+         let metrics = Workload.Metrics.create env'.TG.topo in
+         let traffic =
+           Workload.Traffic.create metrics (Topology.engine env'.TG.topo)
+         in
+         Workload.Metrics.watch_receiver metrics env'.TG.m;
+         let m_addr = Agent.address env'.TG.m in
+         let got = ref 0 in
+         Agent.on_icmp_error env'.TG.s (fun _ original ->
+             match original with
+             | Some o when Addr.equal o.Packet.dst m_addr -> incr got
+             | _ -> ());
+         Workload.Mobility.move_at env'.TG.topo env'.TG.m
+           ~at:(Time.of_sec 1.0) env'.TG.net_d;
+         (* break the path from R2 to R4 after registration *)
+         Workload.Traffic.at traffic (Time.of_sec 2.0) (fun () ->
+             Node.update_routes (Agent.node env'.TG.r3) (fun r ->
+                 Net.Route.remove
+                   (Net.Route.remove r (Net.Lan.prefix env'.TG.net_c))
+                   (Net.Lan.prefix env'.TG.net_d)));
+         Workload.Traffic.at traffic (Time.of_sec 3.0) (fun () ->
+             Workload.Traffic.send_udp traffic ~src:env'.TG.s ~dst:m_addr
+               ());
+         Topology.run ~until:(Time.of_sec 10.0) env'.TG.topo;
+         check Alcotest.int "reversed to original sender" 1 !got;
+         check Alcotest.bool "R2 reversed a tunnel error" true
+           ((Agent.counters env'.TG.r2).Mhrp.Counters.icmp_errors_reversed
+            > 0)) ]
+
+(* --- home agent availability --- *)
+
+let ha_tests =
+  [ Alcotest.test_case
+      "forwarding pointers keep a moving host reachable while HA is down"
+      `Quick (fun () ->
+          let env = setup () in
+          let net_e = Topology.add_lan env.f.TG.topo ~net:5 "netE" in
+          let r5n =
+            Topology.add_router env.f.TG.topo "R5"
+              [(env.f.TG.net_c, 3); (net_e, 1)]
+          in
+          Topology.compute_routes env.f.TG.topo;
+          let r5 = Agent.create r5n in
+          Agent.enable_foreign_agent r5
+            ~iface:(Option.get (Node.iface_to r5n (Net.Lan.prefix net_e)));
+          move env 1.0 env.f.TG.net_d;
+          send env 2.0 ~src:env.f.TG.s; (* S caches R4 *)
+          (* home agent crashes; M moves on to R5 *)
+          at env 3.0 (fun () ->
+              Node.set_up (Agent.node env.f.TG.r2) false);
+          move env 3.5 net_e;
+          send env 5.0 ~src:env.f.TG.s;
+          run env;
+          (* S -> R4 (stale) -> forwarding pointer -> R5 -> M, without the
+             home agent *)
+          check Alcotest.bool "delivered despite HA down" true
+            (delivered (List.nth (records env) 1)));
+    Alcotest.test_case "persistent HA database survives reboot" `Quick
+      (fun () ->
+         let env = setup () in
+         move env 1.0 env.f.TG.net_d;
+         at env 2.0 (fun () -> Node.reboot (Agent.node env.f.TG.r2));
+         send env 3.0 ~src:env.f.TG.s;
+         run env;
+         check Alcotest.bool "delivered via persisted db" true
+           (delivered (List.nth (records env) 0)));
+    Alcotest.test_case "volatile HA database loses registrations" `Quick
+      (fun () ->
+         let config =
+           { Mhrp.Config.default with Mhrp.Config.ha_persistent = false }
+         in
+         let env = setup ~config () in
+         move env 1.0 env.f.TG.net_d;
+         at env 2.0 (fun () -> Node.reboot (Agent.node env.f.TG.r2));
+         run env;
+         match Agent.home_agent env.f.TG.r2 with
+         | Some ha ->
+           check Alcotest.bool "forgotten" false
+             (Mhrp.Home_agent.serves ha env.m_addr)
+         | None -> Alcotest.fail "no ha role") ]
+
+(* --- Section 2: mobile host as its own foreign agent --- *)
+
+let own_fa_tests =
+  [ Alcotest.test_case "own-FA registration and delivery" `Quick (fun () ->
+        (* net E has a plain router, no foreign agent: M brings its own *)
+        let env = setup () in
+        let net_e = Topology.add_lan env.f.TG.topo ~net:5 "netE" in
+        let _r5 =
+          Topology.add_router env.f.TG.topo "R5"
+            [(env.f.TG.net_c, 3); (net_e, 1)]
+        in
+        Topology.compute_routes env.f.TG.topo;
+        let temp = Addr.Prefix.host (Net.Lan.prefix net_e) 200 in
+        at env 1.0 (fun () ->
+            Agent.move_to ~topo:env.f.TG.topo ~own_fa_temp:temp env.f.TG.m
+              net_e);
+        send env 2.0 ~src:env.f.TG.s;
+        send env 3.0 ~src:env.f.TG.s;
+        run env;
+        let rs = records env in
+        check Alcotest.bool "first delivered (via HA)" true
+          (delivered (List.nth rs 0));
+        check Alcotest.bool "second delivered (direct)" true
+          (delivered (List.nth rs 1));
+        (* S's cache points at the temporary address, and the mobile host
+           still received the packet under its home address *)
+        check (Alcotest.option addr_testable) "cache holds temp"
+          (Some temp)
+          (Mhrp.Location_cache.peek (Agent.cache env.f.TG.s) env.m_addr);
+        let second = List.nth rs 1 in
+        check Alcotest.int "8-byte overhead still" 8
+          (second.Workload.Metrics.max_bytes
+           - second.Workload.Metrics.sent_bytes));
+    Alcotest.test_case "own-FA host moving on releases the temp address"
+      `Quick (fun () ->
+          let env = setup () in
+          let net_e = Topology.add_lan env.f.TG.topo ~net:5 "netE" in
+          let _r5 =
+            Topology.add_router env.f.TG.topo "R5"
+              [(env.f.TG.net_c, 3); (net_e, 1)]
+          in
+          Topology.compute_routes env.f.TG.topo;
+          let temp = Addr.Prefix.host (Net.Lan.prefix net_e) 200 in
+          at env 1.0 (fun () ->
+              Agent.move_to ~topo:env.f.TG.topo ~own_fa_temp:temp
+                env.f.TG.m net_e);
+          move env 2.0 env.f.TG.net_d;
+          send env 3.0 ~src:env.f.TG.s;
+          run env;
+          check Alcotest.bool "temp released" false
+            (Node.has_address (Agent.node env.f.TG.m) temp);
+          check Alcotest.bool "delivered at new cell" true
+            (delivered (List.nth (records env) 0))) ]
+
+let suite =
+  [ ("fa-recovery", fa_recovery_tests); ("loops", loop_tests);
+    ("icmp-errors", icmp_error_tests); ("home-agent", ha_tests);
+    ("own-fa", own_fa_tests) ]
