@@ -1,0 +1,167 @@
+(* E15: the authenticated control plane under attack.
+
+   An adversary X on transit network C attacks the mobile host M twice
+   over — forging registrations / location updates that claim M moved to
+   X, and capturing M's genuine registration off network C to replay it
+   after M has gone home.  Each attack runs with authentication off and
+   on; success is the number of MHRP-tunneled packets for M that arrive
+   at X.  A final table prices the defence: real serializer output sizes
+   for every control message and the location update, with and without
+   the authentication extension. *)
+
+open Exp_util
+
+module Counters = Mhrp.Counters
+module Control = Mhrp.Control
+module Adversary = Auth.Adversary
+
+let auth_config =
+  { Mhrp.Config.default with Mhrp.Config.authenticate = true }
+
+let shared_key = Auth.Siphash.of_string "E15 shared secret"
+
+let agents f = TG.[ f.s; f.m; f.r1; f.r2; f.r3; f.r4 ]
+
+let install_keys env =
+  List.iter
+    (fun a -> Agent.install_key a ~mobile:env.m_addr ~spi:15 ~key:shared_key)
+    (agents env.f)
+
+let sum env field =
+  List.fold_left (fun acc a -> acc + field (Agent.counters a)) 0
+    (agents env.f)
+
+let attacks_dropped env =
+  sum env (fun c -> c.Counters.auth_fail)
+  + sum env (fun c -> c.Counters.replay_drop)
+
+type outcome = {
+  hijacked : int;
+  auth_fail : int;
+  replay_drop : int;
+  delivered : int;
+  sent : int;
+}
+
+let outcome env adv =
+  { hijacked = Adversary.hijacked adv;
+    auth_fail = sum env (fun c -> c.Counters.auth_fail);
+    replay_drop = sum env (fun c -> c.Counters.replay_drop);
+    delivered = List.length (Workload.Metrics.delivered env.metrics);
+    sent = List.length (Workload.Metrics.records env.metrics) }
+
+(* Attacker node on transit network C. *)
+let arm ~auth () =
+  let env =
+    fig_setup ~config:(if auth then auth_config else Mhrp.Config.default) ()
+  in
+  let xn = Topology.add_host env.f.TG.topo "X" env.f.TG.net_c 66 in
+  Topology.compute_routes env.f.TG.topo;
+  if auth then install_keys env;
+  let adv = Adversary.create ~victim:env.m_addr xn in
+  (env, adv)
+
+let cbr env ~start ~count =
+  Workload.Traffic.cbr env.traffic ~src:env.f.TG.s ~dst:env.m_addr
+    ~start:(Time.of_sec start) ~interval:(Time.of_ms 500) ~count ()
+
+(* Forgery: X fabricates a registration to M's home agent and a location
+   update to the correspondent S, both placing M at X. *)
+let forgery ~auth =
+  let env, adv = arm ~auth () in
+  cbr env ~start:0.5 ~count:19;
+  let x_addr = Node.primary_addr (Adversary.node adv) in
+  fig_at env 1.2 (fun () ->
+      Adversary.forge_registration adv
+        ~home_agent:(Agent.address env.f.TG.r2) ~foreign_agent:x_addr);
+  fig_at env 1.4 (fun () ->
+      Adversary.forge_location_update adv
+        ~src:(Agent.address env.f.TG.r2) ~dst:(Agent.address env.f.TG.s)
+        ~foreign_agent:x_addr);
+  fig_run ~until:12.0 env;
+  outcome env adv
+
+(* Capture & replay: M visits network C as its own foreign agent (its
+   registration crosses the attacker's LAN), goes home, and X — having
+   claimed M's abandoned temporary address — replays the recording, once
+   inside the timestamp window and once after it has lapsed.  Data
+   traffic starts only after M is home again, so every hijacked packet
+   is attributable to the replayed binding rather than to correspondent
+   caches left pointing at the abandoned address. *)
+let replay ~auth =
+  let env, adv = arm ~auth () in
+  cbr env ~start:2.2 ~count:15;
+  let temp =
+    Ipv4.Addr.Prefix.host (Net.Lan.prefix env.f.TG.net_c) 77
+  in
+  Adversary.tap adv env.f.TG.net_c;
+  fig_at env 1.0 (fun () ->
+      Agent.move_to ~topo:env.f.TG.topo ~own_fa_temp:temp env.f.TG.m
+        env.f.TG.net_c);
+  fig_move env 2.0 env.f.TG.net_b;
+  fig_at env 2.5 (fun () -> Adversary.assume_address adv temp);
+  fig_at env 3.0 (fun () -> Adversary.replay_captured adv);
+  fig_at env 4.5 (fun () -> Adversary.replay_captured adv);
+  fig_run ~until:12.0 env;
+  outcome env adv
+
+(* Byte overhead, from the serializers that put these messages on the
+   wire in the runs above. *)
+let overhead_rows () =
+  let m = Addr.host 2 10 and fa = Addr.host 4 1 in
+  let controls =
+    [ ("reg-request", Control.Reg_request { mobile = m; foreign_agent = fa });
+      ("reg-reply", Control.Reg_reply { mobile = m; accepted = true });
+      ("fa-connect", Control.Fa_connect { mobile = m; mac = Net.Mac.of_int 10 });
+      ("fa-connect-ack", Control.Fa_connect_ack { mobile = m });
+      ("fa-disconnect",
+       Control.Fa_disconnect { mobile = m; new_foreign_agent = fa });
+      ("ha-sync", Control.Ha_sync { mobile = m; foreign_agent = fa }) ]
+  in
+  let ext payload =
+    Auth.Extension.encode
+      (Auth.Extension.sign ~key:shared_key ~spi:15
+         ~timestamp:(Time.of_sec 1.0) ~nonce:1L payload)
+  in
+  let row name plain signed =
+    [ name; i plain; i signed; i (signed - plain) ]
+  in
+  List.map
+    (fun (name, msg) ->
+       let plain = Control.encode msg in
+       row name (Bytes.length plain)
+         (Bytes.length plain + Bytes.length (ext plain)))
+    controls
+  @ [ (let update =
+         Ipv4.Icmp.Location_update { mobile = m; foreign_agent = fa }
+       in
+       let plain = Ipv4.Icmp.encode update in
+       row "icmp location-update" (Bytes.length plain)
+         (Bytes.length
+            (Ipv4.Icmp.encode ~ext:(ext plain) update))) ]
+
+let run () =
+  heading "E15" "control-plane attacks: forgery and replay, auth off vs on";
+  note "adversary X on transit net C targets M; CBR S->M underneath";
+  note "hijacked = tunneled packets for M that arrived at X";
+  note "dropped  = auth_fail + replay_drop summed over all agents";
+  let scenarios =
+    [ ("forgery", forgery ~auth:false, forgery ~auth:true);
+      ("replay", replay ~auth:false, replay ~auth:true) ]
+  in
+  table
+    ~columns:[ "attack"; "auth"; "hijacked"; "auth_fail"; "replay_drop";
+               "delivered" ]
+    (List.concat_map
+       (fun (name, off, on) ->
+          [ [ name; "off"; i off.hijacked; i off.auth_fail;
+              i off.replay_drop;
+              Printf.sprintf "%d/%d" off.delivered off.sent ];
+            [ name; "on"; i on.hijacked; i on.auth_fail; i on.replay_drop;
+              Printf.sprintf "%d/%d" on.delivered on.sent ] ])
+       scenarios);
+  note "";
+  note "authentication extension overhead (serializer output bytes):";
+  table
+    ~columns:[ "message"; "plain"; "authenticated"; "added" ]
+    (overhead_rows ())

@@ -19,6 +19,7 @@ let experiments =
     ("E11", Exp_consistency.run);
     ("E13", Exp_replication.run);
     ("E14", Exp_fragmentation.run);
+    ("E15", Exp_security.run);
     ("A", Exp_ablations.run) ]
 
 let () =
@@ -40,5 +41,6 @@ let () =
          | None ->
            Format.eprintf "unknown experiment %s (known: %s, tables, micro)@."
              id
-             (String.concat ", " (List.map fst experiments)))
+             (String.concat ", " (List.map fst experiments));
+           exit 1)
       ids

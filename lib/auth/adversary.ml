@@ -1,0 +1,165 @@
+(* The attacker speaks MHRP's wire formats but not its implementation:
+   every message below is hand-crafted bytes, exactly what a hostile
+   node on the internetwork could emit without running the protocol
+   stack.  (It also keeps the dependency arrow pointing the right way:
+   lib/mhrp authenticates against lib/auth, so lib/auth cannot call into
+   lib/mhrp.) *)
+
+let control_port = 434 (* Mhrp.Control.port *)
+let reg_request_type = 1
+
+type t = {
+  node : Net.Node.t;
+  victim : Ipv4.Addr.t;
+  trace : Netsim.Trace.t option;
+  mutable captured : Ipv4.Packet.t list;
+  mutable forged : int;
+  mutable replayed : int;
+  mutable hijacked : int;
+}
+
+let emit t kind detail =
+  match t.trace with
+  | None -> ()
+  | Some tr ->
+    Netsim.Trace.emit tr
+      ~at:(Netsim.Engine.now (Net.Node.engine t.node))
+      ~node:(Net.Node.name t.node) ~kind detail
+
+let get_u8 buf i = Char.code (Bytes.get buf i)
+
+let get_addr buf i =
+  Ipv4.Addr.of_int
+    ((get_u8 buf i lsl 24) lor (get_u8 buf (i + 1) lsl 16)
+     lor (get_u8 buf (i + 2) lsl 8) lor get_u8 buf (i + 3))
+
+let put_addr buf i a =
+  let v = Ipv4.Addr.to_int a in
+  for k = 0 to 3 do
+    Bytes.set buf (i + k) (Char.chr ((v lsr (8 * (3 - k))) land 0xFF))
+  done
+
+let create ?trace ~victim node =
+  let t =
+    { node; victim; trace; captured = []; forged = 0; replayed = 0;
+      hijacked = 0 }
+  in
+  (* Anything tunneled to us with the victim's address in the MHRP
+     header (offset 4) is traffic we stole. *)
+  Net.Node.set_proto_handler node Ipv4.Proto.mhrp (fun _ pkt ->
+      let p = pkt.Ipv4.Packet.payload in
+      if Bytes.length p >= 8 && Ipv4.Addr.equal (get_addr p 4) t.victim
+      then begin
+        t.hijacked <- t.hijacked + 1;
+        emit t "hijack"
+          (Printf.sprintf "stole packet for %s from %s"
+             (Ipv4.Addr.to_string t.victim)
+             (Ipv4.Addr.to_string pkt.Ipv4.Packet.src))
+      end);
+  t
+
+let node t = t.node
+let forged t = t.forged
+let replayed t = t.replayed
+let hijacked t = t.hijacked
+let captured t = List.length t.captured
+
+let send_udp t ~src ~dst data =
+  let udp =
+    Ipv4.Udp.encode
+      (Ipv4.Udp.make ~src_port:control_port ~dst_port:control_port data)
+  in
+  Net.Node.send t.node
+    (Ipv4.Packet.make ~proto:Ipv4.Proto.udp ~src ~dst udp)
+
+let forge_registration t ~home_agent ~foreign_agent =
+  let buf = Bytes.make 9 '\000' in
+  Bytes.set buf 0 (Char.chr reg_request_type);
+  put_addr buf 1 t.victim;
+  put_addr buf 5 foreign_agent;
+  t.forged <- t.forged + 1;
+  emit t "forged-update"
+    (Printf.sprintf "forged registration: %s at fa=%s -> ha=%s"
+       (Ipv4.Addr.to_string t.victim)
+       (Ipv4.Addr.to_string foreign_agent)
+       (Ipv4.Addr.to_string home_agent));
+  (* Spoof the victim as the IP source, as the genuine registration
+     would carry. *)
+  send_udp t ~src:t.victim ~dst:home_agent buf
+
+let forge_location_update t ~src ~dst ~foreign_agent =
+  let icmp =
+    Ipv4.Icmp.encode
+      (Ipv4.Icmp.Location_update { mobile = t.victim; foreign_agent })
+  in
+  t.forged <- t.forged + 1;
+  emit t "forged-update"
+    (Printf.sprintf "forged location update to %s: %s at fa=%s (src spoofed as %s)"
+       (Ipv4.Addr.to_string dst)
+       (Ipv4.Addr.to_string t.victim)
+       (Ipv4.Addr.to_string foreign_agent)
+       (Ipv4.Addr.to_string src));
+  Net.Node.send t.node
+    (Ipv4.Packet.make ~proto:Ipv4.Proto.icmp ~src ~dst icmp)
+
+let own_macs t =
+  List.map (fun (i, _, _) -> Net.Node.iface_mac t.node i)
+    (Net.Node.ifaces t.node)
+
+(* A frame is a victim registration if it decodes as UDP to the control
+   port with a type-1 body naming the victim.  All the decoders raise on
+   junk; junk is simply not a registration. *)
+let registration_of_frame t frame =
+  if List.exists (Net.Mac.equal frame.Net.Frame.src) (own_macs t) then None
+  else
+    match frame.Net.Frame.content with
+    | Net.Frame.Arp _ -> None
+    | Net.Frame.Ip raw ->
+      (match Ipv4.Packet.decode raw with
+       | exception Invalid_argument _ -> None
+       | pkt ->
+         if pkt.Ipv4.Packet.proto <> Ipv4.Proto.udp then None
+         else
+           match Ipv4.Udp.decode pkt.Ipv4.Packet.payload with
+           | exception Invalid_argument _ -> None
+           | udp ->
+             if udp.Ipv4.Udp.dst_port <> control_port then None
+             else
+               let data = udp.Ipv4.Udp.data in
+               if Bytes.length data >= 9
+                  && get_u8 data 0 = reg_request_type
+                  && Ipv4.Addr.equal (get_addr data 1) t.victim
+               then Some pkt
+               else None)
+
+let tap t lan =
+  Net.Lan.add_monitor lan (fun frame ->
+      match registration_of_frame t frame with
+      | None -> ()
+      | Some pkt ->
+        t.captured <- t.captured @ [ pkt ];
+        emit t "capture"
+          (Printf.sprintf "captured registration for %s (%d bytes)"
+             (Ipv4.Addr.to_string t.victim)
+             (Bytes.length pkt.Ipv4.Packet.payload)))
+
+let replay_captured t =
+  List.iter
+    (fun pkt ->
+       t.replayed <- t.replayed + 1;
+       emit t "replay"
+         (Printf.sprintf "replaying captured registration for %s to %s"
+            (Ipv4.Addr.to_string t.victim)
+            (Ipv4.Addr.to_string pkt.Ipv4.Packet.dst));
+       (* Byte-identical payload, fresh IP envelope. *)
+       Net.Node.send t.node
+         (Ipv4.Packet.make ~proto:pkt.Ipv4.Packet.proto
+            ~src:pkt.Ipv4.Packet.src ~dst:pkt.Ipv4.Packet.dst
+            pkt.Ipv4.Packet.payload))
+    t.captured
+
+let assume_address t addr =
+  Net.Node.add_address t.node addr;
+  List.iter
+    (fun (i, _, _) -> Net.Node.gratuitous_arp t.node ~iface:i addr)
+    (Net.Node.ifaces t.node)

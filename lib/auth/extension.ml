@@ -1,0 +1,101 @@
+type t = {
+  spi : int;
+  timestamp : Netsim.Time.t;
+  nonce : int64;
+  mac : int64;
+}
+
+let ext_type = 32
+let ext_body_len = 28 (* spi(4) + timestamp(8) + nonce(8) + mac(8) *)
+let length = 2 + ext_body_len
+
+let get_u8 buf i = Char.code (Bytes.get buf i)
+
+let put_u32 buf i v =
+  for k = 0 to 3 do
+    Bytes.set buf (i + k) (Char.chr ((v lsr (8 * (3 - k))) land 0xFF))
+  done
+
+let get_u32 buf i =
+  let v = ref 0 in
+  for k = 0 to 3 do
+    v := (!v lsl 8) lor get_u8 buf (i + k)
+  done;
+  !v
+
+let put_u64 buf i v =
+  for k = 0 to 7 do
+    Bytes.set buf (i + k)
+      (Char.chr
+         (Int64.to_int (Int64.shift_right_logical v (8 * (7 - k))) land 0xFF))
+  done
+
+let get_u64 buf i =
+  let v = ref 0L in
+  for k = 0 to 7 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (get_u8 buf (i + k)))
+  done;
+  !v
+
+let encode { spi; timestamp; nonce; mac } =
+  let buf = Bytes.make length '\000' in
+  Bytes.set buf 0 (Char.chr ext_type);
+  Bytes.set buf 1 (Char.chr ext_body_len);
+  put_u32 buf 2 spi;
+  put_u64 buf 6 (Int64.of_int (Netsim.Time.to_us timestamp));
+  put_u64 buf 14 nonce;
+  put_u64 buf 22 mac;
+  buf
+
+let decode_at buf off =
+  if off < 0 || off + length > Bytes.length buf then None
+  else if get_u8 buf off <> ext_type then None
+  else if get_u8 buf (off + 1) <> ext_body_len then None
+  else begin
+    let ts = get_u64 buf (off + 6) in
+    (* A 64-bit wire timestamp only names a simulation time if it fits in
+       a non-negative OCaml int; anything else is a malformed extension,
+       not an exception. *)
+    if Int64.compare ts 0L < 0
+       || Int64.compare ts (Int64.of_int max_int) > 0 then None
+    else
+      Some
+        {
+          spi = get_u32 buf (off + 2);
+          timestamp = Netsim.Time.of_us (Int64.to_int ts);
+          nonce = get_u64 buf (off + 14);
+          mac = get_u64 buf (off + 22);
+        }
+  end
+
+let decode buf =
+  if Bytes.length buf <> length then None else decode_at buf 0
+
+let split buf =
+  let n = Bytes.length buf in
+  if n < length then None
+  else
+    match decode_at buf (n - length) with
+    | None -> None
+    | Some ext -> Some (Bytes.sub buf 0 (n - length), ext)
+
+(* The MAC covers the payload followed by the extension with the MAC
+   field zeroed, so verification re-derives exactly what the signer
+   hashed. *)
+let signed_input payload ext =
+  let ext_bytes = encode { ext with mac = 0L } in
+  let buf = Bytes.create (Bytes.length payload + length) in
+  Bytes.blit payload 0 buf 0 (Bytes.length payload);
+  Bytes.blit ext_bytes 0 buf (Bytes.length payload) length;
+  buf
+
+let sign ~key ~spi ~timestamp ~nonce payload =
+  let ext = { spi; timestamp; nonce; mac = 0L } in
+  { ext with mac = Siphash.mac key (signed_input payload ext) }
+
+let verify ~key payload ext =
+  Int64.equal ext.mac (Siphash.mac key (signed_input payload ext))
+
+let pp ppf { spi; timestamp; nonce; mac } =
+  Format.fprintf ppf "auth-ext spi=%d ts=%a nonce=%Lx mac=%Lx" spi
+    Netsim.Time.pp timestamp nonce mac

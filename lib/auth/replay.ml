@@ -1,0 +1,37 @@
+type verdict = Fresh | Stale_timestamp | Replayed_nonce
+
+type t = {
+  window : Netsim.Time.t;
+  capacity : int;
+  seen : (int64, unit) Hashtbl.t;
+  order : int64 Queue.t;
+}
+
+let create ~window ~capacity =
+  if capacity <= 0 then invalid_arg "Replay.create: capacity must be positive";
+  { window; capacity; seen = Hashtbl.create (2 * capacity); order = Queue.create () }
+
+let remember t nonce =
+  if Queue.length t.order >= t.capacity then
+    Hashtbl.remove t.seen (Queue.pop t.order);
+  Hashtbl.replace t.seen nonce ();
+  Queue.push nonce t.order
+
+let check t ~now ~timestamp ~nonce =
+  let skew =
+    if Netsim.Time.(timestamp > now) then Netsim.Time.diff timestamp now
+    else Netsim.Time.diff now timestamp
+  in
+  if Netsim.Time.(skew > t.window) then Stale_timestamp
+  else if Hashtbl.mem t.seen nonce then Replayed_nonce
+  else begin
+    (* Only fresh messages advance the window: a rejected message must
+       not be able to evict the nonces that make its replay detectable. *)
+    remember t nonce;
+    Fresh
+  end
+
+let pp_verdict ppf = function
+  | Fresh -> Format.pp_print_string ppf "fresh"
+  | Stale_timestamp -> Format.pp_print_string ppf "stale-timestamp"
+  | Replayed_nonce -> Format.pp_print_string ppf "replayed-nonce"

@@ -1,0 +1,22 @@
+(** Replay protection: timestamp window + sliding seen-nonce window.
+
+    A message is fresh iff its timestamp is within [window] of the
+    receiver's clock {e and} its nonce has not been seen among the last
+    [capacity] accepted messages.  The timestamp window bounds how old a
+    captured message can be when replayed; the nonce window catches
+    replays inside that interval.  Only accepted (fresh) messages are
+    recorded, so an attacker cannot flush the window with garbage. *)
+
+type verdict = Fresh | Stale_timestamp | Replayed_nonce
+
+type t
+
+val create : window:Netsim.Time.t -> capacity:int -> t
+(** Raises [Invalid_argument] if [capacity <= 0]. *)
+
+val check :
+  t -> now:Netsim.Time.t -> timestamp:Netsim.Time.t -> nonce:int64 -> verdict
+(** Judge a message and, if [Fresh], record its nonce (evicting the
+    oldest recorded nonce when the window is full). *)
+
+val pp_verdict : Format.formatter -> verdict -> unit

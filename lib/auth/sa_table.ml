@@ -1,0 +1,44 @@
+type sa = { spi : int; key : Siphash.key; replay : Replay.t }
+
+type t = {
+  window : Netsim.Time.t;
+  capacity : int;
+  by_mobile : (Ipv4.Addr.t, sa) Hashtbl.t;
+}
+
+type verdict = Ok | No_sa | Bad_spi | Bad_mac | Stale | Replayed
+
+let create ~window ~capacity = { window; capacity; by_mobile = Hashtbl.create 16 }
+
+let install t ~mobile ~spi ~key =
+  Hashtbl.replace t.by_mobile mobile
+    { spi; key; replay = Replay.create ~window:t.window ~capacity:t.capacity }
+
+let find t mobile = Hashtbl.find_opt t.by_mobile mobile
+
+let verify t ~mobile ~now ~payload (ext : Extension.t) =
+  match Hashtbl.find_opt t.by_mobile mobile with
+  | None -> No_sa
+  | Some sa ->
+    if sa.spi <> ext.spi then Bad_spi
+      (* MAC first: an attacker without the key must not be able to
+         advance the replay state with well-formed but forged nonces. *)
+    else if not (Extension.verify ~key:sa.key payload ext) then Bad_mac
+    else begin
+      match
+        Replay.check sa.replay ~now ~timestamp:ext.timestamp ~nonce:ext.nonce
+      with
+      | Replay.Fresh -> Ok
+      | Replay.Stale_timestamp -> Stale
+      | Replay.Replayed_nonce -> Replayed
+    end
+
+let pp_verdict ppf v =
+  Format.pp_print_string ppf
+    (match v with
+     | Ok -> "ok"
+     | No_sa -> "no-sa"
+     | Bad_spi -> "bad-spi"
+     | Bad_mac -> "bad-mac"
+     | Stale -> "stale"
+     | Replayed -> "replayed")

@@ -1,0 +1,38 @@
+(** Security-association table.
+
+    One association per mobile host: the SPI naming it, the shared
+    SipHash key, and that association's replay state.  Every agent
+    that authenticates control traffic about a mobile host (its home
+    agent, foreign agents, cache maintainers and correspondents) holds
+    the association under the mobile's home address, mirroring how
+    Mobile IP keys the mobility security association. *)
+
+type sa = { spi : int; key : Siphash.key; replay : Replay.t }
+
+type t
+
+type verdict = Ok | No_sa | Bad_spi | Bad_mac | Stale | Replayed
+
+val create : window:Netsim.Time.t -> capacity:int -> t
+(** [window]/[capacity] parameterise the replay detector of every
+    association subsequently installed. *)
+
+val install : t -> mobile:Ipv4.Addr.t -> spi:int -> key:Siphash.key -> unit
+(** Install (or replace) the association for a mobile host.  Replacing
+    resets its replay state. *)
+
+val find : t -> Ipv4.Addr.t -> sa option
+
+val verify :
+  t ->
+  mobile:Ipv4.Addr.t ->
+  now:Netsim.Time.t ->
+  payload:bytes ->
+  Extension.t ->
+  verdict
+(** Check an extension protecting [payload] for a message about
+    [mobile]: association lookup, SPI match, MAC, then replay.  [Ok]
+    records the nonce; every other verdict leaves replay state
+    untouched. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit

@@ -1,0 +1,68 @@
+type key = { k0 : int64; k1 : int64 }
+
+let key ~k0 ~k1 = { k0; k1 }
+
+(* Read up to [n] bytes of [get i] as a little-endian word. *)
+let word_le get off n =
+  let w = ref 0L in
+  for i = n - 1 downto 0 do
+    w := Int64.logor (Int64.shift_left !w 8) (Int64.of_int (get (off + i)))
+  done;
+  !w
+
+let of_string s =
+  let byte i = if i < String.length s then Char.code s.[i] else 0 in
+  { k0 = word_le byte 0 8; k1 = word_le byte 8 8 }
+
+let ( +% ) = Int64.add
+let ( ^% ) = Int64.logxor
+
+let rotl x b =
+  Int64.logor (Int64.shift_left x b) (Int64.shift_right_logical x (64 - b))
+
+let mac { k0; k1 } msg =
+  let v0 = ref (k0 ^% 0x736f6d6570736575L)
+  and v1 = ref (k1 ^% 0x646f72616e646f6dL)
+  and v2 = ref (k0 ^% 0x6c7967656e657261L)
+  and v3 = ref (k1 ^% 0x7465646279746573L) in
+  let sipround () =
+    v0 := !v0 +% !v1;
+    v1 := rotl !v1 13;
+    v1 := !v1 ^% !v0;
+    v0 := rotl !v0 32;
+    v2 := !v2 +% !v3;
+    v3 := rotl !v3 16;
+    v3 := !v3 ^% !v2;
+    v0 := !v0 +% !v3;
+    v3 := rotl !v3 21;
+    v3 := !v3 ^% !v0;
+    v2 := !v2 +% !v1;
+    v1 := rotl !v1 17;
+    v1 := !v1 ^% !v2;
+    v2 := rotl !v2 32
+  in
+  let absorb m =
+    v3 := !v3 ^% m;
+    sipround ();
+    sipround ();
+    v0 := !v0 ^% m
+  in
+  let len = Bytes.length msg in
+  let byte i = Char.code (Bytes.get msg i) in
+  for b = 0 to (len / 8) - 1 do
+    absorb (word_le byte (b * 8) 8)
+  done;
+  (* Final word: the trailing bytes with the low 8 bits of the length in
+     the top byte. *)
+  absorb
+    (Int64.logor
+       (word_le byte (len land lnot 7) (len land 7))
+       (Int64.shift_left (Int64.of_int (len land 0xFF)) 56));
+  v2 := !v2 ^% 0xFFL;
+  sipround ();
+  sipround ();
+  sipround ();
+  sipround ();
+  !v0 ^% !v1 ^% !v2 ^% !v3
+
+let pp_key ppf { k0; k1 } = Format.fprintf ppf "key(%Lx,%Lx)" k0 k1

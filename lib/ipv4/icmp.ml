@@ -45,13 +45,15 @@ let body = function
   | Location_update _ | Agent_advertisement _ | Agent_solicitation ->
     Bytes.empty
 
-let encode t =
+let encode ?ext t =
   let ty, code = type_code t in
   let data = body t in
+  let ext_len = match ext with None -> 0 | Some e -> Bytes.length e in
   let len = 8 + Bytes.length data
             + (match t with
                | Location_update _ | Agent_advertisement _ -> 8
-               | _ -> 0) in
+               | _ -> 0)
+            + ext_len in
   let buf = Bytes.make len '\000' in
   Bytes.set buf 0 (Char.chr ty);
   Bytes.set buf 1 (Char.chr code);
@@ -73,13 +75,15 @@ let encode t =
   (match t with
    | Location_update _ | Agent_advertisement _ | Agent_solicitation -> ()
    | _ -> Bytes.blit data 0 buf 8 (Bytes.length data));
+  (match ext with
+   | None -> ()
+   | Some e -> Bytes.blit e 0 buf (len - ext_len) ext_len);
   Checksum.set buf ~at:2 ~off:0 ~len;
   buf
 
 let decode_opt buf =
   if Bytes.length buf < 8 then None
-  else if not (Checksum.valid buf) then
-    invalid_arg "Icmp.decode: bad checksum"
+  else if not (Checksum.valid buf) then None
   else begin
     let ty = get_u8 buf 0 in
     let code = get_u8 buf 1 in

@@ -34,14 +34,20 @@ val location_update_type : int
 val host_unreachable : original:bytes -> t
 (** [Dest_unreachable] with code 1. *)
 
-val encode : t -> bytes
+val encode : ?ext:bytes -> t -> bytes
+(** [ext] is appended after the message body and covered by the ICMP
+    checksum — the carriage slot for the MHRP authentication extension
+    on location updates.  Decoding ignores trailing bytes, so receivers
+    without the extension still parse the message (the same
+    backward-compatibility argument as the type number). *)
+
 val decode : bytes -> t
 (** Raises [Invalid_argument] on malformed input, bad checksum, or an ICMP
     type this simulator does not model (matching RFC 1122 hosts, callers
     should treat that as "silently discard"). *)
 
 val decode_opt : bytes -> t option
-(** [None] instead of an exception — the "silently discard unknown type"
-    path. *)
+(** [None] instead of an exception — the "silently discard" path for
+    unknown types, truncations and checksum mismatches alike. *)
 
 val pp : Format.formatter -> t -> unit

@@ -15,6 +15,8 @@ type t = {
   counters : Counters.t;
   cache : Location_cache.t;
   limiter : Rate_limiter.t;
+  sa : Auth.Sa_table.t;
+  mutable auth_nonce : int;
   cache_agent : bool;
   snoop : bool;
   mutable ha : Home_agent.t option;
@@ -57,6 +59,75 @@ let tracef t kind fmt =
            detail)
     fmt
 
+(* --- authentication (RFC 2002-style extension; experiment E15) --- *)
+
+let sa_table t = t.sa
+
+let install_key t ~mobile ~spi ~key =
+  Auth.Sa_table.install t.sa ~mobile ~spi ~key
+
+let next_nonce t =
+  t.auth_nonce <- t.auth_nonce + 1;
+  (* Unique across all senders without coordination: own address in the
+     high half, a local counter in the low half. *)
+  Int64.logor
+    (Int64.shift_left (Int64.of_int (Addr.to_int (address t))) 32)
+    (Int64.of_int (t.auth_nonce land 0xFFFF_FFFF))
+
+let auth_ext t ~mobile payload =
+  if not t.config.Config.authenticate then None
+  else
+    match Auth.Sa_table.find t.sa mobile with
+    | None -> None
+    | Some sa ->
+      Some
+        (Auth.Extension.encode
+           (Auth.Extension.sign ~key:sa.Auth.Sa_table.key
+              ~spi:sa.Auth.Sa_table.spi ~timestamp:(now t)
+              ~nonce:(next_nonce t) payload))
+
+let auth_append t ~mobile payload =
+  match auth_ext t ~mobile payload with
+  | None -> payload
+  | Some ext -> Bytes.cat payload ext
+
+(* Gate a state mutation on the extension at the tail of [wire], which
+   must authenticate [canonical] — the message's canonical re-encoding,
+   not the wire prefix, so a checksum covering the extension can never
+   enter its own MAC.  [kind] tags the rejection trace event. *)
+let authorize t ~mobile ~src ~wire ~canonical ~kind =
+  if not t.config.Config.authenticate then true
+  else begin
+    let verdict =
+      match Auth.Extension.split wire with
+      | None -> None
+      | Some (_, ext) ->
+        Some
+          (Auth.Sa_table.verify t.sa ~mobile ~now:(now t)
+             ~payload:canonical ext)
+    in
+    match verdict with
+    | Some Auth.Sa_table.Ok ->
+      t.counters.Counters.auth_ok <- t.counters.Counters.auth_ok + 1;
+      true
+    | Some ((Auth.Sa_table.Stale | Auth.Sa_table.Replayed) as v) ->
+      t.counters.Counters.replay_drop <-
+        t.counters.Counters.replay_drop + 1;
+      tracef t kind "replay of message about %a from %a (%a)" Addr.pp
+        mobile Addr.pp src Auth.Sa_table.pp_verdict v;
+      false
+    | Some v ->
+      t.counters.Counters.auth_fail <- t.counters.Counters.auth_fail + 1;
+      tracef t kind "rejected message about %a from %a (%a)" Addr.pp
+        mobile Addr.pp src Auth.Sa_table.pp_verdict v;
+      false
+    | None ->
+      t.counters.Counters.auth_fail <- t.counters.Counters.auth_fail + 1;
+      tracef t kind "unauthenticated message about %a from %a" Addr.pp
+        mobile Addr.pp src;
+      false
+  end
+
 (* --- home-agent database shorthands --- *)
 
 let ha_location t mobile =
@@ -83,9 +154,12 @@ let send_location_update t ~dst ~mobile ~foreign_agent =
       tracef t "loc-update-tx" "to %a: %a at %a" Addr.pp dst Addr.pp mobile
         Addr.pp foreign_agent;
       let msg = Ipv4.Icmp.Location_update { mobile; foreign_agent } in
+      (* The MAC covers the extension-free encoding; the wire carries
+         message + extension under one checksum. *)
+      let ext = auth_ext t ~mobile (Ipv4.Icmp.encode msg) in
       let pkt =
         Packet.make ~proto:Ipv4.Proto.icmp ~src:(address t) ~dst
-          (Ipv4.Icmp.encode msg)
+          (Ipv4.Icmp.encode ?ext msg)
       in
       Node.send t.node pkt
     end
@@ -100,17 +174,18 @@ let cache_update t ~mobile ~foreign_agent =
 
 (* --- control-message plumbing --- *)
 
+let control_datagram t msg =
+  Ipv4.Udp.encode
+    (Ipv4.Udp.make ~src_port:Control.port ~dst_port:Control.port
+       (auth_append t ~mobile:(Control.mobile msg) (Control.encode msg)))
+
 let send_control t ~dst msg =
   t.counters.Counters.control_messages <-
     t.counters.Counters.control_messages + 1;
   tracef t "ctrl-tx" "to %a: %a" Addr.pp dst Control.pp msg;
-  let udp =
-    Ipv4.Udp.make ~src_port:Control.port ~dst_port:Control.port
-      (Control.encode msg)
-  in
   let pkt =
     Packet.make ~proto:Ipv4.Proto.udp ~src:(address t) ~dst
-      (Ipv4.Udp.encode udp)
+      (control_datagram t msg)
   in
   Node.send t.node pkt
 
@@ -692,10 +767,7 @@ let ha_handle_registration t ha ~mobile ~foreign_agent =
     (* The reply reaches a visiting host through its new tunnel. *)
     send t
       (Packet.make ~proto:Ipv4.Proto.udp ~src:(address t) ~dst:mobile
-         (Ipv4.Udp.encode
-            (Ipv4.Udp.make ~src_port:Control.port ~dst_port:Control.port
-               (Control.encode
-                  (Control.Reg_reply { mobile; accepted = true })))));
+         (control_datagram t (Control.Reg_reply { mobile; accepted = true })));
     t.counters.Counters.control_messages <-
       t.counters.Counters.control_messages + 1
   end
@@ -721,9 +793,7 @@ let fa_handle_connect t ~mobile ~mac =
       t.counters.Counters.control_messages + 1;
     let ack =
       Packet.make ~proto:Ipv4.Proto.udp ~src:(address t) ~dst:mobile
-        (Ipv4.Udp.encode
-           (Ipv4.Udp.make ~src_port:Control.port ~dst_port:Control.port
-              (Control.encode (Control.Fa_connect_ack { mobile }))))
+        (control_datagram t (Control.Fa_connect_ack { mobile }))
     in
     Node.send_ip_to_mac t.node ~iface ~dst_mac:mac ack
 
@@ -771,6 +841,11 @@ let handle_control t (pkt : Packet.t) =
   | udp ->
     match Control.decode udp.Ipv4.Udp.data with
     | None -> ()
+    | Some msg
+      when not
+             (authorize t ~mobile:(Control.mobile msg) ~src:pkt.Packet.src
+                ~wire:udp.Ipv4.Udp.data ~canonical:(Control.encode msg)
+                ~kind:"auth-fail") -> ()
     | Some msg ->
       tracef t "ctrl-rx" "%a" Control.pp msg;
       match msg with
@@ -801,11 +876,19 @@ let handle_icmp t (pkt : Packet.t) =
     | Ipv4.Icmp.Location_update { mobile; foreign_agent } ->
       t.counters.Counters.updates_received <-
         t.counters.Counters.updates_received + 1;
-      tracef t "loc-update-rx" "%a at %a" Addr.pp mobile Addr.pp
-        foreign_agent;
-      cache_update t ~mobile ~foreign_agent;
-      fa_recovery_check t ~mobile ~foreign_agent;
-      t.update_tap ~mobile ~foreign_agent
+      if
+        authorize t ~mobile ~src:pkt.Packet.src ~wire:pkt.Packet.payload
+          ~canonical:
+            (Ipv4.Icmp.encode
+               (Ipv4.Icmp.Location_update { mobile; foreign_agent }))
+          ~kind:"forged-update"
+      then begin
+        tracef t "loc-update-rx" "%a at %a" Addr.pp mobile Addr.pp
+          foreign_agent;
+        cache_update t ~mobile ~foreign_agent;
+        fa_recovery_check t ~mobile ~foreign_agent;
+        t.update_tap ~mobile ~foreign_agent
+      end
     | Ipv4.Icmp.Echo_request { ident; seq; data } ->
       let reply = Ipv4.Icmp.Echo_reply { ident; seq; data } in
       send t
@@ -862,7 +945,14 @@ let rewrite_forward t (pkt : Packet.t) =
     (if pkt.Packet.proto = Ipv4.Proto.icmp then
        match Ipv4.Icmp.decode_opt pkt.Packet.payload with
        | Some (Ipv4.Icmp.Location_update { mobile; foreign_agent }) ->
-         cache_update t ~mobile ~foreign_agent
+         if
+           authorize t ~mobile ~src:pkt.Packet.src
+             ~wire:pkt.Packet.payload
+             ~canonical:
+               (Ipv4.Icmp.encode
+                  (Ipv4.Icmp.Location_update { mobile; foreign_agent }))
+             ~kind:"forged-update"
+         then cache_update t ~mobile ~foreign_agent
        | Some _ | None -> ()
        | exception Invalid_argument _ -> ());
     if (not (Encap.is_tunneled pkt)) && t.cache_agent then
@@ -890,6 +980,10 @@ let create ?(config = Config.default) ?(cache_agent = true)
       limiter =
         Rate_limiter.create ~capacity:config.Config.update_rate_entries
           ~min_interval:config.Config.update_min_interval;
+      sa =
+        Auth.Sa_table.create ~window:config.Config.auth_timestamp_window
+          ~capacity:config.Config.auth_nonce_capacity;
+      auth_nonce = 0;
       cache_agent; snoop;
       ha = None; fa = None; mh = None;
       app_tap = (fun _ -> ());

@@ -108,6 +108,31 @@ val on_icmp_error : t -> (Ipv4.Icmp.t -> Ipv4.Packet.t option -> unit) -> unit
 (** An ICMP error reached this node as original sender; the packet is the
     reconstructed offending packet when enough of it was quoted. *)
 
+(** {1 Authentication (RFC 2002-style extension, experiment E15)}
+
+    With [Config.authenticate] on, every control message and location
+    update this agent originates carries an authentication extension
+    (keyed MAC + timestamp + nonce) signed under the mobile host's
+    security association, and every received one is verified {e before}
+    any routing state mutates.  Verification outcomes land in
+    [Counters.auth_ok]/[auth_fail]/[replay_drop] and, on rejection, in
+    trace kinds ["auth-fail"] (control) and ["forged-update"] (location
+    updates).  Messages about mobile hosts without an installed
+    association are rejected. *)
+
+val install_key :
+  t -> mobile:Ipv4.Addr.t -> spi:int -> key:Auth.Siphash.key -> unit
+(** Provision the security association for a mobile host (key
+    distribution itself is outside the protocol, as in Mobile IP). *)
+
+val sa_table : t -> Auth.Sa_table.t
+
+val control_datagram : t -> Control.t -> bytes
+(** The UDP datagram bytes (header + message + extension when
+    authenticating) this agent would send for a control message — the
+    real serializer, used by {!Replication} and the overhead
+    measurements of E15. *)
+
 (** {1 Internals exposed for tests and experiments} *)
 
 val send_location_update :

@@ -14,6 +14,9 @@ type t = {
   verify_recovered_visitors : bool;
   gratuitous_arp_count : int;
   ha_persistent : bool;
+  authenticate : bool;
+  auth_timestamp_window : Netsim.Time.t;
+  auth_nonce_capacity : int;
 }
 
 let default =
@@ -27,4 +30,7 @@ let default =
     on_loop = Discard_packet;
     verify_recovered_visitors = false;
     gratuitous_arp_count = 3;
-    ha_persistent = true }
+    ha_persistent = true;
+    authenticate = false;
+    auth_timestamp_window = Netsim.Time.of_sec 2.0;
+    auth_nonce_capacity = 64 }

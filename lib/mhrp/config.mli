@@ -45,10 +45,23 @@ type t = {
   ha_persistent : bool;
   (** The home agent's location database survives reboots (Section 2:
       "should also be recorded on disk"). *)
+  authenticate : bool;
+  (** Require a valid authentication extension (keyed MAC + anti-replay,
+      RFC 2002 style) on registrations, control messages and location
+      updates before mutating any routing state — the countermeasure to
+      the hijacking adversary of experiment E15.  Messages about mobile
+      hosts with no installed security association are rejected. *)
+  auth_timestamp_window : Netsim.Time.t;
+  (** Maximum |sender clock - receiver clock| skew accepted on an
+      authenticated message; also bounds how stale a captured message can
+      be when replayed. *)
+  auth_nonce_capacity : int;
+  (** Per-association sliding window of recently accepted nonces. *)
 }
 
 val default : t
 (** max list 8, cache 64 entries, 1 s update interval, 64 rate entries,
     10 s advertisements with a 30 s lifetime, forwarding pointers on,
     discard on loop, no visitor verification, 3 gratuitous ARPs,
-    persistent home agent. *)
+    persistent home agent; authentication off (2 s timestamp window and a
+    64-nonce replay window when enabled). *)

@@ -98,6 +98,14 @@ let decode buf =
                       foreign_agent = get_addr buf 5 })
     | _ -> None
 
+let mobile = function
+  | Reg_request { mobile; _ }
+  | Reg_reply { mobile; _ }
+  | Fa_connect { mobile; _ }
+  | Fa_connect_ack { mobile }
+  | Fa_disconnect { mobile; _ }
+  | Ha_sync { mobile; _ } -> mobile
+
 let pp ppf = function
   | Reg_request { mobile; foreign_agent } ->
     Format.fprintf ppf "reg-request mobile=%a fa=%a" Ipv4.Addr.pp mobile

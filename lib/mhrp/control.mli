@@ -27,8 +27,13 @@ type t =
           replicas "provide a consistent view of the database"
           (Section 2).  Never re-propagated. *)
 
+val mobile : t -> Ipv4.Addr.t
+(** The mobile host the message is about — the key under which its
+    security association is looked up when authentication is on. *)
+
 val encode : t -> bytes
 val decode : bytes -> t option
-(** [None] on malformed input. *)
+(** [None] on malformed input.  Trailing bytes beyond the message are
+    ignored, so an appended authentication extension decodes cleanly. *)
 
 val pp : Format.formatter -> t -> unit

@@ -14,6 +14,9 @@ type t = {
   mutable icmp_errors_reversed : int;
   mutable recoveries : int;
   mutable control_messages : int;
+  mutable auth_ok : int;
+  mutable auth_fail : int;
+  mutable replay_drop : int;
 }
 
 let create () =
@@ -21,7 +24,8 @@ let create () =
     updates_received = 0; loops_detected = 0; loops_dissolved = 0;
     list_truncations = 0; registrations = 0; fa_connects = 0;
     fa_disconnects = 0; intercepts = 0; icmp_errors_reversed = 0;
-    recoveries = 0; control_messages = 0 }
+    recoveries = 0; control_messages = 0; auth_ok = 0; auth_fail = 0;
+    replay_drop = 0 }
 
 let total_overhead_messages t = t.control_messages
 
@@ -29,8 +33,9 @@ let pp ppf t =
   Format.fprintf ppf
     "tunnels=%d retunnels=%d detunnels=%d updates=%d/%d loops=%d/%d \
      trunc=%d reg=%d fa+=%d fa-=%d intercepts=%d icmp-rev=%d recov=%d \
-     ctrl=%d"
+     ctrl=%d auth=%d/%d replay=%d"
     t.tunnels_built t.retunnels t.detunnels t.updates_sent
     t.updates_received t.loops_detected t.loops_dissolved
     t.list_truncations t.registrations t.fa_connects t.fa_disconnects
     t.intercepts t.icmp_errors_reversed t.recoveries t.control_messages
+    t.auth_ok t.auth_fail t.replay_drop

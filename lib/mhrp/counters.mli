@@ -20,6 +20,13 @@ type t = {
       (** All control traffic originated (registrations, notifications,
           updates, advertisements): the scalability experiment's
           per-protocol cost metric. *)
+  mutable auth_ok : int;
+      (** Messages whose authentication extension verified. *)
+  mutable auth_fail : int;
+      (** Messages rejected for a missing extension, unknown association,
+          SPI mismatch or bad MAC. *)
+  mutable replay_drop : int;
+      (** Correctly MACed messages rejected as stale or replayed. *)
 }
 
 val create : unit -> t

@@ -22,16 +22,11 @@ let group agents =
                   t.syncs <- t.syncs + 1;
                   (* mirror over the wire: replicas may sit anywhere on
                      the organisation's network *)
-                  let udp =
-                    Ipv4.Udp.make ~src_port:Control.port
-                      ~dst_port:Control.port
-                      (Control.encode
-                         (Control.Ha_sync { mobile; foreign_agent }))
-                  in
                   Net.Node.send (Agent.node a)
                     (Ipv4.Packet.make ~proto:Ipv4.Proto.udp
                        ~src:(Agent.address a) ~dst:(Agent.address peer)
-                       (Ipv4.Udp.encode udp))
+                       (Agent.control_datagram a
+                          (Control.Ha_sync { mobile; foreign_agent })))
                 end)
              t.agents))
     agents;

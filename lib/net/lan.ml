@@ -10,6 +10,7 @@ type t = {
   mtu : int;
   rng : Netsim.Rng.t option;
   stations : (Mac.t, station) Hashtbl.t;
+  mutable monitors : station list;
   mutable up : bool;
   mutable frames : int;
   mutable bytes : int;
@@ -23,7 +24,8 @@ let create ~engine ~name ?(latency = Netsim.Time.of_us 500)
   if bandwidth_bps <= 0 then invalid_arg "Lan.create: bandwidth";
   if mtu < 68 then invalid_arg "Lan.create: mtu below the IP minimum";
   { engine; name; prefix; latency; bandwidth_bps; loss; mtu; rng;
-    stations = Hashtbl.create 8; up = true; frames = 0; bytes = 0 }
+    stations = Hashtbl.create 8; monitors = []; up = true; frames = 0;
+    bytes = 0 }
 
 let name t = t.name
 let prefix t = t.prefix
@@ -37,6 +39,7 @@ let attach t mac station =
   Hashtbl.replace t.stations mac station
 
 let detach t mac = Hashtbl.remove t.stations mac
+let add_monitor t monitor = t.monitors <- t.monitors @ [ monitor ]
 let attached t mac = Hashtbl.mem t.stations mac
 
 let stations t =
@@ -59,7 +62,8 @@ let send t frame =
     t.bytes <- t.bytes + Frame.wire_length frame;
     let delay = Netsim.Time.add t.latency (tx_delay t frame) in
     let deliver () =
-      if t.up then
+      if t.up then begin
+        List.iter (fun monitor -> monitor frame) t.monitors;
         if Mac.is_broadcast frame.Frame.dst then
           (* Deliver in deterministic (MAC-sorted) order, skipping the
              sender, matching how tests expect broadcast fan-out. *)
@@ -74,6 +78,7 @@ let send t frame =
           match Hashtbl.find_opt t.stations frame.Frame.dst with
           | Some station -> station frame
           | None -> ()
+      end
     in
     ignore (Netsim.Engine.schedule_after t.engine ~delay deliver)
   end

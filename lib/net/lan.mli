@@ -29,6 +29,13 @@ val attach : t -> Mac.t -> station -> unit
 (** Raises [Invalid_argument] if the MAC is already attached. *)
 
 val detach : t -> Mac.t -> unit
+
+(** Register a promiscuous tap: called for every frame the LAN delivers,
+    whatever its destination MAC — a NIC in promiscuous mode on a
+    broadcast segment.  Monitors observe only; they cannot suppress
+    delivery.  Used by the security experiments' eavesdropping
+    adversary. *)
+val add_monitor : t -> station -> unit
 val attached : t -> Mac.t -> bool
 val stations : t -> Mac.t list
 

@@ -15,4 +15,5 @@ let () =
          Test_fragmentation.suite;
          Test_reliable.suite;
          Test_baselines_stale.suite;
-         Test_edges.suite ])
+         Test_edges.suite;
+         Test_auth.suite ])

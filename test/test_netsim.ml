@@ -293,7 +293,36 @@ let trace_tests =
         let evs = Netsim.Trace.events tr in
         check Alcotest.bool "bounded" true (List.length evs <= 10);
         let newest = List.nth evs (List.length evs - 1) in
-        check Alcotest.string "newest kept" "25" newest.Netsim.Trace.detail) ]
+        check Alcotest.string "newest kept" "25" newest.Netsim.Trace.detail);
+    Alcotest.test_case "wraparound keeps a contiguous newest suffix" `Quick
+      (fun () ->
+        let tr = Netsim.Trace.create ~capacity:8 () in
+        for i = 1 to 100 do
+          Netsim.Trace.emit tr ~at:(Time.of_us i) ~node:"n"
+            ~kind:(if i mod 2 = 0 then "even" else "odd")
+            (string_of_int i)
+        done;
+        let evs = Netsim.Trace.events tr in
+        let n = List.length evs in
+        check Alcotest.bool "bounded" true (n <= 8);
+        check Alcotest.bool "non-empty" true (n > 0);
+        (* Whatever survives the wrap must be exactly the newest [n]
+           events, in emission order — no gaps, no stale entries. *)
+        List.iteri
+          (fun idx e ->
+             check Alcotest.string
+               (Printf.sprintf "slot %d" idx)
+               (string_of_int (100 - n + 1 + idx))
+               e.Netsim.Trace.detail)
+          evs;
+        (* The per-kind index stays consistent with the buffer. *)
+        check Alcotest.int "kind counts partition the buffer" n
+          (Netsim.Trace.count tr ~kind:"even"
+           + Netsim.Trace.count tr ~kind:"odd");
+        check Alcotest.int "find agrees with filter"
+          (List.length
+             (List.filter (fun e -> e.Netsim.Trace.kind = "even") evs))
+          (List.length (Netsim.Trace.find tr ~kind:"even"))) ]
 
 let suite =
   [ ("time", time_tests); ("rng", rng_tests); ("event-queue", eq_tests);

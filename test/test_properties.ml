@@ -261,6 +261,65 @@ let limiter_respects_interval times =
        else true)
     sorted
 
+(* --- decoders are total --- *)
+
+(* Hostile or corrupted wire bytes must never raise out of a decoder:
+   the authenticated control plane rejects them with [None] and counts
+   the drop, it does not crash the agent. *)
+let decoders_total s =
+  let buf = Bytes.of_string s in
+  let no_raise name f =
+    match f () with
+    | _ -> true
+    | exception e ->
+      QCheck.Test.fail_reportf "%s raised %s on %S" name
+        (Printexc.to_string e) s
+  in
+  no_raise "Control.decode" (fun () -> Mhrp.Control.decode buf)
+  && no_raise "Extension.decode" (fun () -> Auth.Extension.decode buf)
+  && no_raise "Extension.split" (fun () -> Auth.Extension.split buf)
+  && no_raise "Extension.decode_at" (fun () ->
+      Auth.Extension.decode_at buf 0)
+  && no_raise "Icmp.decode_opt" (fun () -> Ipv4.Icmp.decode_opt buf)
+
+(* Truncating a genuine authenticated message anywhere must yield a clean
+   rejection, never an exception, and never a still-valid extension. *)
+let truncations_rejected (len, nonce) =
+  let key = Auth.Siphash.of_string "property key" in
+  let payload =
+    Mhrp.Control.encode
+      (Mhrp.Control.Reg_request
+         { mobile = Addr.host 2 10; foreign_agent = Addr.host 4 1 })
+  in
+  let ext =
+    Auth.Extension.sign ~key ~spi:9 ~timestamp:(Time.of_ms 250)
+      ~nonce:(Int64.of_int nonce) payload
+  in
+  let wire = Bytes.cat payload (Auth.Extension.encode ext) in
+  let cut = min len (Bytes.length wire - 1) in
+  let truncated = Bytes.sub wire 0 cut in
+  (match Auth.Extension.split truncated with
+   | None -> true
+   | Some (prefix, ext') ->
+     (* A shorter prefix can still parse as some extension, but the MAC
+        must no longer cover this payload. *)
+     not (Auth.Extension.verify ~key prefix ext'))
+  && (match Mhrp.Control.decode truncated with _ -> true)
+
+(* Signing and verifying are inverses for any payload/nonce/timestamp. *)
+let sign_verify_roundtrip (s, nonce, ts_us) =
+  let key = Auth.Siphash.of_string "roundtrip" in
+  let payload = Bytes.of_string s in
+  let ext =
+    Auth.Extension.sign ~key ~spi:1 ~timestamp:(Time.of_us ts_us)
+      ~nonce:(Int64.of_int nonce) payload
+  in
+  match Auth.Extension.split (Bytes.cat payload (Auth.Extension.encode ext)) with
+  | Some (payload', ext') ->
+    Bytes.equal payload payload'
+    && Auth.Extension.verify ~key payload' ext'
+  | None -> false
+
 let suite =
   [ ( "protocol-properties",
       [ qtest
@@ -284,4 +343,20 @@ let suite =
              ~name:"rate limiter never allows two sends within the interval"
              ~count:200
              QCheck.(list_of_size Gen.(int_range 0 100) (int_bound 10_000_000))
-             limiter_respects_interval) ] ) ]
+             limiter_respects_interval);
+        qtest
+          (QCheck.Test.make
+             ~name:"decoders never raise on arbitrary bytes" ~count:500
+             QCheck.(string_of_size Gen.(int_range 0 64))
+             decoders_total);
+        qtest
+          (QCheck.Test.make
+             ~name:"truncated authenticated messages are cleanly rejected"
+             ~count:200
+             QCheck.(pair (int_range 0 64) (int_bound 1_000_000))
+             truncations_rejected);
+        qtest
+          (QCheck.Test.make ~name:"sign/verify roundtrip" ~count:200
+             QCheck.(triple (string_of_size Gen.(int_range 0 64))
+                       (int_bound 1_000_000) (int_bound 1_000_000_000))
+             sign_verify_roundtrip) ] ) ]
