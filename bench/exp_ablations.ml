@@ -86,6 +86,9 @@ let run () =
     List.map
       (fun cap ->
          let hit_rate, evictions = cache_capacity_run ~capacity:cap in
+         let labels = [("capacity", string_of_int cap)] in
+         rec_f ~exp:"A" ~labels "hit_rate" hit_rate;
+         rec_i ~exp:"A" ~labels "evictions" evictions;
          [i cap; f2 hit_rate; i evictions])
       [2; 4; 8; 16; 32]
   in
@@ -101,6 +104,9 @@ let run () =
     List.map
       (fun ms ->
          let sent, suppressed = rate_limit_run ~min_interval_ms:ms in
+         let labels = [("min_interval_ms", string_of_int ms)] in
+         rec_i ~exp:"A" ~labels "updates_sent" sent;
+         rec_i ~exp:"A" ~labels "updates_suppressed" suppressed;
          [i ms; i sent; i suppressed])
       [0; 100; 1000; 5000]
   in

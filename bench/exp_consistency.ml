@@ -79,6 +79,11 @@ let run () =
     List.map
       (fun k ->
          let healed, total, updates, delivered = run_case ~stale_agents:k in
+         let labels = [("stale_agents", string_of_int k)] in
+         rec_flag ~exp:"E11" ~labels "packet_delivered" delivered;
+         rec_i ~exp:"E11" ~labels "caches_healed" healed;
+         rec_i ~exp:"E11" ~labels "caches_total" total;
+         rec_i ~exp:"E11" ~labels "updates_sent" updates;
          [ i k; (if delivered then "yes" else "NO");
            Printf.sprintf "%d/%d" healed total; i updates ])
       [1; 2; 3]

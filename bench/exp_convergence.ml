@@ -52,6 +52,14 @@ let run () =
   note "packet-by-packet LAN hops after the move (x = lost):";
   note "with forwarding pointer:    %s" (show with_fp);
   note "without forwarding pointer: %s" (show without_fp);
+  List.iter
+    (fun (variant, hops) ->
+       let labels = [("variant", variant)] in
+       rec_i ~exp:"E4" ~labels "stale_packet_hops" (List.nth hops 0);
+       rec_i ~exp:"E4" ~labels "packets_until_optimal"
+         (packets_until_optimal hops);
+       rec_i ~exp:"E4" ~labels "optimal_hops" (optimal_of hops))
+    [("forwarding_pointer", with_fp); ("no_pointer", without_fp)];
   table
     ~columns:["variant"; "stale pkt hops"; "packets until optimal";
               "optimal hops"]

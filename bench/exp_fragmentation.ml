@@ -58,9 +58,27 @@ let onset encap =
 let run () =
   heading "E14" "encapsulation overhead vs link MTU (fragmentation onset)";
   let payloads = [1400; 1432; 1440; 1452; 1464; 1472; 1600] in
+  let slug name =
+    match String.index_opt name ' ' with
+    | Some k -> String.lowercase_ascii (String.sub name 0 k)
+    | None -> String.lowercase_ascii name
+  in
   let rows =
     List.map
       (fun (name, declared, encap) ->
+         let proto =
+           if String.length name > 5 && String.sub name 0 5 = "MHRP " then
+             "mhrp_" ^ slug (String.sub name 5 (String.length name - 5))
+           else slug name
+         in
+         rec_i ~exp:"E14" ~labels:[("protocol", proto)]
+           "max_single_frame_payload" (onset encap);
+         List.iter
+           (fun p ->
+              rec_i ~exp:"E14"
+                ~labels:[("protocol", proto); ("payload", string_of_int p)]
+                "fragments" (fragments_of encap p))
+           payloads;
          name :: i declared
          :: i (onset encap)
          :: List.map (fun p -> i (fragments_of encap p)) payloads)

@@ -17,6 +17,9 @@ let run () =
          in
          let encoded = Header.encode h transport in
          let decoded, _ = Header.decode encoded in
+         let labels = [("prev_sources", string_of_int n)] in
+         rec_i ~exp:"E3" ~labels "header_bytes" (Header.length h);
+         rec_flag ~exp:"E3" ~labels "roundtrip_ok" (Header.equal h decoded);
          [ i n;
            i (Header.length h);
            i (8 + (4 * n));
@@ -34,6 +37,8 @@ let run () =
   (match Header.append_source_max ~max:8 h (Addr.host 9 99) with
    | `Full ->
      let t = Header.truncate h (Addr.host 9 99) in
+     rec_i ~exp:"E3" "truncation_before_bytes" (Header.length h);
+     rec_i ~exp:"E3" "truncation_after_bytes" (Header.length t);
      note
        "truncation at max=8: list reset to 1 entry (%d -> %d bytes), 8 \
         stale agents owed a location update (Section 4.4)"

@@ -50,6 +50,12 @@ let run () =
     List.map
       (fun quote_full ->
          let errors, reconstructed, purged = run_case ~quote_full in
+         let labels =
+           [("quote", if quote_full then "full" else "minimum")]
+         in
+         rec_i ~exp:"E8" ~labels "errors_at_sender" errors;
+         rec_i ~exp:"E8" ~labels "original_reconstructed" reconstructed;
+         rec_flag ~exp:"E8" ~labels "stale_cache_purged" purged;
          [ (if quote_full then "entire packet (RFC 1122 option)"
             else "IP header + 8 bytes (RFC 792 minimum)");
            i errors; i reconstructed;

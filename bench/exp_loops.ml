@@ -107,6 +107,16 @@ let run () =
                     delivered =
                   run_loop ~loop_size ~max_list
                 in
+                let labels =
+                  [("L", string_of_int loop_size);
+                   ("K", string_of_int max_list)]
+                in
+                rec_i ~exp:"E5" ~labels "packets" packets;
+                rec_i ~exp:"E5" ~labels "retunnels" retunnels;
+                rec_i ~exp:"E5" ~labels "truncations" truncations;
+                rec_i ~exp:"E5" ~labels "loops_detected" detected;
+                rec_flag ~exp:"E5" ~labels "ring_dissolved" (stale = 0);
+                rec_i ~exp:"E5" ~labels "delivered" delivered;
                 Some
                   [ i loop_size; i max_list; i packets; i retunnels;
                     i truncations; i detected;

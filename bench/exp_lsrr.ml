@@ -63,6 +63,12 @@ let run () =
          let plain = measure ~n ~variant:`Plain in
          let mhrp = measure ~n ~variant:`Mhrp in
          let lsrr = measure ~n ~variant:`Lsrr in
+         let labels = [("routers", string_of_int n)] in
+         rec_ms ~exp:"E10" ~labels "plain_ms" plain;
+         rec_ms ~exp:"E10" ~labels "mhrp_ms" mhrp;
+         rec_ms ~exp:"E10" ~labels "lsrr_ms" lsrr;
+         rec_f ~exp:"E10" ~labels ~tol:(Obs.Metric.Pct 20.0)
+           "lsrr_over_plain" (lsrr /. plain);
          [ i n; ms_of_us plain; ms_of_us mhrp; ms_of_us lsrr;
            f2 (lsrr /. plain) ])
       [2; 4; 8; 12]

@@ -38,6 +38,20 @@ let run () =
   let lsrr =
     { pkt with Packet.options = [Ipv4.Ip_option.lsrr [fa]] }
   in
+  let mechanisms =
+    [ ("mhrp_sender", over mhrp_sender);
+      ("mhrp_agent", over mhrp_agent);
+      ("mhrp_retunneled", over mhrp_retunneled);
+      ("columbia_ipip", over ipip);
+      ("sony_vip", over vip);
+      ("matsushita_iptp", over iptp);
+      ("ibm_lsrr", over lsrr) ]
+  in
+  List.iter
+    (fun (proto, bytes) ->
+       rec_i ~exp:"E1" ~labels:[("protocol", proto)] "added_bytes" bytes)
+    mechanisms;
+  rec_i ~exp:"E1" "base_packet_bytes" base;
   table
     ~columns:["protocol"; "mechanism"; "added bytes"; "paper says"]
     [ ["MHRP"; "sender-built tunnel (4.1)"; i (over mhrp_sender); "8"];

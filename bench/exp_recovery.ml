@@ -1,6 +1,8 @@
 (* E7 — foreign-agent reboot recovery (Section 5.2), and
    E12 — reachability through forwarding pointers while the home agent is
-   unreachable (Section 2). *)
+   unreachable (Section 2).  The two share this module's scenario plumbing
+   but are separate experiments: [run] is E7, [run_e12] is E12, each
+   registered under its own id in bench/main.ml. *)
 
 open Exp_util
 module TGm = Workload.Topo_gen
@@ -60,6 +62,15 @@ let run () =
     List.map
       (fun verify ->
          let lost, recovery, recoveries = run_e7 ~verify in
+         let labels =
+           [("mode", if verify then "verify_visitor" else "trust_ha")]
+         in
+         rec_i ~exp:"E7" ~labels "packets_lost" lost;
+         rec_flag ~exp:"E7" ~labels "recovered" (recovery <> None);
+         (match recovery with
+          | Some us -> rec_ms ~exp:"E7" ~labels "recovery_ms" (float_of_int us)
+          | None -> ());
+         rec_i ~exp:"E7" ~labels "visitors_readded" recoveries;
          [ (if verify then "verify visitor first" else "trust home agent");
            i lost;
            (match recovery with
@@ -76,11 +87,16 @@ let run () =
     "after the reboot the first tunneled packet bounces to the home \
      agent, which recognises the rebooted agent as the registered one and \
      updates it; the agent re-adds the visitor (optionally after an ARP \
-     presence check) and service resumes.";
+     presence check) and service resumes."
 
+let run_e12 () =
   heading "E12" "reachability while the home agent is down (Section 2)";
   let with_fp = run_e12 ~forwarding_pointers:true in
   let without_fp = run_e12 ~forwarding_pointers:false in
+  rec_i ~exp:"E12" ~labels:[("pointer", "enabled")] "delivered_of_10"
+    with_fp;
+  rec_i ~exp:"E12" ~labels:[("pointer", "disabled")] "delivered_of_10"
+    without_fp;
   table
     ~columns:["old-FA forwarding pointer"; "delivered of 10"]
     [ ["enabled"; i with_fp]; ["disabled"; i without_fp] ];

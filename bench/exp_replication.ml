@@ -63,6 +63,11 @@ let run () =
   heading "E13" "replicated home agents (Section 2)";
   let single, _ = run_case ~replicated:false in
   let replicated, syncs = run_case ~replicated:true in
+  rec_i ~exp:"E13" ~labels:[("home_agents", "single")] "delivered_of_5"
+    single;
+  rec_i ~exp:"E13" ~labels:[("home_agents", "replicated")] "delivered_of_5"
+    replicated;
+  rec_i ~exp:"E13" "sync_messages" syncs;
   table
     ~columns:["home agents"; "delivered of 5 (primary dead)";
               "sync messages"]

@@ -347,11 +347,24 @@ let run_ibm n =
 
 let run () =
   heading "E6" "control traffic and state scaling (Section 7)";
+  let slug proto =
+    String.map
+      (fun c -> match c with ' ' | '-' -> '_' | c -> Char.lowercase_ascii c)
+      proto
+  in
   let rows =
     List.concat_map
       (fun n ->
          List.map
            (fun o ->
+              let labels =
+                [("protocol", slug o.proto); ("campuses", string_of_int n)]
+              in
+              rec_i ~exp:"E6" ~labels "ctrl_msgs" o.ctrl;
+              rec_f ~exp:"E6" ~labels "ctrl_per_move"
+                (float_of_int o.ctrl /. float_of_int o.moves);
+              rec_i ~exp:"E6" ~labels "delivered" o.delivered;
+              rec_i ~exp:"E6" ~labels "hot_node_state_bytes" o.central_state;
               [ o.proto; i n; i o.moves; i o.flows; i o.ctrl;
                 f1 (float_of_int o.ctrl /. float_of_int o.moves);
                 i o.delivered; i o.central_state ])

@@ -124,6 +124,10 @@ let overhead_rows () =
          ~timestamp:(Time.of_sec 1.0) ~nonce:1L payload)
   in
   let row name plain signed =
+    let labels = [("message", name)] in
+    rec_i ~exp:"E15" ~labels "plain_bytes" plain;
+    rec_i ~exp:"E15" ~labels "authenticated_bytes" signed;
+    rec_i ~exp:"E15" ~labels "added_bytes" (signed - plain);
     [ name; i plain; i signed; i (signed - plain) ]
   in
   List.map
@@ -149,6 +153,19 @@ let run () =
     [ ("forgery", forgery ~auth:false, forgery ~auth:true);
       ("replay", replay ~auth:false, replay ~auth:true) ]
   in
+  let record name auth (o : outcome) =
+    let labels = [("attack", name); ("auth", auth)] in
+    rec_i ~exp:"E15" ~labels "hijacked" o.hijacked;
+    rec_i ~exp:"E15" ~labels "auth_fail" o.auth_fail;
+    rec_i ~exp:"E15" ~labels "replay_drop" o.replay_drop;
+    rec_i ~exp:"E15" ~labels "delivered" o.delivered;
+    rec_i ~exp:"E15" ~labels "sent" o.sent
+  in
+  List.iter
+    (fun (name, off, on) ->
+       record name "off" off;
+       record name "on" on)
+    scenarios;
   table
     ~columns:[ "attack"; "auth"; "hijacked"; "auth_fail"; "replay_drop";
                "delivered" ]

@@ -32,6 +32,24 @@ let table ~columns rows =
   print_row (List.map (fun w -> String.make w '-') widths);
   List.iter print_row rows
 
+(* Every number an experiment prints is also recorded here, so that
+   bench/main.exe --json can dump it and --baseline --check can gate it.
+   Counters and gauges default to exact comparison (the simulator is
+   deterministic); use [rec_ms]/[~tol:(Pct _)] for timing-derived values. *)
+let registry = Obs.Registry.default
+
+let rec_i ~exp ?labels ?tol name v =
+  Obs.Registry.counter registry ~exp ?labels ?tol name v
+
+let rec_f ~exp ?labels ?tol name v =
+  Obs.Registry.gauge registry ~exp ?labels ?tol name v
+
+let rec_flag ~exp ?labels name b = rec_i ~exp ?labels name (if b then 1 else 0)
+
+let rec_ms ~exp ?labels name us =
+  Obs.Registry.gauge registry ~exp ?labels ~tol:(Obs.Metric.Pct 20.0) name
+    (us /. 1000.0)
+
 let f1 v = Printf.sprintf "%.1f" v
 let f2 v = Printf.sprintf "%.2f" v
 let i v = string_of_int v

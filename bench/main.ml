@@ -1,46 +1,134 @@
 (* The experiment harness: regenerates every table and figure in
-   EXPERIMENTS.md (see DESIGN.md Section 3 for the experiment index), then
-   runs the bechamel micro-benchmarks.
+   EXPERIMENTS.md (see DESIGN.md Section 3 for the experiment index) and
+   the bechamel micro-benchmarks, recording every reported number into the
+   Obs registry alongside the pretty-printed tables.
 
    Run everything:        dune exec bench/main.exe
    Run one experiment:    dune exec bench/main.exe -- E5
-   Skip micro-benches:    dune exec bench/main.exe -- tables *)
+   All incl. micro:       dune exec bench/main.exe -- tables
+   Dump metrics JSON:     dune exec bench/main.exe -- tables --json out.json
+   Regression gate:       dune exec bench/main.exe -- tables \
+                            --baseline bench/baselines.json --check
+
+   The JSON schema ({schema_version, commit, experiments: {E1..E15, A,
+   micro}}) and the baseline workflow are documented in README.md and
+   DESIGN.md. *)
 
 let experiments =
   [ ("E1", Exp_overhead.run);
-    ("E2", Exp_figure1.run);
+    ("E2", Exp_figure1.run);  (* also records E9's at-home metrics *)
     ("E3", Exp_header.run);
     ("E4", Exp_convergence.run);
     ("E5", Exp_loops.run);
     ("E6", Exp_scalability.run);
-    ("E7", Exp_recovery.run);  (* also prints E12 *)
+    ("E7", Exp_recovery.run);
     ("E8", Exp_icmp.run);
     ("E10", Exp_lsrr.run);
     ("E11", Exp_consistency.run);
+    ("E12", Exp_recovery.run_e12);
     ("E13", Exp_replication.run);
     ("E14", Exp_fragmentation.run);
     ("E15", Exp_security.run);
-    ("A", Exp_ablations.run) ]
+    ("A", Exp_ablations.run);
+    ("micro", Micro.run) ]
+
+let all_ids = List.map fst experiments
+
+(* E2 records its at-home phase under the separate id E9, so a run of E2
+   legitimately produces both keys; the subset check must know that. *)
+let recorded_ids ids = if List.mem "E2" ids then "E9" :: ids else ids
+
+let commit () =
+  match Sys.getenv_opt "GITHUB_SHA" with
+  | Some sha -> sha
+  | None ->
+    let read path =
+      try Some (String.trim (In_channel.with_open_bin path In_channel.input_all))
+      with Sys_error _ -> None
+    in
+    (match read ".git/HEAD" with
+     | Some head when String.length head > 5
+                   && String.sub head 0 5 = "ref: " ->
+       let r = String.sub head 5 (String.length head - 5) in
+       Option.value ~default:head (read (Filename.concat ".git" r))
+     | Some head -> head
+     | None -> "unknown")
+
+let usage () =
+  Format.eprintf
+    "usage: main.exe [IDS|tables|micro] [--json FILE] [--baseline FILE] \
+     [--check]@.known ids: %s@."
+    (String.concat ", " all_ids);
+  exit 1
+
+type opts = {
+  ids : string list;  (* in run order; empty means everything *)
+  json_out : string option;
+  baseline : string option;
+  check : bool;
+}
+
+let parse_args args =
+  let rec go acc = function
+    | [] -> acc
+    | "--json" :: file :: rest -> go { acc with json_out = Some file } rest
+    | "--baseline" :: file :: rest ->
+      go { acc with baseline = Some file } rest
+    | "--check" :: rest -> go { acc with check = true } rest
+    | ("--json" | "--baseline") :: [] ->
+      Format.eprintf "missing file argument@.";
+      usage ()
+    | "tables" :: rest -> go { acc with ids = acc.ids @ all_ids } rest
+    | id :: rest when List.mem_assoc id experiments ->
+      go { acc with ids = acc.ids @ [id] } rest
+    | id :: _ ->
+      Format.eprintf "unknown experiment %s (known: %s, tables)@." id
+        (String.concat ", " all_ids);
+      exit 1
+  in
+  go { ids = []; json_out = None; baseline = None; check = false } args
 
 let () =
-  let args = Array.to_list Sys.argv |> List.tl in
-  match args with
-  | [] ->
-    Format.printf
-      "MHRP experiment harness — reproducing the paper's tables and \
-       figures@.";
-    List.iter (fun (_, run) -> run ()) experiments;
-    Micro.run ()
-  | ["tables"] -> List.iter (fun (_, run) -> run ()) experiments
-  | ["micro"] -> Micro.run ()
-  | ids ->
-    List.iter
-      (fun id ->
-         match List.assoc_opt id experiments with
-         | Some run -> run ()
-         | None ->
-           Format.eprintf "unknown experiment %s (known: %s, tables, micro)@."
-             id
-             (String.concat ", " (List.map fst experiments));
-           exit 1)
-      ids
+  let opts = parse_args (List.tl (Array.to_list Sys.argv)) in
+  let ids =
+    match opts.ids with
+    | [] ->
+      Format.printf
+        "MHRP experiment harness — reproducing the paper's tables and \
+         figures@.";
+      all_ids
+    | ids ->
+      (* run in the canonical order, deduplicated *)
+      List.filter (fun id -> List.mem id ids) all_ids
+  in
+  List.iter (fun id -> (List.assoc id experiments) ()) ids;
+  let registry = Obs.Registry.default in
+  (match opts.json_out with
+   | None -> ()
+   | Some file ->
+     let json = Obs.Registry.to_json registry ~commit:(commit ()) in
+     Out_channel.with_open_bin file (fun oc ->
+         Out_channel.output_string oc (Obs.Json.to_string ~pretty:true json);
+         Out_channel.output_char oc '\n');
+     Format.printf "@.wrote %s (%d experiments)@." file
+       (List.length (Obs.Registry.experiments registry)));
+  match opts.baseline with
+  | None ->
+    if opts.check then begin
+      Format.eprintf "--check needs --baseline FILE@.";
+      exit 1
+    end
+  | Some file ->
+    (match Obs.Baseline.load_file file with
+     | Error e ->
+       Format.eprintf "cannot load baseline: %s@." e;
+       exit 1
+     | Ok baseline ->
+       let only =
+         if ids = all_ids then None else Some (recorded_ids ids)
+       in
+       let report =
+         Obs.Baseline.compare ?only ~baseline ~current:registry ()
+       in
+       Format.printf "@.%a@." Obs.Baseline.pp_report report;
+       if opts.check && report.Obs.Baseline.drifts <> [] then exit 1)

@@ -91,6 +91,10 @@ let run () =
                 | _ -> acc)
              analyzed nan
          in
+         (* wall-clock numbers vary across machines: archived in the JSON
+            for trend analysis but never gated (Info tolerance) *)
+         Obs.Registry.gauge Exp_util.registry ~exp:"micro"
+           ~labels:[("op", name)] ~tol:Obs.Metric.Info "ns_per_run" estimate;
          [name; Printf.sprintf "%.0f" estimate])
       tests
   in

@@ -56,7 +56,7 @@ let figure1_cmd =
 
 (* --- roam --- *)
 
-let run_roam seed campuses mobiles seconds =
+let run_roam seed campuses mobiles seconds json_out =
   let c =
     TG.campuses ~seed ~campuses ~mobiles_per_campus:mobiles
       ~correspondents:4 ()
@@ -89,7 +89,20 @@ let run_roam seed campuses mobiles seconds =
          | None -> acc)
       0 c.TG.c_mobiles
   in
-  Format.printf "hand-offs: %d@." moves
+  Format.printf "hand-offs: %d@." moves;
+  match json_out with
+  | None -> ()
+  | Some file ->
+    let reg = Obs.Registry.create () in
+    Workload.Metrics.record_obs metrics reg ~exp:"roam"
+      ~labels:[("campuses", string_of_int campuses)] ();
+    Obs.Registry.counter reg ~exp:"roam"
+      ~labels:[("campuses", string_of_int campuses)] "handoffs" moves;
+    let oc = open_out file in
+    output_string oc (Obs.Json.to_string ~pretty:true (Obs.Registry.to_json ~commit:"" reg));
+    output_char oc '\n';
+    close_out oc;
+    Format.printf "metrics written to %s@." file
 
 let roam_cmd =
   let campuses =
@@ -104,10 +117,14 @@ let roam_cmd =
     Arg.(value & opt int 30 & info ["seconds"] ~docv:"S"
            ~doc:"Simulated seconds.")
   in
+  let json =
+    Arg.(value & opt (some string) None & info ["json"] ~docv:"FILE"
+           ~doc:"Also write the run's metrics as JSON (lib/obs schema).")
+  in
   Cmd.v
     (Cmd.info "roam"
        ~doc:"Random-waypoint roaming over a campus internetwork.")
-    Term.(const run_roam $ seed_arg $ campuses $ mobiles $ seconds)
+    Term.(const run_roam $ seed_arg $ campuses $ mobiles $ seconds $ json)
 
 (* --- handoff --- *)
 

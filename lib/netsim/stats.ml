@@ -6,6 +6,14 @@ type summary = {
   max : float;
 }
 
+let summary_to_json s =
+  Obs.Json.Obj
+    [ ("count", Obs.Json.Int s.count);
+      ("mean", Obs.Json.Float s.mean);
+      ("stddev", Obs.Json.Float s.stddev);
+      ("min", Obs.Json.Float s.min);
+      ("max", Obs.Json.Float s.max) ]
+
 module Acc = struct
   type t = {
     mutable n : int;
@@ -47,6 +55,8 @@ module Acc = struct
     else
       Format.fprintf ppf "n=%d mean=%.3f sd=%.3f min=%.3f max=%.3f"
         t.n (mean t) (stddev t) t.min t.max
+
+  let to_json t = summary_to_json (summary t)
 end
 
 module Samples = struct
@@ -77,6 +87,9 @@ module Samples = struct
     else List.fold_left ( +. ) 0.0 t.xs /. float_of_int t.n
 
   let to_list t = List.rev t.xs
+
+  let to_metric ?(tol = Obs.Metric.Exact) t =
+    { Obs.Metric.value = Obs.Metric.hist_of_samples t.xs; tol }
 end
 
 module Hist = struct
@@ -109,4 +122,10 @@ module Hist = struct
     Format.fprintf ppf "@[<v>";
     List.iter (fun (k, v) -> Format.fprintf ppf "%6d: %d@," k v) (buckets t);
     Format.fprintf ppf "@]"
+
+  let to_json t =
+    Obs.Json.Obj
+      (List.map
+         (fun (k, v) -> (string_of_int k, Obs.Json.Int v))
+         (buckets t))
 end

@@ -8,6 +8,9 @@ type summary = {
   max : float;
 }
 
+val summary_to_json : summary -> Obs.Json.t
+(** Structured form of a summary, for the benchmark JSON (Obs). *)
+
 (** Online mean/variance accumulator (Welford). *)
 module Acc : sig
   type t
@@ -27,6 +30,9 @@ module Acc : sig
 
   val summary : t -> summary
   val pp : Format.formatter -> t -> unit
+
+  val to_json : t -> Obs.Json.t
+  (** [summary_to_json (summary t)]. *)
 end
 
 (** Reservoir of all samples, for exact percentiles. *)
@@ -42,6 +48,10 @@ module Samples : sig
 
   val mean : t -> float
   val to_list : t -> float list
+
+  val to_metric : ?tol:Obs.Metric.tol -> t -> Obs.Metric.t
+  (** p50/p95/max histogram metric over the samples, ready for
+      {!Obs.Registry.set}.  Default tolerance [Exact]. *)
 end
 
 (** Integer-bucketed histogram. *)
@@ -61,4 +71,7 @@ module Hist : sig
   (** Most frequent value.  Raises [Invalid_argument] when empty. *)
 
   val pp : Format.formatter -> t -> unit
+
+  val to_json : t -> Obs.Json.t
+  (** Buckets as an object keyed by the bucket value, ascending. *)
 end

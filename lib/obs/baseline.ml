@@ -1,0 +1,71 @@
+type drift = { path : string; reason : string }
+type report = { checked : int; drifts : drift list }
+
+let compare ?only ~baseline ~current () =
+  let exps =
+    let all =
+      List.sort_uniq String.compare
+        (Registry.experiments baseline @ Registry.experiments current)
+    in
+    match only with
+    | None -> all
+    | Some ids -> List.filter (fun e -> List.mem e ids) all
+  in
+  let checked = ref 0 in
+  let drifts = ref [] in
+  let drift exp key reason =
+    drifts := { path = exp ^ "/" ^ key; reason } :: !drifts
+  in
+  List.iter
+    (fun exp ->
+       let base = Registry.metrics baseline ~exp in
+       let cur = Registry.metrics current ~exp in
+       List.iter
+         (fun (k, (bm : Metric.t)) ->
+            match List.assoc_opt k cur with
+            | None ->
+              if bm.Metric.tol <> Metric.Info then
+                drift exp k "missing from this run"
+            | Some (cm : Metric.t) ->
+              if bm.Metric.tol <> Metric.Info then incr checked;
+              (match
+                 Metric.drift ~tol:bm.Metric.tol ~baseline:bm.Metric.value
+                   ~current:cm.Metric.value
+               with
+               | Some reason -> drift exp k reason
+               | None -> ()))
+         base;
+       List.iter
+         (fun (k, (cm : Metric.t)) ->
+            if
+              List.assoc_opt k base = None
+              && cm.Metric.tol <> Metric.Info
+            then
+              drift exp k "not in the baseline (regenerate baselines.json)")
+         cur)
+    exps;
+  { checked = !checked;
+    drifts =
+      List.sort (fun a b -> String.compare a.path b.path) !drifts }
+
+let load_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error e -> Error e
+  | contents ->
+    (match Json.of_string contents with
+     | Error e -> Error (Printf.sprintf "%s: %s" path e)
+     | Ok j ->
+       (match Registry.of_json j with
+        | Error e -> Error (Printf.sprintf "%s: %s" path e)
+        | Ok r -> Ok r))
+
+let pp_report ppf { checked; drifts } =
+  match drifts with
+  | [] -> Format.fprintf ppf "baseline check: %d metrics OK" checked
+  | drifts ->
+    Format.fprintf ppf "baseline check: %d drifted of %d checked"
+      (List.length drifts) checked;
+    List.iter
+      (fun { path; reason } ->
+         Format.fprintf ppf "@.  DRIFT %s — %s" path reason)
+      drifts

@@ -1,0 +1,31 @@
+(** The regression gate: compare a freshly measured registry against the
+    committed [bench/baselines.json], under each metric's own tolerance.
+
+    The baseline side is authoritative for both the expected value and the
+    tolerance, so loosening or tightening a gate is a reviewed edit to the
+    committed file.  Metrics present on only one side are drifts too: a
+    silently vanished measurement is exactly the failure this gate
+    exists to catch, and a new one means the baseline must be
+    regenerated deliberately (see README). *)
+
+type drift = {
+  path : string;  (** ["E6/ctrl_msgs{protocol=MHRP,campuses=8}"] *)
+  reason : string;
+}
+
+type report = {
+  checked : int;  (** Metrics compared (excludes [Info]-tolerance ones). *)
+  drifts : drift list;  (** Sorted by path; empty means the gate passes. *)
+}
+
+val compare :
+  ?only:string list -> baseline:Registry.t -> current:Registry.t -> unit ->
+  report
+(** [only] restricts the comparison to those experiment ids (used when the
+    harness ran a subset); by default every experiment on either side is
+    compared. *)
+
+val load_file : string -> (Registry.t, string) result
+(** Read and parse a baseline JSON file. *)
+
+val pp_report : Format.formatter -> report -> unit

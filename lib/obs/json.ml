@@ -1,0 +1,312 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+let rec equal a b =
+  match a, b with
+  | Null, Null -> true
+  | Bool x, Bool y -> x = y
+  | Int x, Int y -> x = y
+  | Float x, Float y -> Float.equal x y
+  | String x, String y -> String.equal x y
+  | List x, List y ->
+    List.length x = List.length y && List.for_all2 equal x y
+  | Obj x, Obj y ->
+    List.length x = List.length y
+    && List.for_all2
+         (fun (k1, v1) (k2, v2) -> String.equal k1 k2 && equal v1 v2)
+         x y
+  | _ -> false
+
+(* --- encoding --- *)
+
+let float_to_string f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else
+    let s = Printf.sprintf "%.15g" f in
+    if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+let escape_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string buf "\\\""
+       | '\\' -> Buffer.add_string buf "\\\\"
+       | '\n' -> Buffer.add_string buf "\\n"
+       | '\r' -> Buffer.add_string buf "\\r"
+       | '\t' -> Buffer.add_string buf "\\t"
+       | '\b' -> Buffer.add_string buf "\\b"
+       | '\012' -> Buffer.add_string buf "\\f"
+       | c when Char.code c < 0x20 ->
+         Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let to_string ?(pretty = false) v =
+  let buf = Buffer.create 256 in
+  let indent depth =
+    if pretty then begin
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (String.make (2 * depth) ' ')
+    end
+  in
+  let rec emit depth = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int n -> Buffer.add_string buf (string_of_int n)
+    | Float f ->
+      if Float.is_nan f || Float.abs f = infinity then
+        Buffer.add_string buf "null"
+      else Buffer.add_string buf (float_to_string f)
+    | String s -> escape_string buf s
+    | List [] -> Buffer.add_string buf "[]"
+    | List xs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+           if i > 0 then Buffer.add_char buf ',';
+           indent (depth + 1);
+           emit (depth + 1) x)
+        xs;
+      indent depth;
+      Buffer.add_char buf ']'
+    | Obj [] -> Buffer.add_string buf "{}"
+    | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, x) ->
+           if i > 0 then Buffer.add_char buf ',';
+           indent (depth + 1);
+           escape_string buf k;
+           Buffer.add_string buf (if pretty then ": " else ":");
+           emit (depth + 1) x)
+        fields;
+      indent depth;
+      Buffer.add_char buf '}'
+  in
+  emit 0 v;
+  Buffer.contents buf
+
+(* --- decoding --- *)
+
+exception Bad of string
+
+let max_depth = 1024
+
+let of_string s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Bad (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < n
+      && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal word v =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      v
+    end
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let parse_hex4 () =
+    if !pos + 4 > n then fail "truncated \\u escape";
+    let v = ref 0 in
+    for _ = 1 to 4 do
+      let d =
+        match s.[!pos] with
+        | '0' .. '9' as c -> Char.code c - Char.code '0'
+        | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+        | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+        | _ -> fail "bad \\u escape"
+      in
+      v := (!v * 16) + d;
+      advance ()
+    done;
+    !v
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+         | Some '"' -> Buffer.add_char buf '"'; advance (); go ()
+         | Some '\\' -> Buffer.add_char buf '\\'; advance (); go ()
+         | Some '/' -> Buffer.add_char buf '/'; advance (); go ()
+         | Some 'n' -> Buffer.add_char buf '\n'; advance (); go ()
+         | Some 'r' -> Buffer.add_char buf '\r'; advance (); go ()
+         | Some 't' -> Buffer.add_char buf '\t'; advance (); go ()
+         | Some 'b' -> Buffer.add_char buf '\b'; advance (); go ()
+         | Some 'f' -> Buffer.add_char buf '\012'; advance (); go ()
+         | Some 'u' ->
+           advance ();
+           let cp = parse_hex4 () in
+           (* we only emit \u for control characters; decode the BMP
+              generically as UTF-8 so foreign files still load *)
+           if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+           else if cp < 0x800 then begin
+             Buffer.add_char buf (Char.chr (0xc0 lor (cp lsr 6)));
+             Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3f)))
+           end
+           else begin
+             Buffer.add_char buf (Char.chr (0xe0 lor (cp lsr 12)));
+             Buffer.add_char buf
+               (Char.chr (0x80 lor ((cp lsr 6) land 0x3f)));
+             Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3f)))
+           end;
+           go ()
+         | _ -> fail "bad escape")
+      | Some c ->
+        if Char.code c < 0x20 then fail "control character in string";
+        Buffer.add_char buf c;
+        advance ();
+        go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_float = ref false in
+    if peek () = Some '-' then advance ();
+    let digits () =
+      let had = ref false in
+      while
+        !pos < n && match s.[!pos] with '0' .. '9' -> true | _ -> false
+      do
+        had := true;
+        advance ()
+      done;
+      if not !had then fail "expected digit"
+    in
+    digits ();
+    if peek () = Some '.' then begin
+      is_float := true;
+      advance ();
+      digits ()
+    end;
+    (match peek () with
+     | Some ('e' | 'E') ->
+       is_float := true;
+       advance ();
+       (match peek () with
+        | Some ('+' | '-') -> advance ()
+        | _ -> ());
+       digits ()
+     | _ -> ());
+    let text = String.sub s start (!pos - start) in
+    if !is_float then Float (float_of_string text)
+    else
+      match int_of_string_opt text with
+      | Some v -> Int v
+      | None -> Float (float_of_string text)
+  in
+  let rec parse_value depth =
+    if depth > max_depth then fail "nesting too deep";
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some 'n' -> literal "null" Null
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some '"' -> String (parse_string ())
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        List []
+      end
+      else begin
+        let items = ref [] in
+        let rec go () =
+          items := parse_value (depth + 1) :: !items;
+          skip_ws ();
+          match peek () with
+          | Some ',' -> advance (); go ()
+          | Some ']' -> advance ()
+          | _ -> fail "expected ',' or ']'"
+        in
+        go ();
+        List (List.rev !items)
+      end
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let fields = ref [] in
+        let rec go () =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value (depth + 1) in
+          fields := (k, v) :: !fields;
+          skip_ws ();
+          match peek () with
+          | Some ',' -> advance (); go ()
+          | Some '}' -> advance ()
+          | _ -> fail "expected ',' or '}'"
+        in
+        go ();
+        Obj (List.rev !fields)
+      end
+    | Some c -> fail (Printf.sprintf "unexpected '%c'" c)
+  in
+  match
+    let v = parse_value 0 in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Bad msg -> Error msg
+  | exception _ -> Error "malformed input"
+
+(* --- accessors --- *)
+
+let member k = function
+  | Obj fields -> List.assoc_opt k fields
+  | _ -> None
+
+let to_int = function
+  | Int n -> Some n
+  | Float f when Float.is_integer f -> Some (int_of_float f)
+  | _ -> None
+
+let to_float = function
+  | Float f -> Some f
+  | Int n -> Some (float_of_int n)
+  | _ -> None
+
+let to_list = function List xs -> Some xs | _ -> None
+let to_obj = function Obj fields -> Some fields | _ -> None
+let to_string_opt = function String s -> Some s | _ -> None

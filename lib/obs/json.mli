@@ -1,0 +1,53 @@
+(** A minimal JSON document model with a deterministic encoder and a total
+    decoder.  Hand-rolled like the wire codecs elsewhere in the tree: no
+    external dependencies, byte-for-byte reproducible output, and a decoder
+    that returns [Error] on any malformed input instead of raising.
+
+    Encoding guarantees:
+    - object fields are emitted in the order given (callers that need a
+      canonical file sort their fields first);
+    - floats are printed with the shortest representation that round-trips
+      through [float_of_string] ([%.15g], widening to [%.17g] when needed),
+      so [decode (encode v) = v] for finite floats;
+    - non-finite floats (nan, inf) encode as [null] — JSON has no syntax
+      for them and a baseline file must stay loadable everywhere. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val equal : t -> t -> bool
+(** Structural equality.  [Float] compares with [Float.equal] (so two nans
+    are equal, unlike [=]); [Int 1] and [Float 1.0] are distinct. *)
+
+val float_to_string : float -> string
+(** The canonical float rendering used by {!to_string}; exposed so tests
+    can check the round-trip property in isolation. *)
+
+val to_string : ?pretty:bool -> t -> string
+(** Deterministic serialization.  [pretty] (default false) adds two-space
+    indentation and newlines, for committed baseline files that should
+    diff readably. *)
+
+val of_string : string -> (t, string) result
+(** Total decoder: never raises, rejects trailing garbage, and bounds
+    nesting depth (1024) so adversarial input cannot blow the stack. *)
+
+val member : string -> t -> t option
+(** [member k (Obj fields)] is the first binding of [k]; [None] on other
+    constructors. *)
+
+val to_int : t -> int option
+(** [Int n] or an integral [Float]. *)
+
+val to_float : t -> float option
+(** [Float] or [Int], widened. *)
+
+val to_list : t -> t list option
+val to_obj : t -> (string * t) list option
+val to_string_opt : t -> string option

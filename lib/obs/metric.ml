@@ -1,0 +1,169 @@
+type tol = Exact | Pct of float | Info
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Hist of { count : int; p50 : float; p95 : float; max : float }
+
+type t = { value : value; tol : tol }
+
+let tol_equal a b =
+  match a, b with
+  | Exact, Exact | Info, Info -> true
+  | Pct x, Pct y -> Float.equal x y
+  | _ -> false
+
+let value_equal a b =
+  match a, b with
+  | Counter x, Counter y -> x = y
+  | Gauge x, Gauge y -> Float.equal x y
+  | Hist a, Hist b ->
+    a.count = b.count && Float.equal a.p50 b.p50 && Float.equal a.p95 b.p95
+    && Float.equal a.max b.max
+  | _ -> false
+
+let equal a b = tol_equal a.tol b.tol && value_equal a.value b.value
+
+let percentile sorted n p =
+  let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) - 1 in
+  sorted.(max 0 (min (n - 1) rank))
+
+let hist_of_samples xs =
+  match xs with
+  | [] -> Hist { count = 0; p50 = 0.0; p95 = 0.0; max = 0.0 }
+  | xs ->
+    let arr = Array.of_list xs in
+    Array.sort Float.compare arr;
+    let n = Array.length arr in
+    Hist
+      { count = n;
+        p50 = percentile arr n 50.0;
+        p95 = percentile arr n 95.0;
+        max = arr.(n - 1) }
+
+(* --- JSON --- *)
+
+let tol_to_json = function
+  | Exact -> Json.String "exact"
+  | Info -> Json.String "info"
+  | Pct p -> Json.Obj [("pct", Json.Float p)]
+
+let tol_of_json = function
+  | Json.String "exact" -> Ok Exact
+  | Json.String "info" -> Ok Info
+  | Json.Obj [("pct", p)] ->
+    (match Json.to_float p with
+     | Some p -> Ok (Pct p)
+     | None -> Error "pct tolerance must be a number")
+  | _ -> Error "unknown tolerance"
+
+let to_json { value; tol } =
+  match value with
+  | Counter n ->
+    Json.Obj
+      [("kind", Json.String "counter"); ("value", Json.Int n);
+       ("tol", tol_to_json tol)]
+  | Gauge v ->
+    Json.Obj
+      [("kind", Json.String "gauge"); ("value", Json.Float v);
+       ("tol", tol_to_json tol)]
+  | Hist { count; p50; p95; max } ->
+    Json.Obj
+      [("kind", Json.String "hist"); ("count", Json.Int count);
+       ("p50", Json.Float p50); ("p95", Json.Float p95);
+       ("max", Json.Float max); ("tol", tol_to_json tol)]
+
+let ( let* ) r f = Result.bind r f
+
+let field j name conv =
+  match Json.member name j with
+  | None -> Error (Printf.sprintf "missing field %S" name)
+  | Some v ->
+    (match conv v with
+     | Some v -> Ok v
+     | None -> Error (Printf.sprintf "bad field %S" name))
+
+let of_json j =
+  let* tol =
+    match Json.member "tol" j with
+    | None -> Error "missing field \"tol\""
+    | Some t -> tol_of_json t
+  in
+  match Json.member "kind" j with
+  | Some (Json.String "counter") ->
+    let* n = field j "value" Json.to_int in
+    Ok { value = Counter n; tol }
+  | Some (Json.String "gauge") ->
+    let* v = field j "value" Json.to_float in
+    Ok { value = Gauge v; tol }
+  | Some (Json.String "hist") ->
+    let* count = field j "count" Json.to_int in
+    let* p50 = field j "p50" Json.to_float in
+    let* p95 = field j "p95" Json.to_float in
+    let* max = field j "max" Json.to_float in
+    Ok { value = Hist { count; p50; p95; max }; tol }
+  | _ -> Error "unknown metric kind"
+
+(* --- comparison --- *)
+
+let within_pct pct base cur =
+  if Float.equal base cur then true
+  else if base = 0.0 then Float.abs cur <= 1e-9
+  else Float.abs (cur -. base) <= pct /. 100.0 *. Float.abs base
+
+let float_drift tol what base cur =
+  match tol with
+  | Info -> None
+  | Exact ->
+    if Float.equal base cur then None
+    else
+      Some
+        (Printf.sprintf "%s: expected %s, got %s" what
+           (Json.float_to_string base) (Json.float_to_string cur))
+  | Pct p ->
+    if within_pct p base cur then None
+    else
+      Some
+        (Printf.sprintf "%s: %s drifted more than %g%% from %s" what
+           (Json.float_to_string cur) p (Json.float_to_string base))
+
+let drift ~tol ~baseline ~current =
+  match baseline, current, tol with
+  | _, _, Info -> None
+  | Counter b, Counter c, Exact ->
+    if b = c then None
+    else Some (Printf.sprintf "counter: expected %d, got %d" b c)
+  | Counter b, Counter c, Pct p ->
+    float_drift (Pct p) "counter" (float_of_int b) (float_of_int c)
+  | Gauge b, Gauge c, _ -> float_drift tol "gauge" b c
+  | Hist b, Hist c, _ ->
+    if b.count <> c.count then
+      Some
+        (Printf.sprintf "hist count: expected %d, got %d" b.count c.count)
+    else
+      List.find_map
+        (fun (what, bv, cv) -> float_drift tol what bv cv)
+        [ ("hist p50", b.p50, c.p50); ("hist p95", b.p95, c.p95);
+          ("hist max", b.max, c.max) ]
+  | _ ->
+    let kind = function
+      | Counter _ -> "counter"
+      | Gauge _ -> "gauge"
+      | Hist _ -> "hist"
+    in
+    Some
+      (Printf.sprintf "kind changed: baseline is a %s, current is a %s"
+         (kind baseline) (kind current))
+
+let pp_tol ppf = function
+  | Exact -> Format.fprintf ppf "exact"
+  | Info -> Format.fprintf ppf "info"
+  | Pct p -> Format.fprintf ppf "±%g%%" p
+
+let pp ppf { value; tol } =
+  (match value with
+   | Counter n -> Format.fprintf ppf "%d" n
+   | Gauge v -> Format.fprintf ppf "%s" (Json.float_to_string v)
+   | Hist { count; p50; p95; max } ->
+     Format.fprintf ppf "hist(n=%d p50=%g p95=%g max=%g)" count p50 p95 max);
+  Format.fprintf ppf " [%a]" pp_tol tol

@@ -1,0 +1,59 @@
+(** The metric registry: every experiment and micro-benchmark records each
+    number it reports here, keyed by experiment id and metric name, with
+    optional labels (protocol name, parameter sweep values).
+
+    The registry is what [bench/main.exe --json] serializes and what the
+    baseline checker compares.  A process-wide {!default} registry serves
+    the experiment harness so the fourteen [Exp_*] modules need no
+    plumbing; tests create their own instances. *)
+
+type t
+
+val create : unit -> t
+val default : t
+val reset : t -> unit
+
+val key : string -> (string * string) list -> string
+(** [key name labels] renders ["name{k=v,k2=v2}"] (just [name] when
+    [labels] is empty) — the flat metric key used in the JSON. *)
+
+val counter :
+  t -> exp:string -> ?labels:(string * string) list -> ?tol:Metric.tol ->
+  string -> int -> unit
+(** Record an integer measurement.  Default tolerance {!Metric.Exact}. *)
+
+val gauge :
+  t -> exp:string -> ?labels:(string * string) list -> ?tol:Metric.tol ->
+  string -> float -> unit
+(** Record a scalar sample.  Default tolerance {!Metric.Exact} — the
+    simulator is deterministic, so even float-valued results reproduce
+    bit-for-bit; pass [~tol:(Pct 20.0)] for timing-derived values. *)
+
+val hist :
+  t -> exp:string -> ?labels:(string * string) list -> ?tol:Metric.tol ->
+  string -> float list -> unit
+(** Summarize samples into a p50/p95/max histogram metric. *)
+
+val set :
+  t -> exp:string -> ?labels:(string * string) list -> string -> Metric.t ->
+  unit
+(** Record a pre-built metric (the hook used by [Netsim.Stats] and
+    [Workload.Metrics] conversions). *)
+
+val experiments : t -> string list
+(** Sorted experiment ids currently holding at least one metric. *)
+
+val metrics : t -> exp:string -> (string * Metric.t) list
+(** Metrics of one experiment, sorted by key; [] for unknown ids. *)
+
+val find : t -> exp:string -> string -> Metric.t option
+
+val schema_version : int
+
+val to_json : t -> commit:string -> Json.t
+(** [{schema_version; commit; experiments: {id: {key: metric}}}] with
+    experiment ids and metric keys sorted, so output is canonical. *)
+
+val of_json : Json.t -> (t, string) result
+(** Rebuild a registry from {!to_json} output (the [commit] field is
+    ignored; a [schema_version] mismatch is an error). *)

@@ -137,6 +137,29 @@ let mean_latency_us t =
 let mean_overhead_bytes t =
   mean_over (fun r -> float_of_int (r.max_bytes - r.sent_bytes)) t
 
+let record_obs t registry ~exp ?(labels = []) () =
+  let counter = Obs.Registry.counter registry ~exp ~labels in
+  let gauge = Obs.Registry.gauge registry ~exp ~labels in
+  counter "packets" (List.length (records t));
+  counter "delivered" (List.length (delivered t));
+  gauge "delivery_ratio" (delivery_ratio t);
+  gauge "mean_hops" (mean_hops t);
+  gauge ~tol:(Obs.Metric.Pct 20.0) "mean_latency_us" (mean_latency_us t);
+  gauge "mean_overhead_bytes" (mean_overhead_bytes t);
+  (* the latency distribution rides along as a histogram, via the shared
+     Stats reservoir *)
+  let samples = Netsim.Stats.Samples.create () in
+  List.iter
+    (fun r ->
+       match r.delivered_at with
+       | Some at ->
+         Netsim.Stats.Samples.add samples
+           (float_of_int (Netsim.Time.to_us at - Netsim.Time.to_us r.sent_at))
+       | None -> ())
+    (records t);
+  Obs.Registry.set registry ~exp ~labels "latency_us"
+    (Netsim.Stats.Samples.to_metric ~tol:(Obs.Metric.Pct 20.0) samples)
+
 let pp_summary ppf t =
   Format.fprintf ppf
     "packets=%d delivered=%.1f%% hops=%.2f latency=%.0fus overhead=%.1fB"

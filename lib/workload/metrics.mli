@@ -47,4 +47,12 @@ val mean_latency_us : t -> float
 val mean_overhead_bytes : t -> float
 (** Mean of [max_bytes - sent_bytes] over delivered packets. *)
 
+val record_obs :
+  t -> Obs.Registry.t -> exp:string -> ?labels:(string * string) list ->
+  unit -> unit
+(** Flow-level aggregates (packet/delivery counts, mean hops, latency and
+    wire overhead, plus a latency p50/p95/max histogram) recorded into the
+    registry under the given experiment id.  Counts, hops and overhead are
+    gated exactly; latencies at ±20%. *)
+
 val pp_summary : Format.formatter -> t -> unit

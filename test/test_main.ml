@@ -16,4 +16,5 @@ let () =
          Test_reliable.suite;
          Test_baselines_stale.suite;
          Test_edges.suite;
-         Test_auth.suite ])
+         Test_auth.suite;
+         Test_obs.suite ])

@@ -1,0 +1,348 @@
+(* The observability layer: JSON codec round-trips and totality (in the
+   decoder-totality style of test_properties.ml), metric/registry
+   round-trips, and the baseline checker's gate behaviour. *)
+
+module Json = Obs.Json
+module Metric = Obs.Metric
+module Registry = Obs.Registry
+module Baseline = Obs.Baseline
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* --- generators --- *)
+
+(* finite floats only: JSON has no syntax for nan/inf (they encode as
+   null by design, which is deliberately not a round-trip) *)
+let gen_float =
+  QCheck.Gen.(
+    oneof
+      [ map float_of_int (int_range (-1000) 1000);
+        map2
+          (fun a b -> float_of_int a /. float_of_int (abs b + 1))
+          (int_range (-1_000_000) 1_000_000)
+          (int_range 0 10_000);
+        map (fun a -> float_of_int a *. 1e12) (int_range (-1000) 1000) ])
+
+let gen_key = QCheck.Gen.(string_size ~gen:printable (int_range 0 8))
+
+let gen_json =
+  QCheck.Gen.(
+    sized @@ fix (fun self n ->
+        let leaf =
+          oneof
+            [ return Json.Null;
+              map (fun b -> Json.Bool b) bool;
+              map (fun i -> Json.Int i) int;
+              map (fun f -> Json.Float f) gen_float;
+              map (fun s -> Json.String s) (string_size (int_range 0 16)) ]
+        in
+        if n = 0 then leaf
+        else
+          frequency
+            [ (2, leaf);
+              (1,
+               map (fun xs -> Json.List xs)
+                 (list_size (int_range 0 4) (self (n / 2))));
+              (1,
+               map (fun kvs -> Json.Obj kvs)
+                 (list_size (int_range 0 4)
+                    (pair gen_key (self (n / 2))))) ]))
+
+let rec pp_json ppf = function
+  | Json.Null -> Format.fprintf ppf "null"
+  | Json.Bool b -> Format.fprintf ppf "%b" b
+  | Json.Int i -> Format.fprintf ppf "%d" i
+  | Json.Float f -> Format.fprintf ppf "%h" f
+  | Json.String s -> Format.fprintf ppf "%S" s
+  | Json.List xs ->
+    Format.fprintf ppf "[%a]"
+      (Format.pp_print_list ~pp_sep:(fun p () -> Format.fprintf p ";")
+         pp_json)
+      xs
+  | Json.Obj kvs ->
+    Format.fprintf ppf "{%a}"
+      (Format.pp_print_list ~pp_sep:(fun p () -> Format.fprintf p ";")
+         (fun p (k, v) -> Format.fprintf p "%S:%a" k pp_json v))
+      kvs
+
+let arb_json =
+  QCheck.make ~print:(Format.asprintf "%a" pp_json) gen_json
+
+let gen_tol =
+  QCheck.Gen.(
+    oneof
+      [ return Metric.Exact;
+        return Metric.Info;
+        map (fun p -> Metric.Pct (float_of_int p)) (int_range 1 50) ])
+
+let gen_metric =
+  QCheck.Gen.(
+    let* tol = gen_tol in
+    let* value =
+      oneof
+        [ map (fun n -> Metric.Counter n) int;
+          map (fun f -> Metric.Gauge f) gen_float;
+          map Metric.hist_of_samples (list_size (int_range 0 20) gen_float) ]
+    in
+    return { Metric.value; tol })
+
+let gen_name =
+  QCheck.Gen.(
+    let* base = string_size ~gen:(char_range 'a' 'z') (int_range 1 6) in
+    let* label = int_range 0 99 in
+    return (Registry.key base [("k", string_of_int label)]))
+
+let gen_registry =
+  QCheck.Gen.(
+    let* entries =
+      list_size (int_range 0 30)
+        (triple (int_range 1 15) gen_name gen_metric)
+    in
+    let t = Registry.create () in
+    List.iter
+      (fun (e, name, m) ->
+         Registry.set t ~exp:(Printf.sprintf "E%d" e) name m)
+      entries;
+    return t)
+
+let arb_registry =
+  QCheck.make
+    ~print:(fun t ->
+        String.concat "\n"
+          (List.concat_map
+             (fun exp ->
+                List.map
+                  (fun (k, m) ->
+                     Format.asprintf "%s/%s = %a" exp k Metric.pp m)
+                  (Registry.metrics t ~exp))
+             (Registry.experiments t)))
+    gen_registry
+
+(* --- properties --- *)
+
+let json_roundtrip pretty j =
+  match Json.of_string (Json.to_string ~pretty j) with
+  | Ok j' -> Json.equal j j'
+  | Error _ -> false
+
+let decoder_total s =
+  match Json.of_string s with Ok _ | Error _ -> true
+
+let truncation_total j =
+  let s = Json.to_string ~pretty:true j in
+  List.for_all
+    (fun frac ->
+       let len = String.length s * frac / 7 in
+       decoder_total (String.sub s 0 (min len (String.length s))))
+    [1; 2; 3; 4; 5; 6]
+
+let registry_roundtrip t =
+  let json = Registry.to_json t ~commit:"test" in
+  match Json.of_string (Json.to_string ~pretty:true json) with
+  | Error _ -> false
+  | Ok j ->
+    (match Registry.of_json j with
+     | Error _ -> false
+     | Ok t' ->
+       List.for_all
+         (fun exp ->
+            let a = Registry.metrics t ~exp
+            and b = Registry.metrics t' ~exp in
+            List.length a = List.length b
+            && List.for_all2
+                 (fun (k1, m1) (k2, m2) ->
+                    String.equal k1 k2 && Metric.equal m1 m2)
+                 a b)
+         (Registry.experiments t @ Registry.experiments t'))
+
+let self_comparison_clean t =
+  let report = Baseline.compare ~baseline:t ~current:t () in
+  report.Baseline.drifts = []
+
+(* --- unit tests --- *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let mk entries =
+  let t = Registry.create () in
+  List.iter (fun f -> f t) entries;
+  t
+
+let test_deep_nesting () =
+  (match Json.of_string (String.make 5000 '[') with
+   | Ok _ -> Alcotest.fail "accepted unterminated nesting"
+   | Error _ -> ());
+  let deep =
+    String.concat "" [String.make 2000 '['; "1"; String.make 2000 ']']
+  in
+  match Json.of_string deep with
+  | Ok _ -> Alcotest.fail "accepted nesting beyond the depth bound"
+  | Error _ -> ()
+
+let test_hist_summary () =
+  match Metric.hist_of_samples [5.0; 1.0; 9.0; 3.0; 7.0] with
+  | Metric.Hist { count; p50; p95; max } ->
+    check_int "count" 5 count;
+    Alcotest.(check (float 0.0)) "p50" 5.0 p50;
+    Alcotest.(check (float 0.0)) "p95" 9.0 p95;
+    Alcotest.(check (float 0.0)) "max" 9.0 max
+  | _ -> Alcotest.fail "expected a hist"
+
+let test_identical_files_pass () =
+  let t =
+    mk
+      [ (fun t -> Registry.counter t ~exp:"E1" "added_bytes" 8);
+        (fun t ->
+           Registry.gauge t ~exp:"E2" ~tol:(Metric.Pct 20.0) "latency_ms"
+             3.25);
+        (fun t -> Registry.hist t ~exp:"E2" "hops" [3.0; 4.0; 5.0]) ]
+  in
+  (* through the serializers, as CI does *)
+  let file = Filename.temp_file "obs_baseline" ".json" in
+  Out_channel.with_open_bin file (fun oc ->
+      Out_channel.output_string oc
+        (Json.to_string ~pretty:true (Registry.to_json t ~commit:"a")));
+  let baseline =
+    match Baseline.load_file file with
+    | Ok b -> b
+    | Error e -> Alcotest.fail e
+  in
+  Sys.remove file;
+  let report = Baseline.compare ~baseline ~current:t () in
+  check_int "metrics checked" 3 report.Baseline.checked;
+  check_bool "no drifts" true (report.Baseline.drifts = [])
+
+let test_injected_regression_flagged () =
+  let base =
+    mk
+      [ (fun t -> Registry.counter t ~exp:"E1" "added_bytes" 8);
+        (fun t ->
+           Registry.gauge t ~exp:"E7" ~tol:(Metric.Pct 20.0) "recovery_ms"
+             100.0) ]
+  in
+  let cur =
+    mk
+      [ (fun t -> Registry.counter t ~exp:"E1" "added_bytes" 12);
+        (fun t ->
+           Registry.gauge t ~exp:"E7" ~tol:(Metric.Pct 20.0) "recovery_ms"
+             100.0) ]
+  in
+  let report = Baseline.compare ~baseline:base ~current:cur () in
+  (match report.Baseline.drifts with
+   | [d] ->
+     check_bool "names the metric" true
+       (d.Baseline.path = "E1/added_bytes")
+   | ds -> Alcotest.failf "expected 1 drift, got %d" (List.length ds))
+
+let test_pct_tolerance () =
+  let gauge v =
+    mk
+      [ (fun t ->
+           Registry.gauge t ~exp:"E10" ~tol:(Metric.Pct 20.0) "plain_ms" v)
+      ]
+  in
+  let base = gauge 10.0 in
+  let within =
+    Baseline.compare ~baseline:base ~current:(gauge 11.9) ()
+  in
+  check_bool "11.9 within ±20% of 10" true (within.Baseline.drifts = []);
+  let beyond =
+    Baseline.compare ~baseline:base ~current:(gauge 12.1) ()
+  in
+  check_bool "12.1 beyond ±20% of 10" false (beyond.Baseline.drifts = [])
+
+let test_missing_and_extra_flagged () =
+  let base = mk [(fun t -> Registry.counter t ~exp:"E1" "a" 1)] in
+  let cur = mk [(fun t -> Registry.counter t ~exp:"E1" "b" 1)] in
+  let report = Baseline.compare ~baseline:base ~current:cur () in
+  check_int "both sides flagged" 2 (List.length report.Baseline.drifts)
+
+let test_info_never_gates () =
+  let mkv v =
+    mk
+      [ (fun t ->
+           Registry.gauge t ~exp:"micro" ~tol:Metric.Info "ns_per_run" v) ]
+  in
+  let report =
+    Baseline.compare ~baseline:(mkv 100.0) ~current:(mkv 5000.0) ()
+  in
+  check_bool "info tolerance never drifts" true
+    (report.Baseline.drifts = []);
+  check_int "info metrics are not counted as checked" 0
+    report.Baseline.checked
+
+let test_kind_change_flagged () =
+  let base = mk [(fun t -> Registry.counter t ~exp:"E1" "x" 1)] in
+  let cur = mk [(fun t -> Registry.gauge t ~exp:"E1" "x" 1.0)] in
+  let report = Baseline.compare ~baseline:base ~current:cur () in
+  check_bool "kind change drifts" false (report.Baseline.drifts = [])
+
+let test_only_restricts () =
+  let base =
+    mk
+      [ (fun t -> Registry.counter t ~exp:"E1" "a" 1);
+        (fun t -> Registry.counter t ~exp:"E2" "b" 2) ]
+  in
+  let cur = mk [(fun t -> Registry.counter t ~exp:"E1" "a" 1)] in
+  let full = Baseline.compare ~baseline:base ~current:cur () in
+  check_bool "full compare flags the missing experiment" false
+    (full.Baseline.drifts = []);
+  let only = Baseline.compare ~only:["E1"] ~baseline:base ~current:cur () in
+  check_bool "subset compare does not" true (only.Baseline.drifts = [])
+
+let test_schema_version_mismatch () =
+  match
+    Registry.of_json
+      (Json.Obj
+         [ ("schema_version", Json.Int 999);
+           ("commit", Json.String "x");
+           ("experiments", Json.Obj []) ])
+  with
+  | Ok _ -> Alcotest.fail "accepted a future schema_version"
+  | Error _ -> ()
+
+let suite =
+  [ ( "obs unit",
+      [ Alcotest.test_case "deep nesting rejected" `Quick test_deep_nesting;
+        Alcotest.test_case "hist p50/p95/max" `Quick test_hist_summary;
+        Alcotest.test_case "identical baseline passes" `Quick
+          test_identical_files_pass;
+        Alcotest.test_case "injected regression flagged" `Quick
+          test_injected_regression_flagged;
+        Alcotest.test_case "pct-20 gate" `Quick test_pct_tolerance;
+        Alcotest.test_case "missing/extra metrics flagged" `Quick
+          test_missing_and_extra_flagged;
+        Alcotest.test_case "info tolerance never gates" `Quick
+          test_info_never_gates;
+        Alcotest.test_case "kind change flagged" `Quick
+          test_kind_change_flagged;
+        Alcotest.test_case "--only restricts the gate" `Quick
+          test_only_restricts;
+        Alcotest.test_case "schema version mismatch rejected" `Quick
+          test_schema_version_mismatch ] );
+    ( "obs properties",
+      [ qtest
+          (QCheck.Test.make ~name:"json encode/decode roundtrip" ~count:500
+             arb_json (json_roundtrip false));
+        qtest
+          (QCheck.Test.make
+             ~name:"pretty json encode/decode roundtrip" ~count:500
+             arb_json (json_roundtrip true));
+        qtest
+          (QCheck.Test.make
+             ~name:"json decoder total on arbitrary bytes" ~count:1000
+             QCheck.(string_of_size Gen.(int_range 0 64))
+             decoder_total);
+        qtest
+          (QCheck.Test.make
+             ~name:"json decoder total on truncated documents" ~count:300
+             arb_json truncation_total);
+        qtest
+          (QCheck.Test.make
+             ~name:"metric registry json roundtrip" ~count:300 arb_registry
+             registry_roundtrip);
+        qtest
+          (QCheck.Test.make
+             ~name:"registry compares clean against itself" ~count:300
+             arb_registry self_comparison_clean) ] ) ]
