@@ -370,7 +370,9 @@ let run () =
                 i o.delivered; i o.central_state ])
            [ run_mhrp n; run_sunshine n; run_columbia n; run_sony n;
              run_matsushita n; run_ibm n ])
-      [4; 8; 16]
+      (* 64 joined the sweep once the indexed-topology overhaul made it
+         affordable; the full 256-campus internetwork is E16's job *)
+      [4; 8; 16; 64]
   in
   table
     ~columns:["protocol"; "campuses"; "moves"; "flows"; "ctrl msgs";

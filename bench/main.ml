@@ -29,6 +29,7 @@ let experiments =
     ("E13", Exp_replication.run);
     ("E14", Exp_fragmentation.run);
     ("E15", Exp_security.run);
+    ("E16", Exp_scale.run);
     ("A", Exp_ablations.run);
     ("micro", Micro.run) ]
 

@@ -32,6 +32,27 @@ let cache =
   done;
   c
 
+(* A routing table dominated by /32 host routes, as at a home agent
+   serving a large mobile population: 1000 host routes over a handful of
+   network prefixes.  Mobiles live on nets 16..19, 250 hosts each. *)
+let host_route_table =
+  let t =
+    List.fold_left
+      (fun t n -> Net.Route.add t (Addr.net n) (Net.Route.Direct 0))
+      Net.Route.empty [16; 17; 18; 19]
+  in
+  let t = Net.Route.add_default t (Net.Route.Via (Addr.host 0 1)) in
+  let rec go t k =
+    if k > 1000 then t
+    else
+      let addr = Addr.host (16 + (k mod 4)) (1 + (k / 4)) in
+      go (Net.Route.add_host t addr (Net.Route.Via (Addr.host 0 2))) (k + 1)
+  in
+  go t 1
+
+let host_route_hit = Addr.host 17 126  (* a /32 entry *)
+let host_route_miss = Addr.host 18 251 (* falls through to the net route *)
+
 let tests =
   [ Test.make ~name:"packet-encode" (Staged.stage (fun () ->
         ignore (Packet.encode sample_packet)));
@@ -55,6 +76,35 @@ let tests =
              ~new_dst:(Addr.host 5 1) tunneled)));
     Test.make ~name:"location-cache-find" (Staged.stage (fun () ->
         ignore (Mhrp.Location_cache.find cache (Addr.host 9 32))));
+    Test.make ~name:"route-lookup-1k-host-routes" (Staged.stage (fun () ->
+        ignore (Net.Route.lookup host_route_table host_route_hit);
+        ignore (Net.Route.lookup host_route_table host_route_miss)));
+    Test.make ~name:"event-queue-churn-25pct-cancel" (Staged.stage (fun () ->
+        (* 256 pushes, every 4th cancelled, then drain: the event-queue
+           pattern of ARP timers and retransmissions under load *)
+        let q = Netsim.Event_queue.create () in
+        let handles =
+          Array.init 256 (fun i ->
+              Netsim.Event_queue.push q
+                (Netsim.Time.of_us ((i * 7919) mod 1024)) i)
+        in
+        Array.iteri
+          (fun i h ->
+             if i mod 4 = 0 then ignore (Netsim.Event_queue.cancel q h))
+          handles;
+        let rec drain () =
+          match Netsim.Event_queue.pop q with
+          | Some _ -> drain ()
+          | None -> ()
+        in
+        drain ()));
+    Test.make ~name:"topology-construct-64-campuses" (Staged.stage (fun () ->
+        (* construction only (registration, attachment, addressing) —
+           route computation is measured separately below *)
+        ignore
+          (Workload.Topo_gen.campuses_plain ~campuses:64
+             ~mobiles_per_campus:1 ~correspondents:1 ~compute_routes:false
+             ())));
     Test.make ~name:"route-compute-8-campuses" (Staged.stage (fun () ->
         let c =
           Workload.Topo_gen.campuses_plain ~campuses:8

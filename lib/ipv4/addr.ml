@@ -92,9 +92,11 @@ module Prefix = struct
   let pp ppf t = Format.pp_print_string ppf (to_string t)
 end
 
-let net i =
+let net_len i len =
   if i < 0 || i > 0xFFFF then invalid_arg "Addr.net: network id out of range";
-  Prefix.make (of_octets 10 (i lsr 8) (i land 0xFF) 0) 24
+  Prefix.make (of_octets 10 (i lsr 8) (i land 0xFF) 0) len
+
+let net i = net_len i 24
 
 let host net_id host_id = Prefix.host (net net_id) host_id
 

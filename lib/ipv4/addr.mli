@@ -70,6 +70,13 @@ end
     255).0/24]; host [h] of network [i] is its [h]th address. *)
 val net : int -> Prefix.t
 
+val net_len : int -> int -> Prefix.t
+(** [net_len i len] — network [i]'s base address with an explicit prefix
+    length, for segments that must address more than 254 stations (the
+    wide backbones of the large-scale experiments).  The caller picks a
+    base aligned to [len] that stays clear of the /24 plan ([net i]
+    for small [i]); [net_len i 24 = net i]. *)
+
 val host : int -> int -> t
 (** [host net_id host_id]. *)
 

@@ -5,9 +5,9 @@ let of_bytes ?(off = 0) ?len buf =
   let sum = ref 0 in
   let i = ref off in
   let stop = off + len in
+  (* one 16-bit big-endian read per word instead of two byte reads *)
   while !i + 1 < stop do
-    sum := !sum + ((Char.code (Bytes.get buf !i) lsl 8)
-                   lor Char.code (Bytes.get buf (!i + 1)));
+    sum := !sum + Bytes.get_uint16_be buf !i;
     i := !i + 2
   done;
   if !i < stop then sum := !sum + (Char.code (Bytes.get buf !i) lsl 8);

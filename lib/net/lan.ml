@@ -1,6 +1,12 @@
 type station = Frame.t -> unit
 
+(* Unique id per LAN instance, used as an O(1) identity hash key by the
+   routing graph builder (structural hashing of a LAN would walk the
+   engine and rng it embeds). *)
+let next_id = ref 0
+
 type t = {
+  id : int;
   engine : Netsim.Engine.t;
   name : string;
   prefix : Ipv4.Addr.Prefix.t;
@@ -10,7 +16,13 @@ type t = {
   mtu : int;
   rng : Netsim.Rng.t option;
   stations : (Mac.t, station) Hashtbl.t;
-  mutable monitors : station list;
+  mutable sorted_macs : Mac.t list option;
+  (* cache of [stations] in MAC order, invalidated on attach/detach, so
+     broadcast fan-out does not re-sort the membership per frame *)
+  mutable monitors_rev : station list;  (* newest first *)
+  mutable monitors : station list option;
+  (* registration-order view of [monitors_rev], rebuilt lazily at delivery
+     so registration is O(1) per monitor instead of list-append quadratic *)
   mutable up : bool;
   mutable frames : int;
   mutable bytes : int;
@@ -23,10 +35,13 @@ let create ~engine ~name ?(latency = Netsim.Time.of_us 500)
     invalid_arg "Lan.create: loss > 0 requires rng";
   if bandwidth_bps <= 0 then invalid_arg "Lan.create: bandwidth";
   if mtu < 68 then invalid_arg "Lan.create: mtu below the IP minimum";
-  { engine; name; prefix; latency; bandwidth_bps; loss; mtu; rng;
-    stations = Hashtbl.create 8; monitors = []; up = true; frames = 0;
-    bytes = 0 }
+  let id = !next_id in
+  incr next_id;
+  { id; engine; name; prefix; latency; bandwidth_bps; loss; mtu; rng;
+    stations = Hashtbl.create 8; sorted_macs = None; monitors_rev = [];
+    monitors = None; up = true; frames = 0; bytes = 0 }
 
+let id t = t.id
 let name t = t.name
 let prefix t = t.prefix
 let mtu t = t.mtu
@@ -36,15 +51,37 @@ let attach t mac station =
     invalid_arg
       (Printf.sprintf "Lan.attach: %s already on %s" (Mac.to_string mac)
          t.name);
-  Hashtbl.replace t.stations mac station
+  Hashtbl.replace t.stations mac station;
+  t.sorted_macs <- None
 
-let detach t mac = Hashtbl.remove t.stations mac
-let add_monitor t monitor = t.monitors <- t.monitors @ [ monitor ]
+let detach t mac =
+  Hashtbl.remove t.stations mac;
+  t.sorted_macs <- None
+
+let add_monitor t monitor =
+  t.monitors_rev <- monitor :: t.monitors_rev;
+  t.monitors <- None
+
+let monitors t =
+  match t.monitors with
+  | Some ms -> ms
+  | None ->
+    let ms = List.rev t.monitors_rev in
+    t.monitors <- Some ms;
+    ms
+
 let attached t mac = Hashtbl.mem t.stations mac
 
 let stations t =
-  Hashtbl.fold (fun mac _ acc -> mac :: acc) t.stations []
-  |> List.sort Mac.compare
+  match t.sorted_macs with
+  | Some macs -> macs
+  | None ->
+    let macs =
+      Hashtbl.fold (fun mac _ acc -> mac :: acc) t.stations []
+      |> List.sort Mac.compare
+    in
+    t.sorted_macs <- Some macs;
+    macs
 
 let tx_delay t frame =
   let bits = Frame.wire_length frame * 8 in
@@ -63,7 +100,7 @@ let send t frame =
     let delay = Netsim.Time.add t.latency (tx_delay t frame) in
     let deliver () =
       if t.up then begin
-        List.iter (fun monitor -> monitor frame) t.monitors;
+        List.iter (fun monitor -> monitor frame) (monitors t);
         if Mac.is_broadcast frame.Frame.dst then
           (* Deliver in deterministic (MAC-sorted) order, skipping the
              sender, matching how tests expect broadcast fan-out. *)

@@ -22,6 +22,10 @@ val create :
 
 val mtu : t -> int
 
+val id : t -> int
+(** Process-unique identity of this LAN instance.  Stable for the LAN's
+    lifetime; used as an O(1) hash key by the routing graph builder. *)
+
 val name : t -> string
 val prefix : t -> Ipv4.Addr.Prefix.t
 

@@ -104,7 +104,20 @@ let iface_addrs t =
   |> List.filter_map (fun i -> if i.active then i.addr else None)
 
 let addresses t = iface_addrs t @ t.extra_addrs
-let has_address t a = List.exists (Ipv4.Addr.equal a) (addresses t)
+
+(* Checked on every received packet (rx_ip) — scan the interface array
+   directly rather than materialising the address list per call. *)
+let has_address t a =
+  let n = Array.length t.ifaces in
+  let rec on_iface i =
+    i < n
+    && ((t.ifaces.(i).active
+         && match t.ifaces.(i).addr with
+            | Some x -> Ipv4.Addr.equal x a
+            | None -> false)
+        || on_iface (i + 1))
+  in
+  on_iface 0 || List.exists (Ipv4.Addr.equal a) t.extra_addrs
 
 let add_address t a =
   if not (List.exists (Ipv4.Addr.equal a) t.extra_addrs) then

@@ -8,23 +8,43 @@ type entry = {
 }
 
 (* Entries sorted by descending prefix length, so lookup is the first
-   match.  Tables are small (tens of entries); a list keeps this simple
-   and persistent (cheap snapshots when moving hosts). *)
-type t = entry list
+   match.  The persistent list keeps snapshots cheap (moving hosts), but
+   host-specific /32 routes grow with the mobile population, so [lookup]
+   consults a compiled form: an exact-match hashtable over the /32
+   entries (which, being longest, always win) falling back to the sorted
+   sub-32 list.  The compiled form is built lazily on the first lookup
+   after a change — one O(n) pass, no dearer than the single list scan it
+   replaces — and cached on the (immutable) table value. *)
+type t = {
+  entries : entry list;
+  mutable compiled : compiled option;
+}
 
-let empty = []
+and compiled = {
+  hosts : (Ipv4.Addr.t, target) Hashtbl.t;  (* the /32 entries *)
+  rest : entry list;  (* length < 32, still descending *)
+}
+
+let empty = { entries = []; compiled = None }
+
+let of_entries entries = { entries; compiled = None }
 
 let add t prefix target =
   let rest =
-    List.filter (fun e -> not (Ipv4.Addr.Prefix.equal e.prefix prefix)) t
+    List.filter
+      (fun e -> not (Ipv4.Addr.Prefix.equal e.prefix prefix))
+      t.entries
   in
   let entry = { prefix; target } in
   let longer e = e.prefix.Ipv4.Addr.Prefix.len >= prefix.Ipv4.Addr.Prefix.len in
   let before, after = List.partition longer rest in
-  before @ (entry :: after)
+  of_entries (before @ (entry :: after))
 
 let remove t prefix =
-  List.filter (fun e -> not (Ipv4.Addr.Prefix.equal e.prefix prefix)) t
+  of_entries
+    (List.filter
+       (fun e -> not (Ipv4.Addr.Prefix.equal e.prefix prefix))
+       t.entries)
 
 let add_host t addr target =
   add t (Ipv4.Addr.Prefix.make addr 32) target
@@ -34,16 +54,63 @@ let remove_host t addr = remove t (Ipv4.Addr.Prefix.make addr 32)
 let add_default t target =
   add t (Ipv4.Addr.Prefix.make Ipv4.Addr.zero 0) target
 
-let lookup t addr =
-  let rec go = function
-    | [] -> None
-    | e :: rest ->
-      if Ipv4.Addr.Prefix.mem addr e.prefix then Some e.target else go rest
+(* Bulk construction for the route computation, which otherwise pays
+   O(n) [add]s of O(n) each per node.  Reproduces the fold-of-[add]
+   result exactly: a later duplicate prefix replaces the earlier one and
+   sits at the position of its last insertion; entries are ordered by
+   descending prefix length, insertion-ordered within a length. *)
+let bulk pairs =
+  let last : (Ipv4.Addr.Prefix.t, int * target) Hashtbl.t =
+    Hashtbl.create 64
   in
-  go t
+  List.iteri
+    (fun seq (prefix, target) -> Hashtbl.replace last prefix (seq, target))
+    pairs;
+  let survivors =
+    Hashtbl.fold
+      (fun prefix (seq, target) acc -> (seq, { prefix; target }) :: acc)
+      last []
+  in
+  let in_insertion_order =
+    List.sort (fun (a, _) (b, _) -> Int.compare a b) survivors
+    |> List.map snd
+  in
+  of_entries
+    (List.stable_sort
+       (fun a b ->
+          Int.compare b.prefix.Ipv4.Addr.Prefix.len
+            a.prefix.Ipv4.Addr.Prefix.len)
+       in_insertion_order)
 
-let entries t = t
-let size t = List.length t
+let compile t =
+  match t.compiled with
+  | Some c -> c
+  | None ->
+    let host_entries, rest =
+      List.partition (fun e -> e.prefix.Ipv4.Addr.Prefix.len = 32) t.entries
+    in
+    let hosts = Hashtbl.create (max 8 (List.length host_entries)) in
+    List.iter
+      (fun e -> Hashtbl.replace hosts e.prefix.Ipv4.Addr.Prefix.base e.target)
+      host_entries;
+    let c = { hosts; rest } in
+    t.compiled <- Some c;
+    c
+
+let lookup t addr =
+  let c = compile t in
+  match Hashtbl.find_opt c.hosts addr with
+  | Some target -> Some target
+  | None ->
+    let rec go = function
+      | [] -> None
+      | e :: rest ->
+        if Ipv4.Addr.Prefix.mem addr e.prefix then Some e.target else go rest
+    in
+    go c.rest
+
+let entries t = t.entries
+let size t = List.length t.entries
 
 let pp_target ppf = function
   | Direct i -> Format.fprintf ppf "direct(if%d)" i
@@ -55,5 +122,5 @@ let pp ppf t =
     (fun e ->
        Format.fprintf ppf "%-18s %a@," (Ipv4.Addr.Prefix.to_string e.prefix)
          pp_target e.target)
-    t;
+    t.entries;
   Format.fprintf ppf "@]"

@@ -28,6 +28,11 @@ val remove_host : t -> Ipv4.Addr.t -> t
 val add_default : t -> target -> t
 (** A /0 entry. *)
 
+val bulk : (Ipv4.Addr.Prefix.t * target) list -> t
+(** The table [List.fold_left (fun t (p, tg) -> add t p tg) empty pairs],
+    built in O(n log n) instead of O(n²) — the route computation's bulk
+    path. *)
+
 val lookup : t -> Ipv4.Addr.t -> target option
 (** Longest-prefix match. *)
 

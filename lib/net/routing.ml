@@ -1,12 +1,24 @@
 (* One BFS per node over the LAN-adjacency graph (all edges cost one LAN
    traversal), expanding only through routers, which matches IP: hosts do
    not forward.  Neighbour order is sorted by node name so the resulting
-   tables are deterministic. *)
+   tables are deterministic.
+
+   The graph is built in one pass over the nodes' interfaces: a per-LAN
+   membership table (keyed by Lan.id) replaces the per-LAN re-scan of
+   every node's interface list, taking construction from O(L*N*I) to
+   O(N*I + E).  The BFS scratch arrays live in the graph and are reset
+   per source, so the full-table sweep allocates nothing per node. *)
 
 type graph = {
   nodes : Node.t array;  (* sorted by name *)
   index : (string, int) Hashtbl.t;
   adj : (int * Lan.t) list array;  (* neighbour, connecting LAN *)
+  lans : Lan.t list;  (* as passed to [build], original order *)
+  routers_on : (int, int list) Hashtbl.t;
+  (* Lan.id -> attached router indices, ascending *)
+  dist : int array;  (* BFS scratch, reset by [bfs] *)
+  prev : int array;
+  via_lan : Lan.t option array;
 }
 
 let build ~nodes ~lans =
@@ -14,29 +26,60 @@ let build ~nodes ~lans =
     List.sort (fun a b -> String.compare (Node.name a) (Node.name b)) nodes
     |> Array.of_list
   in
-  let index = Hashtbl.create 32 in
-  Array.iteri (fun i n -> Hashtbl.replace index (Node.name n) i) nodes;
-  let adj = Array.make (Array.length nodes) [] in
-  let attached_to lan =
-    let on_lan n =
-      List.exists (fun (_, l, _) -> l == lan) (Node.ifaces n)
-    in
-    Array.to_list nodes
-    |> List.filter on_lan
-    |> List.map (fun n -> Hashtbl.find index (Node.name n))
+  let n = Array.length nodes in
+  let index = Hashtbl.create (max 32 n) in
+  Array.iteri (fun i node -> Hashtbl.replace index (Node.name node) i) nodes;
+  (* Deduplicate the LAN list by identity (callers like [path_length]
+     collect it from interfaces, with repeats); keep first-occurrence
+     order so edge insertion order, and hence tie-breaking, is unchanged. *)
+  let seen = Hashtbl.create (max 16 (List.length lans)) in
+  let uniq_lans =
+    List.filter
+      (fun lan ->
+         if Hashtbl.mem seen (Lan.id lan) then false
+         else begin
+           Hashtbl.replace seen (Lan.id lan) ();
+           true
+         end)
+      lans
   in
+  (* Per-LAN membership from one pass over the interfaces: node indices in
+     ascending order, each node at most once per LAN (multi-homing on a
+     single LAN counts once, as the old per-LAN scan did). *)
+  let members_rev : (int, int list) Hashtbl.t = Hashtbl.create 64 in
+  Array.iteri
+    (fun i node ->
+       let seen_lans = ref [] in
+       List.iter
+         (fun (_, lan, _) ->
+            let id = Lan.id lan in
+            if not (List.mem id !seen_lans) then begin
+              seen_lans := id :: !seen_lans;
+              let prev =
+                Option.value ~default:[] (Hashtbl.find_opt members_rev id)
+              in
+              Hashtbl.replace members_rev id (i :: prev)
+            end)
+         (Node.ifaces node))
+    nodes;
+  let members lan =
+    match Hashtbl.find_opt members_rev (Lan.id lan) with
+    | Some l -> List.rev l
+    | None -> []
+  in
+  let adj = Array.make n [] in
   List.iter
     (fun lan ->
        if Lan.is_up lan then begin
-         let members = attached_to lan in
+         let ms = members lan in
          List.iter
            (fun u ->
               List.iter
                 (fun v -> if u <> v then adj.(u) <- (v, lan) :: adj.(u))
-                members)
-           members
+                ms)
+           ms
        end)
-    lans;
+    uniq_lans;
   Array.iteri
     (fun i l ->
        adj.(i) <-
@@ -47,14 +90,25 @@ let build ~nodes ~lans =
               | c -> c)
            l)
     adj;
-  { nodes; index; adj }
+  let routers_on = Hashtbl.create 64 in
+  List.iter
+    (fun lan ->
+       Hashtbl.replace routers_on (Lan.id lan)
+         (List.filter (fun i -> Node.is_router nodes.(i)) (members lan)))
+    uniq_lans;
+  { nodes; index; adj; lans; routers_on;
+    dist = Array.make n max_int;
+    prev = Array.make n (-1);
+    via_lan = Array.make n None }
 
-(* BFS from [s]; only routers (and [s] itself) are expanded. *)
+(* BFS from [s]; only routers (and [s] itself) are expanded.  Results live
+   in the graph's scratch arrays until the next [bfs] call. *)
 let bfs g s =
   let n = Array.length g.nodes in
-  let dist = Array.make n max_int in
-  let prev = Array.make n (-1) in
-  let via_lan = Array.make n None in
+  let dist = g.dist and prev = g.prev and via_lan = g.via_lan in
+  Array.fill dist 0 n max_int;
+  Array.fill prev 0 n (-1);
+  Array.fill via_lan 0 n None;
   dist.(s) <- 0;
   let q = Queue.create () in
   Queue.push s q;
@@ -89,26 +143,21 @@ let iface_on node lan =
     (fun (i, l, _) -> if l == lan then Some i else None)
     (Node.ifaces node)
 
-let compute ~nodes ~lans =
-  let g = build ~nodes ~lans in
-  let n = Array.length g.nodes in
+let compute_graph g =
   let routers_on lan =
-    List.filter
-      (fun i ->
-         Node.is_router g.nodes.(i)
-         && List.exists (fun (_, l, _) -> l == lan) (Node.ifaces g.nodes.(i)))
-      (List.init n (fun i -> i))
+    Option.value ~default:[] (Hashtbl.find_opt g.routers_on (Lan.id lan))
   in
   Array.iteri
     (fun s node ->
        let dist, prev, via_lan = bfs g s in
-       let table = ref Route.empty in
+       let pairs = ref [] in
+       let add prefix target = pairs := (prefix, target) :: !pairs in
        List.iter
          (fun lan ->
             if Lan.is_up lan then begin
               let prefix = Lan.prefix lan in
               match iface_on node lan with
-              | Some i -> table := Route.add !table prefix (Route.Direct i)
+              | Some i -> add prefix (Route.Direct i)
               | None ->
                 let candidates = routers_on lan in
                 let best =
@@ -148,20 +197,15 @@ let compute ~nodes ~lans =
                   | Some l ->
                     match addr_on g.nodes.(hop) l with
                     | None -> () (* neighbour has no address there *)
-                    | Some gw ->
-                      table := Route.add !table prefix (Route.Via gw)
+                    | Some gw -> add prefix (Route.Via gw)
             end)
-         lans;
-       Node.set_routes node !table)
+         g.lans;
+       Node.set_routes node (Route.bulk (List.rev !pairs)))
     g.nodes
 
-let path_length ~nodes ~src ~dst_lan =
-  let lans =
-    (* collect every LAN any node is attached to *)
-    List.concat_map (fun n -> List.map (fun (_, l, _) -> l) (Node.ifaces n))
-      nodes
-  in
-  let g = build ~nodes ~lans in
+let compute ~nodes ~lans = compute_graph (build ~nodes ~lans)
+
+let path_length_graph g ~src ~dst_lan =
   match Hashtbl.find_opt g.index (Node.name src) with
   | None -> None
   | Some s ->
@@ -182,3 +226,14 @@ let path_length ~nodes ~src ~dst_lan =
         g.nodes;
       Option.map (fun d -> d + 1) !best
     end
+
+let graph_of_nodes nodes =
+  let lans =
+    (* collect every LAN any node is attached to *)
+    List.concat_map (fun n -> List.map (fun (_, l, _) -> l) (Node.ifaces n))
+      nodes
+  in
+  build ~nodes ~lans
+
+let path_length ~nodes ~src ~dst_lan =
+  path_length_graph (graph_of_nodes nodes) ~src ~dst_lan

@@ -2,21 +2,45 @@
 
     The paper assumes ordinary IP routing delivers packets to a host's
     network; MHRP rides on top.  We provide that substrate with a global
-    shortest-path computation (one Dijkstra per node over the LAN-adjacency
+    shortest-path computation (one BFS per node over the LAN-adjacency
     graph, transit through routers only), filling every node's routing
     table with one entry per reachable network prefix.
 
     Host-specific (/32) routes installed later by protocol code survive
     only until the next [compute]; recompute before protocol setup. *)
 
+type graph
+(** The LAN-adjacency graph over a snapshot of nodes and LANs, plus the
+    BFS scratch state.  Building it is O(N·I + E); reuse one graph across
+    queries instead of rebuilding per call.  A graph goes stale when
+    topology changes (attach/detach, LANs going up or down) — rebuild it
+    then. *)
+
+val build : nodes:Node.t list -> lans:Lan.t list -> graph
+(** Snapshot the adjacency of [nodes] across the (up) [lans].  The LAN
+    list may contain repeats; they are deduplicated by identity. *)
+
 val compute : nodes:Node.t list -> lans:Lan.t list -> unit
 (** Replace every node's routing table.  Nodes attached to a LAN get a
     [Direct] entry; others get [Via] the first-hop router toward the
     nearest router attached to that LAN.  Unreachable prefixes get no
-    entry.  Deterministic: ties break on node name. *)
+    entry.  Deterministic: ties break on node name.  Equivalent to
+    [compute_graph (build ~nodes ~lans)]. *)
+
+val compute_graph : graph -> unit
+(** [compute] on an already-built graph. *)
 
 val path_length : nodes:Node.t list -> src:Node.t -> dst_lan:Lan.t -> int option
 (** Number of LAN hops from [src] to the nearest router attached to
     [dst_lan] (plus one for final LAN delivery when [src] is not attached),
     computed on the same graph as [compute] — used by experiments to
-    report ideal path lengths. *)
+    report ideal path lengths.  Builds a throwaway graph per call; batch
+    queries should go through {!graph_of_nodes} and {!path_length_graph}. *)
+
+val graph_of_nodes : Node.t list -> graph
+(** The graph over every LAN any of [nodes] is attached to — the graph
+    {!path_length} builds internally, exposed so repeated path queries can
+    share one build. *)
+
+val path_length_graph : graph -> src:Node.t -> dst_lan:Lan.t -> int option
+(** {!path_length} against a prebuilt graph. *)

@@ -4,9 +4,18 @@ type t = {
   mac_alloc : Mac.Alloc.t;
   rng : Netsim.Rng.t;
   icmp_quote : Node.icmp_quote;
-  mutable lan_list : Lan.t list;  (* in creation order *)
-  mutable node_list : Node.t list;
+  (* Registration keeps a name-indexed hashtable (O(1) duplicate check and
+     lookup) plus a newest-first list per kind; the creation-order views
+     the accessors return are rebuilt lazily, so N registrations cost O(N)
+     total instead of the O(N^2) of list appends with linear scans. *)
+  lan_index : (string, Lan.t) Hashtbl.t;
+  node_index : (string, Node.t) Hashtbl.t;
+  mutable lans_rev : Lan.t list;
+  mutable nodes_rev : Node.t list;
+  mutable lan_list : Lan.t list option;  (* in creation order *)
+  mutable node_list : Node.t list option;
   mutable node_added_hooks : (Node.t -> unit) list;
+  mutable reg_ops : int;
 }
 
 let create ?(seed = 42) ?(trace_capacity = 65536)
@@ -17,32 +26,46 @@ let create ?(seed = 42) ?(trace_capacity = 65536)
     mac_alloc = Mac.Alloc.create ();
     rng = Netsim.Rng.split (Netsim.Engine.rng engine);
     icmp_quote;
-    lan_list = [];
-    node_list = [];
-    node_added_hooks = [] }
+    lan_index = Hashtbl.create 64;
+    node_index = Hashtbl.create 64;
+    lans_rev = [];
+    nodes_rev = [];
+    lan_list = None;
+    node_list = None;
+    node_added_hooks = [];
+    reg_ops = 0 }
 
 let engine t = t.engine
 let trace t = t.tr
 let rng t = t.rng
 
-let add_lan t ?latency ?bandwidth_bps ?loss ?mtu ~net name =
-  if List.exists (fun l -> String.equal (Lan.name l) name) t.lan_list then
+let registration_ops t = t.reg_ops
+
+let add_lan t ?latency ?bandwidth_bps ?loss ?mtu ?(prefix_len = 24) ~net
+    name =
+  t.reg_ops <- t.reg_ops + 1;
+  if Hashtbl.mem t.lan_index name then
     invalid_arg ("Topology.add_lan: duplicate name " ^ name);
   let lan =
     Lan.create ~engine:t.engine ~name ?latency ?bandwidth_bps ?loss ?mtu
-      ~rng:(Netsim.Rng.split t.rng) (Ipv4.Addr.net net)
+      ~rng:(Netsim.Rng.split t.rng) (Ipv4.Addr.net_len net prefix_len)
   in
-  t.lan_list <- t.lan_list @ [lan];
+  Hashtbl.replace t.lan_index name lan;
+  t.lans_rev <- lan :: t.lans_rev;
+  t.lan_list <- None;
   lan
 
 let add_node t ~router name =
-  if List.exists (fun n -> String.equal (Node.name n) name) t.node_list
-  then invalid_arg ("Topology: duplicate node name " ^ name);
+  t.reg_ops <- t.reg_ops + 1;
+  if Hashtbl.mem t.node_index name then
+    invalid_arg ("Topology: duplicate node name " ^ name);
   let node =
     Node.create ~engine:t.engine ~mac_alloc:t.mac_alloc ~trace:t.tr ~router
       ~icmp_quote:t.icmp_quote name
   in
-  t.node_list <- t.node_list @ [node];
+  Hashtbl.replace t.node_index name node;
+  t.nodes_rev <- node :: t.nodes_rev;
+  t.node_list <- None;
   List.iter (fun f -> f node) t.node_added_hooks;
   node
 
@@ -62,17 +85,34 @@ let add_host t ?(router = false) name lan host_id =
   node
 
 let node t name =
-  List.find (fun n -> String.equal (Node.name n) name) t.node_list
+  match Hashtbl.find_opt t.node_index name with
+  | Some n -> n
+  | None -> raise Not_found
 
 let on_node_added t f = t.node_added_hooks <- f :: t.node_added_hooks
 
 let lan t name =
-  List.find (fun l -> String.equal (Lan.name l) name) t.lan_list
+  match Hashtbl.find_opt t.lan_index name with
+  | Some l -> l
+  | None -> raise Not_found
 
-let nodes t = t.node_list
-let lans t = t.lan_list
+let nodes t =
+  match t.node_list with
+  | Some ns -> ns
+  | None ->
+    let ns = List.rev t.nodes_rev in
+    t.node_list <- Some ns;
+    ns
 
-let compute_routes t = Routing.compute ~nodes:t.node_list ~lans:t.lan_list
+let lans t =
+  match t.lan_list with
+  | Some ls -> ls
+  | None ->
+    let ls = List.rev t.lans_rev in
+    t.lan_list <- Some ls;
+    ls
+
+let compute_routes t = Routing.compute ~nodes:(nodes t) ~lans:(lans t)
 
 let move_host t node new_lan =
   ignore t;
@@ -88,7 +128,7 @@ let run ?until t = Netsim.Engine.run ?until t.engine
 let now t = Netsim.Engine.now t.engine
 
 let total_frames t =
-  List.fold_left (fun acc l -> acc + Lan.frames_sent l) 0 t.lan_list
+  List.fold_left (fun acc l -> acc + Lan.frames_sent l) 0 (lans t)
 
 let total_bytes t =
-  List.fold_left (fun acc l -> acc + Lan.bytes_sent l) 0 t.lan_list
+  List.fold_left (fun acc l -> acc + Lan.bytes_sent l) 0 (lans t)

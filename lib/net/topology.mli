@@ -22,8 +22,12 @@ val rng : t -> Netsim.Rng.t
 
 val add_lan :
   t -> ?latency:Netsim.Time.t -> ?bandwidth_bps:int -> ?loss:float ->
-  ?mtu:int -> net:int -> string -> Lan.t
-(** A LAN whose prefix is {!Ipv4.Addr.net}[ net]. *)
+  ?mtu:int -> ?prefix_len:int -> net:int -> string -> Lan.t
+(** A LAN whose prefix is {!Ipv4.Addr.net_len}[ net prefix_len]
+    (default prefix length 24, i.e. {!Ipv4.Addr.net}[ net]).  Pass a
+    shorter [prefix_len] — on a base clear of the /24 plan — for
+    segments that must address hundreds of stations, like the backbone
+    of the 256-campus experiment. *)
 
 val add_router : t -> string -> (Lan.t * int) list -> Node.t
 (** [add_router t name [(lan, host_id); ...]] — a router with one
@@ -43,6 +47,12 @@ val on_node_added : t -> (Node.t -> unit) -> unit
 val lan : t -> string -> Lan.t
 val nodes : t -> Node.t list
 val lans : t -> Lan.t list
+
+val registration_ops : t -> int
+(** Elementary operations spent registering LANs and nodes so far: one per
+    [add_lan]/[add_node] name probe.  Regression tests assert this stays
+    linear in the number of registrations (wall-clock budgets are flaky in
+    CI; this counter is deterministic). *)
 
 val compute_routes : t -> unit
 (** Run {!Routing.compute} over the current topology. *)

@@ -100,12 +100,22 @@ type campus = {
   c_senders : Agent.t array;
 }
 
-let campuses ?(config = Mhrp.Config.default) ?(seed = 42) ~campuses
-    ~mobiles_per_campus ~correspondents () =
+(* The backbone is the one segment whose station count grows with the
+   campus count: its /24 tops out around 240 routers.  Large-scale
+   experiments pass [backbone_prefix_len] < 24, which moves the backbone
+   to the 10.255.0.0 base — clear of the /24 plan used for homes and
+   cells — and widens its host field. *)
+let add_backbone topo ~prefix_len =
+  if prefix_len = 24 then Topology.add_lan topo ~net:0 "backbone"
+  else Topology.add_lan topo ~net:0xFF00 ~prefix_len "backbone"
+
+let campuses ?(config = Mhrp.Config.default) ?(seed = 42)
+    ?(backbone_prefix_len = 24) ~campuses ~mobiles_per_campus
+    ~correspondents () =
   if campuses <= 0 || mobiles_per_campus < 0 || correspondents < 0 then
     invalid_arg "Topo_gen.campuses";
   let topo = Topology.create ~seed () in
-  let backbone = Topology.add_lan topo ~net:0 "backbone" in
+  let backbone = add_backbone topo ~prefix_len:backbone_prefix_len in
   let homes =
     Array.init campuses (fun i ->
         Topology.add_lan topo ~net:(1 + (2 * i))
@@ -180,12 +190,13 @@ type campus_plain = {
   cp_senders : Node.t array;
 }
 
-let campuses_plain ?(seed = 42) ~campuses ~mobiles_per_campus
-    ~correspondents () =
+let campuses_plain ?(seed = 42) ?(backbone_prefix_len = 24)
+    ?(compute_routes = true) ~campuses ~mobiles_per_campus ~correspondents
+    () =
   if campuses <= 0 || mobiles_per_campus < 0 || correspondents < 0 then
     invalid_arg "Topo_gen.campuses_plain";
   let topo = Topology.create ~seed () in
-  let backbone = Topology.add_lan topo ~net:0 "backbone" in
+  let backbone = add_backbone topo ~prefix_len:backbone_prefix_len in
   let homes =
     Array.init campuses (fun i ->
         Topology.add_lan topo ~net:(1 + (2 * i))
@@ -216,7 +227,7 @@ let campuses_plain ?(seed = 42) ~campuses ~mobiles_per_campus
         Topology.add_host topo (Printf.sprintf "S%d" k) homes.(c)
           (100 + (k / campuses)))
   in
-  Topology.compute_routes topo;
+  if compute_routes then Topology.compute_routes topo;
   { cp_topo = topo; cp_backbone = backbone; cp_routers = routers;
     cp_cells = cells; cp_homes = homes; cp_mobiles = mobiles;
     cp_senders = senders }

@@ -72,8 +72,12 @@ type campus = {
 }
 
 val campuses :
-  ?config:Mhrp.Config.t -> ?seed:int -> campuses:int ->
-  mobiles_per_campus:int -> correspondents:int -> unit -> campus
+  ?config:Mhrp.Config.t -> ?seed:int -> ?backbone_prefix_len:int ->
+  campuses:int -> mobiles_per_campus:int -> correspondents:int -> unit ->
+  campus
+(** [backbone_prefix_len] (default 24) widens the backbone's host field;
+    pass 16 for internetworks beyond ~240 campuses, whose routers would
+    overflow a /24 backbone. *)
 
 (** The campus topology without MHRP agents, for the baseline protocols:
     [cp_routers].(i) connects the backbone, [cp_homes].(i) and
@@ -89,8 +93,13 @@ type campus_plain = {
 }
 
 val campuses_plain :
-  ?seed:int -> campuses:int -> mobiles_per_campus:int ->
-  correspondents:int -> unit -> campus_plain
+  ?seed:int -> ?backbone_prefix_len:int -> ?compute_routes:bool ->
+  campuses:int -> mobiles_per_campus:int -> correspondents:int -> unit ->
+  campus_plain
+(** [backbone_prefix_len] as in {!campuses}.  [compute_routes] (default
+    true) may be disabled by callers that only need the wired topology —
+    construction-cost benchmarks, or experiments that add nodes before
+    the one route computation. *)
 
 (** A chain of [n] routers r0 - r1 - ... - r(n-1), each with a stub LAN,
     used to build long tunnels and cache-agent loops. *)

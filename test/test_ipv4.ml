@@ -95,7 +95,35 @@ let checksum_tests =
          (fun s ->
             let buf = Bytes.of_string s in
             Ipv4.Checksum.set buf ~at:0 ~off:0 ~len:(Bytes.length buf);
-            Ipv4.Checksum.valid buf)) ]
+            Ipv4.Checksum.valid buf));
+    Alcotest.test_case "odd length pads the final byte with zero" `Quick
+      (fun () ->
+         (* the RFC 1071 virtual trailing zero byte: an odd buffer and
+            its explicitly zero-padded twin must checksum identically *)
+         let odd = Bytes.of_string "\x12\x34\x56\x78\x9a" in
+         let padded = Bytes.of_string "\x12\x34\x56\x78\x9a\x00" in
+         check Alcotest.int "same sum" (Ipv4.Checksum.of_bytes padded)
+           (Ipv4.Checksum.of_bytes odd));
+    Alcotest.test_case "set/valid round-trip at alignments 0-3" `Quick
+      (fun () ->
+         (* the word loop must not assume the region starts on an even
+            index: slide an 11-byte (odd) and a 12-byte (even) region
+            across offsets 0..3 *)
+         List.iter
+           (fun off ->
+              List.iter
+                (fun len ->
+                   let buf = Bytes.create (off + len + 2) in
+                   Bytes.iteri
+                     (fun i _ ->
+                        Bytes.set buf i (Char.chr ((i * 37 + 11) land 0xFF)))
+                     buf;
+                   Ipv4.Checksum.set buf ~at:off ~off ~len;
+                   check Alcotest.bool
+                     (Printf.sprintf "valid off=%d len=%d" off len) true
+                     (Ipv4.Checksum.valid ~off ~len buf))
+                [10; 11; 12; 13])
+           [0; 1; 2; 3]) ]
 
 (* --- IP options (LSRR) --- *)
 

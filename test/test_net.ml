@@ -150,7 +150,38 @@ let lan_tests =
               (try
                  Lan.attach lan (Mac.of_int 1) (fun _ -> ());
                  false
-               with Invalid_argument _ -> true))) ]
+               with Invalid_argument _ -> true)));
+    Alcotest.test_case "stations list tracks attach and detach" `Quick
+      (fun () ->
+         (* The sorted station list is cached; every mutation must
+            invalidate it. *)
+         with_lan (fun _ lan ->
+             List.iter
+               (fun i -> Lan.attach lan (Mac.of_int i) (fun _ -> ()))
+               [3; 1; 2];
+             check (Alcotest.list mac_testable) "sorted"
+               (List.map Mac.of_int [1; 2; 3]) (Lan.stations lan);
+             Lan.detach lan (Mac.of_int 2);
+             check (Alcotest.list mac_testable) "after detach"
+               (List.map Mac.of_int [1; 3]) (Lan.stations lan);
+             Lan.attach lan (Mac.of_int 2) (fun _ -> ());
+             check (Alcotest.list mac_testable) "after reattach"
+               (List.map Mac.of_int [1; 2; 3]) (Lan.stations lan)));
+    Alcotest.test_case "monitors fire in registration order" `Quick
+      (fun () ->
+         with_lan (fun engine lan ->
+             let order = ref [] in
+             Lan.attach lan (Mac.of_int 1) (fun _ -> ());
+             Lan.attach lan (Mac.of_int 2) (fun _ -> ());
+             List.iter
+               (fun i -> Lan.add_monitor lan (fun _ -> order := i :: !order))
+               [1; 2; 3];
+             Lan.send lan
+               (Net.Frame.ip ~src:(Mac.of_int 1) ~dst:(Mac.of_int 2)
+                  (Bytes.create 4));
+             Netsim.Engine.run engine;
+             check (Alcotest.list Alcotest.int) "registration order"
+               [1; 2; 3] (List.rev !order))) ]
 
 (* --- Route --- *)
 
@@ -186,7 +217,65 @@ let route_tests =
            (Route.lookup t (Addr.host 1 7) = Some (Route.Direct 0)));
     Alcotest.test_case "empty table finds nothing" `Quick (fun () ->
         check Alcotest.bool "none" true
-          (Route.lookup Route.empty (Addr.host 1 1) = None)) ]
+          (Route.lookup Route.empty (Addr.host 1 1) = None));
+    Alcotest.test_case "bulk matches fold of add" `Quick (fun () ->
+        (* Includes a duplicate prefix: the later binding must win and
+           occupy the position the replacing [add] would have given it. *)
+        let p32 a = Addr.Prefix.make a 32 in
+        let pairs =
+          [ (Addr.Prefix.make Addr.zero 0, Route.Via (Addr.host 0 1));
+            (Addr.net 5, Route.Via (Addr.host 0 2));
+            (p32 (Addr.host 5 9), Route.Direct 0);
+            (Addr.net 7, Route.Via (Addr.host 0 3));
+            (Addr.net 5, Route.Via (Addr.host 0 9));  (* replaces *)
+            (p32 (Addr.host 7 1), Route.Via (Addr.host 0 4)) ]
+        in
+        let folded =
+          List.fold_left
+            (fun t (p, tg) -> Route.add t p tg)
+            Route.empty pairs
+        in
+        let bulked = Route.bulk pairs in
+        check Alcotest.int "same size" (Route.size folded)
+          (Route.size bulked);
+        List.iter2
+          (fun (a : Route.entry) (b : Route.entry) ->
+             check Alcotest.bool "same prefix" true
+               (Addr.Prefix.equal a.Route.prefix b.Route.prefix);
+             check Alcotest.bool "same target" true
+               (a.Route.target = b.Route.target))
+          (Route.entries folded) (Route.entries bulked));
+    Alcotest.test_case "compiled lookup agrees across host-route churn"
+      `Quick (fun () ->
+         (* Many /32 routes exercise the hash fast path; net routes and the
+            default exercise the prefix-scan fallback.  Tables are
+            persistent, so a derived table must not see a stale compiled
+            form and the original must keep answering as before. *)
+         let t =
+           Route.add_default Route.empty (Route.Via (Addr.host 0 1))
+         in
+         let t = Route.add t (Addr.net 3) (Route.Direct 1) in
+         let t =
+           List.fold_left
+             (fun t k ->
+                Route.add_host t (Addr.host 3 k) (Route.Via (Addr.host 0 k)))
+             t
+             (List.init 100 (fun k -> k + 1))
+         in
+         check Alcotest.bool "host hit" true
+           (Route.lookup t (Addr.host 3 42)
+            = Some (Route.Via (Addr.host 0 42)));
+         check Alcotest.bool "net fallback" true
+           (Route.lookup t (Addr.host 3 200) = Some (Route.Direct 1));
+         check Alcotest.bool "default fallback" true
+           (Route.lookup t (Addr.host 9 9)
+            = Some (Route.Via (Addr.host 0 1)));
+         let t' = Route.remove_host t (Addr.host 3 42) in
+         check Alcotest.bool "removed falls to net" true
+           (Route.lookup t' (Addr.host 3 42) = Some (Route.Direct 1));
+         check Alcotest.bool "original unchanged" true
+           (Route.lookup t (Addr.host 3 42)
+            = Some (Route.Via (Addr.host 0 42)))) ]
 
 (* --- Node + Topology integration --- *)
 
@@ -525,9 +614,93 @@ let routing_tests =
           check Alcotest.string "back home" "l1" (Lan.name lan);
           check (Alcotest.option addr_testable) "home addr restored"
             (Some home) addr
-        | _ -> Alcotest.fail "expected one interface") ]
+        | _ -> Alcotest.fail "expected one interface");
+    Alcotest.test_case "prebuilt graph answers like one-shot queries"
+      `Quick (fun () ->
+         let topo = Topology.create () in
+         let l1 = Topology.add_lan topo ~net:1 "l1" in
+         let l2 = Topology.add_lan topo ~net:2 "l2" in
+         let l3 = Topology.add_lan topo ~net:3 "l3" in
+         let _r1 = Topology.add_router topo "r1" [(l1, 1); (l2, 1)] in
+         let _r2 = Topology.add_router topo "r2" [(l2, 2); (l3, 1)] in
+         let a = Topology.add_host topo "a" l1 10 in
+         let nodes = Topology.nodes topo in
+         let g = Net.Routing.graph_of_nodes nodes in
+         List.iter
+           (fun dst_lan ->
+              check (Alcotest.option Alcotest.int) (Lan.name dst_lan)
+                (Net.Routing.path_length ~nodes ~src:a ~dst_lan)
+                (Net.Routing.path_length_graph g ~src:a ~dst_lan))
+           [l1; l2; l3]);
+    Alcotest.test_case "compute_graph fills the same tables as compute"
+      `Quick (fun () ->
+         let build () =
+           let topo = Topology.create () in
+           let l1 = Topology.add_lan topo ~net:1 "l1" in
+           let l2 = Topology.add_lan topo ~net:2 "l2" in
+           let l3 = Topology.add_lan topo ~net:3 "l3" in
+           let _ = Topology.add_router topo "r1" [(l1, 1); (l2, 1)] in
+           let _ = Topology.add_router topo "r2" [(l2, 2); (l3, 1)] in
+           let _ = Topology.add_host topo "a" l1 10 in
+           topo
+         in
+         let t1 = build () and t2 = build () in
+         Topology.compute_routes t1;  (* Routing.compute *)
+         Net.Routing.compute_graph
+           (Net.Routing.build ~nodes:(Topology.nodes t2)
+              ~lans:(Topology.lans t2));
+         List.iter2
+           (fun n1 n2 ->
+              let e1 = Route.entries (Node.routes n1)
+              and e2 = Route.entries (Node.routes n2) in
+              check Alcotest.int (Node.name n1 ^ " size")
+                (List.length e1) (List.length e2);
+              List.iter2
+                (fun (a : Route.entry) (b : Route.entry) ->
+                   check Alcotest.bool "entry" true
+                     (Addr.Prefix.equal a.Route.prefix b.Route.prefix
+                      && a.Route.target = b.Route.target))
+                e1 e2)
+           (Topology.nodes t1) (Topology.nodes t2)) ]
+
+(* --- Topology registration cost --- *)
+
+let topology_tests =
+  [ Alcotest.test_case "1000 registrations cost O(1) each" `Quick
+      (fun () ->
+         (* Regression guard for the list-append registration path: the
+            operation counter must grow by exactly one per add (hashtable
+            probe + cons), not by a list-length scan.  Counting ops keeps
+            the test deterministic where a wall-clock budget would flake
+            in CI. *)
+         let topo = Topology.create () in
+         let bb = Topology.add_lan topo ~net:0xFF00 ~prefix_len:16 "bb" in
+         for i = 1 to 1000 do
+           ignore (Topology.add_host topo ("h" ^ string_of_int i) bb i)
+         done;
+         check Alcotest.int "one op per registration" 1001
+           (Topology.registration_ops topo);
+         check Alcotest.int "all registered" 1000
+           (List.length (Topology.nodes topo));
+         (* creation-order accessor and name index agree *)
+         check Alcotest.string "creation order" "h1"
+           (Node.name (List.nth (Topology.nodes topo) 0));
+         check Alcotest.string "index lookup" "h500"
+           (Node.name (Topology.node topo "h500")));
+    Alcotest.test_case "wide backbone prefix addresses 1000 hosts" `Quick
+      (fun () ->
+         let topo = Topology.create () in
+         let bb = Topology.add_lan topo ~net:0xFF00 ~prefix_len:16 "bb" in
+         let h = Topology.add_host topo "h" bb 999 in
+         check Alcotest.bool "host id above /24 range" true
+           (Ipv4.Addr.Prefix.mem (Node.primary_addr h) (Lan.prefix bb));
+         check Alcotest.bool "duplicate name rejected" true
+           (try
+              ignore (Topology.add_host topo "h" bb 1);
+              false
+            with Invalid_argument _ -> true)) ]
 
 let suite =
   [ ("mac", mac_tests); ("arp-frame", arp_tests); ("lan", lan_tests);
     ("route", route_tests); ("node", node_tests);
-    ("routing", routing_tests) ]
+    ("routing", routing_tests); ("topology", topology_tests) ]
