@@ -30,6 +30,7 @@ let experiments =
     ("E14", Exp_fragmentation.run);
     ("E15", Exp_security.run);
     ("E16", Exp_scale.run);
+    ("E17", Exp_faults.run);
     ("A", Exp_ablations.run);
     ("micro", Micro.run) ]
 

@@ -1,23 +1,53 @@
 type verdict = Fresh | Stale_timestamp | Replayed_nonce
 
+(* A nonce must stay recorded for as long as a message carrying it could
+   still pass the timestamp check: evicting by insertion count (the old
+   FIFO scheme) let an attacker flush a captured message's nonce with
+   [capacity] fresh messages and replay it inside the window.  Eviction is
+   therefore time-based: a nonce leaves the table only once every
+   timestamp that could accompany it is stale.  A nonce with timestamp
+   [ts] is judged against [now] with |now - ts| <= window, so it is
+   finally dead once [now > ts + 2*window] (a receiver clock at
+   [ts + window] still accepted it; one window later nothing can). *)
 type t = {
   window : Netsim.Time.t;
-  capacity : int;
-  seen : (int64, unit) Hashtbl.t;
-  order : int64 Queue.t;
+  seen : (int64, Netsim.Time.t) Hashtbl.t;  (* nonce -> its timestamp *)
+  order : (int64 * Netsim.Time.t) Queue.t;  (* insertion order *)
 }
 
 let create ~window ~capacity =
   if capacity <= 0 then invalid_arg "Replay.create: capacity must be positive";
-  { window; capacity; seen = Hashtbl.create (2 * capacity); order = Queue.create () }
+  { window; seen = Hashtbl.create (2 * capacity); order = Queue.create () }
 
-let remember t nonce =
-  if Queue.length t.order >= t.capacity then
-    Hashtbl.remove t.seen (Queue.pop t.order);
-  Hashtbl.replace t.seen nonce ();
-  Queue.push nonce t.order
+(* Insertion order is not timestamp order (skew up to [window] either way
+   is legal), but live timestamps differ by at most 2*window, so draining
+   expired entries from the queue front keeps the table within a bounded
+   lag of the exact expiry set — and keeping a nonce slightly long can
+   only reject a replay, never a fresh message (nonces are unique). *)
+let expire t ~now =
+  let dead ts =
+    Netsim.Time.(now > ts)
+    && Netsim.Time.(
+         diff now ts > Netsim.Time.add t.window t.window)
+  in
+  let rec drain () =
+    match Queue.peek_opt t.order with
+    | Some (nonce, ts) when dead ts ->
+      ignore (Queue.pop t.order);
+      (* Replays re-record a nonce only via [remember]'s Hashtbl.replace,
+         never a second queue entry, so the table entry matches. *)
+      Hashtbl.remove t.seen nonce;
+      drain ()
+    | _ -> ()
+  in
+  drain ()
+
+let remember t ~timestamp nonce =
+  Hashtbl.replace t.seen nonce timestamp;
+  Queue.push (nonce, timestamp) t.order
 
 let check t ~now ~timestamp ~nonce =
+  expire t ~now;
   let skew =
     if Netsim.Time.(timestamp > now) then Netsim.Time.diff timestamp now
     else Netsim.Time.diff now timestamp
@@ -25,11 +55,13 @@ let check t ~now ~timestamp ~nonce =
   if Netsim.Time.(skew > t.window) then Stale_timestamp
   else if Hashtbl.mem t.seen nonce then Replayed_nonce
   else begin
-    (* Only fresh messages advance the window: a rejected message must
-       not be able to evict the nonces that make its replay detectable. *)
-    remember t nonce;
+    (* Only fresh messages are recorded: a rejected message must not be
+       able to perturb the state that makes its replay detectable. *)
+    remember t ~timestamp nonce;
     Fresh
   end
+
+let size t = Hashtbl.length t.seen
 
 let pp_verdict ppf = function
   | Fresh -> Format.pp_print_string ppf "fresh"

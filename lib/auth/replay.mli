@@ -1,22 +1,35 @@
-(** Replay protection: timestamp window + sliding seen-nonce window.
+(** Replay protection: timestamp window + time-bounded seen-nonce table.
 
     A message is fresh iff its timestamp is within [window] of the
-    receiver's clock {e and} its nonce has not been seen among the last
-    [capacity] accepted messages.  The timestamp window bounds how old a
-    captured message can be when replayed; the nonce window catches
-    replays inside that interval.  Only accepted (fresh) messages are
-    recorded, so an attacker cannot flush the window with garbage. *)
+    receiver's clock {e and} its nonce has not been seen on a previously
+    accepted message whose timestamp could still pass that check.  The
+    timestamp window bounds how old a captured message can be when
+    replayed; the nonce table catches replays inside that interval.
+
+    Nonces are evicted by {e time}, not by count: a recorded nonce leaves
+    the table only once [now] has advanced more than twice [window] past
+    its timestamp, at which point no clock skew allowed by the timestamp
+    check can make a replay of it acceptable.  (Count-based FIFO eviction
+    would let an attacker flush a captured message's nonce with a burst of
+    fresh messages and replay it while its timestamp is still valid.)
+    Only accepted (fresh) messages are recorded, so rejected garbage
+    cannot perturb the table either. *)
 
 type verdict = Fresh | Stale_timestamp | Replayed_nonce
 
 type t
 
 val create : window:Netsim.Time.t -> capacity:int -> t
-(** Raises [Invalid_argument] if [capacity <= 0]. *)
+(** [capacity] sizes the initial table; the live-nonce set itself is
+    bounded by the accepted-message rate over a [2*window] span, not by
+    [capacity].  Raises [Invalid_argument] if [capacity <= 0]. *)
 
 val check :
   t -> now:Netsim.Time.t -> timestamp:Netsim.Time.t -> nonce:int64 -> verdict
-(** Judge a message and, if [Fresh], record its nonce (evicting the
-    oldest recorded nonce when the window is full). *)
+(** Judge a message and, if [Fresh], record its nonce (dropping nonces
+    whose timestamps have aged beyond any replayable skew). *)
+
+val size : t -> int
+(** Nonces currently recorded. *)
 
 val pp_verdict : Format.formatter -> verdict -> unit

@@ -1,0 +1,24 @@
+type t = {
+  mutable ttl_expired : int;
+  mutable fault_losses : int;
+  mutable drops : int;
+}
+
+let watch topo =
+  let t = { ttl_expired = 0; fault_losses = 0; drops = 0 } in
+  let arm node =
+    Net.Node.on_drop node (fun _ reason _pkt ->
+        t.drops <- t.drops + 1;
+        if String.equal reason "ttl-expired" then
+          t.ttl_expired <- t.ttl_expired + 1
+        else if String.equal reason "fault-loss" then
+          t.fault_losses <- t.fault_losses + 1)
+  in
+  List.iter arm (Net.Topology.nodes topo);
+  Net.Topology.on_node_added topo arm;
+  t
+
+let ttl_expired t = t.ttl_expired
+let fault_losses t = t.fault_losses
+let drops t = t.drops
+let no_forwarding_loops t = t.ttl_expired = 0

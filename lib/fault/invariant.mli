@@ -1,0 +1,26 @@
+(** Campaign-wide invariant watcher.
+
+    Taps every node's drop stream (present and future nodes alike) and
+    counts the drops that matter to the fault experiments:
+
+    - ["ttl-expired"] drops witness a forwarding loop.  MHRP's routing
+      never loops — tunnels point at agents, agents deliver locally — so
+      a fault campaign must end with {!no_forwarding_loops} true no
+      matter what was injected.
+    - ["fault-loss"] drops are the injector's own doing and cross-check
+      {!Injector.control_losses}. *)
+
+type t
+
+val watch : Net.Topology.t -> t
+(** Install drop taps on all current nodes and subscribe to future
+    ones.  Install before running the workload. *)
+
+val ttl_expired : t -> int
+val fault_losses : t -> int
+
+val drops : t -> int
+(** All drops, any reason. *)
+
+val no_forwarding_loops : t -> bool
+(** [ttl_expired t = 0]. *)

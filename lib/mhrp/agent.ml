@@ -27,6 +27,7 @@ type t = {
   mutable registered_tap : Addr.t -> unit;
   mutable registration_tap : mobile:Addr.t -> foreign_agent:Addr.t -> unit;
   mutable icmp_error_tap : Ipv4.Icmp.t -> Packet.t option -> unit;
+  mutable ha_sync_ack_tap : peer:Addr.t -> mobile:Addr.t -> unit;
   mutable advert_timer : bool;
 }
 
@@ -45,6 +46,7 @@ let on_location_update t f = t.update_tap <- f
 let on_registered t f = t.registered_tap <- f
 let on_registration t f = t.registration_tap <- f
 let on_icmp_error t f = t.icmp_error_tap <- f
+let on_ha_sync_ack t f = t.ha_sync_ack_tap <- f
 
 let engine t = Node.engine t.node
 let now t = Engine.now (engine t)
@@ -188,6 +190,35 @@ let send_control t ~dst msg =
       (control_datagram t msg)
   in
   Node.send t.node pkt
+
+(* Ack + timeout + exponential-backoff retransmission for unicast control
+   exchanges ([Config.reliable_control]): without it a single lost
+   registration or connect notification strands the mobile host (the
+   implicit-disconnection watchdog only re-solicits from a settled phase,
+   never from mid-registration).  [still_pending] decides at each firing
+   whether the exchange is still live — an ack, a superseding exchange or
+   a phase change all cancel the loop without bookkeeping. *)
+let arm_control_retry t ~still_pending ~resend ~give_up =
+  if t.config.Config.reliable_control then begin
+    let rec arm ~delay ~retries_left =
+      ignore
+        (Engine.schedule_after (engine t) ~delay (fun () ->
+             if Node.is_up t.node && still_pending () then
+               if retries_left <= 0 then begin
+                 t.counters.Counters.retransmit_gave_up <-
+                   t.counters.Counters.retransmit_gave_up + 1;
+                 tracef t "ctrl-give-up" "control exchange abandoned";
+                 give_up ()
+               end
+               else begin
+                 resend ();
+                 arm ~delay:(Time.add delay delay)
+                   ~retries_left:(retries_left - 1)
+               end))
+    in
+    arm ~delay:t.config.Config.control_rto
+      ~retries_left:t.config.Config.control_retries
+  end
 
 (* --- cache-aware application sending (Sections 4.1, 6.2) --- *)
 
@@ -656,8 +687,22 @@ let complete_registration t mh ~foreign_agent =
   t.registered_tap foreign_agent
 
 let register_with_home_agent t mh ~foreign_agent =
-  send_control t ~dst:mh.Mobile_host.home_agent
-    (Control.Reg_request { mobile = mh.Mobile_host.home; foreign_agent })
+  let request () =
+    send_control t ~dst:mh.Mobile_host.home_agent
+      (Control.Reg_request { mobile = mh.Mobile_host.home; foreign_agent })
+  in
+  request ();
+  mh.Mobile_host.reg_seq <- mh.Mobile_host.reg_seq + 1;
+  let gen = mh.Mobile_host.reg_seq in
+  arm_control_retry t
+    ~still_pending:(fun () ->
+        (* the home agent's reply acks; a newer registration supersedes *)
+        mh.Mobile_host.reg_seq = gen && mh.Mobile_host.reg_acked < gen)
+    ~resend:(fun () ->
+        t.counters.Counters.reg_retransmissions <-
+          t.counters.Counters.reg_retransmissions + 1;
+        request ())
+    ~give_up:(fun () -> ())
 
 let connect_via_foreign_agent t mh fa_addr =
   mh.Mobile_host.phase <- Mobile_host.Registering fa_addr;
@@ -668,9 +713,27 @@ let connect_via_foreign_agent t mh fa_addr =
           (Net.Route.Direct i))
        (Net.Route.Via fa_addr));
   t.counters.Counters.fa_connects <- t.counters.Counters.fa_connects + 1;
-  send_control t ~dst:fa_addr
-    (Control.Fa_connect
-       { mobile = mh.Mobile_host.home; mac = Node.iface_mac t.node i })
+  let connect () =
+    send_control t ~dst:fa_addr
+      (Control.Fa_connect
+         { mobile = mh.Mobile_host.home; mac = Node.iface_mac t.node i })
+  in
+  connect ();
+  arm_control_retry t
+    ~still_pending:(fun () ->
+        (* the connect ack moves us to Registered; a further move changes
+           the foreign agent or the phase *)
+        match mh.Mobile_host.phase with
+        | Mobile_host.Registering fa -> Addr.equal fa fa_addr
+        | _ -> false)
+    ~resend:(fun () ->
+        t.counters.Counters.connect_retransmissions <-
+          t.counters.Counters.connect_retransmissions + 1;
+        connect ())
+    ~give_up:(fun () ->
+        (* fall back to agent discovery: the next advertisement (from
+           this or any other agent) restarts the connection attempt *)
+        mh.Mobile_host.phase <- Mobile_host.Searching)
 
 let connect_home t mh ha_addr =
   mh.Mobile_host.phase <- Mobile_host.Registering Addr.zero;
@@ -821,6 +884,9 @@ let mh_handle_reg_reply t ~mobile ~accepted =
   | Some mh when Addr.equal mobile mh.Mobile_host.home ->
     tracef t "registered" "home agent %s"
       (if accepted then "confirmed" else "refused");
+    (* the reply acknowledges every outstanding registration request,
+       stopping its retransmission loop *)
+    mh.Mobile_host.reg_acked <- mh.Mobile_host.reg_seq;
     ignore accepted
   | _ -> ()
 
@@ -861,9 +927,14 @@ let handle_control t (pkt : Packet.t) =
       | Control.Fa_disconnect { mobile; new_foreign_agent } ->
         fa_handle_disconnect t ~mobile ~new_foreign_agent
       | Control.Ha_sync { mobile; foreign_agent } ->
-        (* replica synchronisation: apply without replying or
-           re-propagating *)
-        register_mobile t ~mobile ~foreign_agent
+        (* replica synchronisation: apply without re-propagating; under a
+           reliable control plane, confirm so the originator can stop
+           retransmitting *)
+        register_mobile t ~mobile ~foreign_agent;
+        if t.config.Config.reliable_control then
+          send_control t ~dst:pkt.Packet.src (Control.Ha_sync_ack { mobile })
+      | Control.Ha_sync_ack { mobile } ->
+        t.ha_sync_ack_tap ~peer:pkt.Packet.src ~mobile
 
 (* --- ICMP handling --- *)
 
@@ -990,6 +1061,7 @@ let create ?(config = Config.default) ?(cache_agent = true)
       update_tap = (fun ~mobile:_ ~foreign_agent:_ -> ());
       registered_tap = (fun _ -> ());
       registration_tap = (fun ~mobile:_ ~foreign_agent:_ -> ());
+      ha_sync_ack_tap = (fun ~peer:_ ~mobile:_ -> ());
       icmp_error_tap = (fun _ _ -> ());
       advert_timer = false }
   in

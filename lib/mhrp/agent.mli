@@ -108,6 +108,12 @@ val on_icmp_error : t -> (Ipv4.Icmp.t -> Ipv4.Packet.t option -> unit) -> unit
 (** An ICMP error reached this node as original sender; the packet is the
     reconstructed offending packet when enough of it was quoted. *)
 
+val on_ha_sync_ack :
+  t -> (peer:Ipv4.Addr.t -> mobile:Ipv4.Addr.t -> unit) -> unit
+(** Home agent: a replica confirmed one of our [Ha_sync] messages
+    ([Config.reliable_control]).  {!Replication} stops retransmitting the
+    mirrored registration from this tap. *)
+
 (** {1 Authentication (RFC 2002-style extension, experiment E15)}
 
     With [Config.authenticate] on, every control message and location

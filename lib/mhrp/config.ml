@@ -17,6 +17,9 @@ type t = {
   authenticate : bool;
   auth_timestamp_window : Netsim.Time.t;
   auth_nonce_capacity : int;
+  reliable_control : bool;
+  control_rto : Netsim.Time.t;
+  control_retries : int;
 }
 
 let default =
@@ -33,4 +36,7 @@ let default =
     ha_persistent = true;
     authenticate = false;
     auth_timestamp_window = Netsim.Time.of_sec 2.0;
-    auth_nonce_capacity = 64 }
+    auth_nonce_capacity = 64;
+    reliable_control = false;
+    control_rto = Netsim.Time.of_ms 300;
+    control_retries = 5 }

@@ -57,6 +57,16 @@ type t = {
       be when replayed. *)
   auth_nonce_capacity : int;
   (** Per-association sliding window of recently accepted nonces. *)
+  reliable_control : bool;
+  (** Acknowledge and retransmit unicast control messages (registration
+      requests, foreign-agent connects, home-agent syncs).  Without this,
+      a single lost registration strands the mobile host until the next
+      advertisement cycle — or forever, if the loss repeats. *)
+  control_rto : Netsim.Time.t;
+  (** Initial control retransmission timeout; doubles per retry
+      (exponential backoff). *)
+  control_retries : int;
+  (** Retransmissions before giving up on a control exchange. *)
 }
 
 val default : t
@@ -64,4 +74,5 @@ val default : t
     10 s advertisements with a 30 s lifetime, forwarding pointers on,
     discard on loop, no visitor verification, 3 gratuitous ARPs,
     persistent home agent; authentication off (2 s timestamp window and a
-    64-nonce replay window when enabled). *)
+    64-nonce replay window when enabled); unreliable control plane (300 ms
+    initial RTO and 5 retries when [reliable_control] is enabled). *)

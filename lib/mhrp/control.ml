@@ -7,6 +7,7 @@ type t =
   | Fa_connect_ack of { mobile : Ipv4.Addr.t }
   | Fa_disconnect of { mobile : Ipv4.Addr.t; new_foreign_agent : Ipv4.Addr.t }
   | Ha_sync of { mobile : Ipv4.Addr.t; foreign_agent : Ipv4.Addr.t }
+  | Ha_sync_ack of { mobile : Ipv4.Addr.t }
 
 let put_u8 buf i v = Bytes.set buf i (Char.chr (v land 0xFF))
 
@@ -73,6 +74,11 @@ let encode = function
     put_addr buf 1 mobile;
     put_addr buf 5 foreign_agent;
     buf
+  | Ha_sync_ack { mobile } ->
+    let buf = Bytes.make 5 '\000' in
+    put_u8 buf 0 7;
+    put_addr buf 1 mobile;
+    buf
 
 let decode buf =
   let n = Bytes.length buf in
@@ -96,6 +102,7 @@ let decode buf =
     | 6 when n >= 9 ->
       Some (Ha_sync { mobile = get_addr buf 1;
                       foreign_agent = get_addr buf 5 })
+    | 7 -> Some (Ha_sync_ack { mobile = get_addr buf 1 })
     | _ -> None
 
 let mobile = function
@@ -104,7 +111,8 @@ let mobile = function
   | Fa_connect { mobile; _ }
   | Fa_connect_ack { mobile }
   | Fa_disconnect { mobile; _ }
-  | Ha_sync { mobile; _ } -> mobile
+  | Ha_sync { mobile; _ }
+  | Ha_sync_ack { mobile } -> mobile
 
 let pp ppf = function
   | Reg_request { mobile; foreign_agent } ->
@@ -124,3 +132,5 @@ let pp ppf = function
   | Ha_sync { mobile; foreign_agent } ->
     Format.fprintf ppf "ha-sync mobile=%a fa=%a" Ipv4.Addr.pp mobile
       Ipv4.Addr.pp foreign_agent
+  | Ha_sync_ack { mobile } ->
+    Format.fprintf ppf "ha-sync-ack mobile=%a" Ipv4.Addr.pp mobile

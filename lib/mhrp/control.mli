@@ -26,6 +26,10 @@ type t =
       (** Home agent -> replica home agent: mirror a registration so the
           replicas "provide a consistent view of the database"
           (Section 2).  Never re-propagated. *)
+  | Ha_sync_ack of { mobile : Ipv4.Addr.t }
+      (** Replica -> originating home agent: confirm a mirrored
+          registration, enabling retransmission of lost syncs when the
+          control plane runs reliably ([Config.reliable_control]). *)
 
 val mobile : t -> Ipv4.Addr.t
 (** The mobile host the message is about — the key under which its

@@ -27,6 +27,15 @@ type t = {
           SPI mismatch or bad MAC. *)
   mutable replay_drop : int;
       (** Correctly MACed messages rejected as stale or replayed. *)
+  mutable reg_retransmissions : int;
+      (** Registration requests re-sent after an unacknowledged RTO
+          ([Config.reliable_control]). *)
+  mutable connect_retransmissions : int;
+      (** Foreign-agent connect notifications re-sent. *)
+  mutable sync_retransmissions : int;
+      (** Home-agent replica syncs re-sent. *)
+  mutable retransmit_gave_up : int;
+      (** Control exchanges abandoned after [Config.control_retries]. *)
 }
 
 val create : unit -> t

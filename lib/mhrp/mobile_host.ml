@@ -15,12 +15,15 @@ type t = {
   mutable registrations_completed : int;
   mutable last_advert : Netsim.Time.t;
   mutable implicit_disconnects : int;
+  mutable reg_seq : int;
+  mutable reg_acked : int;
 }
 
 let create ~home ~home_agent =
   { home; home_agent; phase = At_home; old_fa = None; own_fa_temp = None;
     moves = 0; registrations_completed = 0;
-    last_advert = Netsim.Time.zero; implicit_disconnects = 0 }
+    last_advert = Netsim.Time.zero; implicit_disconnects = 0;
+    reg_seq = 0; reg_acked = 0 }
 
 let current_fa t =
   match t.phase with

@@ -28,6 +28,12 @@ type t = {
       (** When the current agent (foreign or home) was last heard
           advertising — the Section 3 implicit-disconnection clock. *)
   mutable implicit_disconnects : int;
+  mutable reg_seq : int;
+      (** Generation number of the newest registration request sent
+          ([Config.reliable_control]): a retransmission loop stops once a
+          newer exchange supersedes it. *)
+  mutable reg_acked : int;
+      (** Highest generation confirmed by a registration reply. *)
 }
 
 val create : home:Ipv4.Addr.t -> home_agent:Ipv4.Addr.t -> t

@@ -2,29 +2,60 @@ type t = {
   capacity : int;
   min_interval : Netsim.Time.t;
   tbl : (Ipv4.Addr.t, Netsim.Time.t) Hashtbl.t;
+  (* Send-order queue backing O(1) eviction.  An allowed send pushes
+     (addr, at); a later send to the same address leaves the old queue
+     entry behind as a tombstone, recognized (and skipped) because its
+     timestamp no longer matches the table's. *)
+  order : (Ipv4.Addr.t * Netsim.Time.t) Queue.t;
   mutable n_allowed : int;
   mutable n_suppressed : int;
 }
 
 let create ~capacity ~min_interval =
   if capacity <= 0 then invalid_arg "Rate_limiter.create: capacity";
-  { capacity; min_interval; tbl = Hashtbl.create capacity; n_allowed = 0;
-    n_suppressed = 0 }
+  { capacity; min_interval; tbl = Hashtbl.create capacity;
+    order = Queue.create (); n_allowed = 0; n_suppressed = 0 }
 
+let live t addr at =
+  match Hashtbl.find_opt t.tbl addr with
+  | Some at' -> Netsim.Time.compare at at' = 0
+  | None -> false
+
+(* An entry older than [min_interval] suppresses nothing — any send to
+   that address would be allowed — so dropping it never changes an
+   [allow] verdict; it only keeps [size] an honest count of addresses
+   still inside their quiet period.  Aged entries and tombstones are
+   drained from the queue front; each queue slot is visited once over
+   its lifetime, so the scan is O(1) amortized. *)
+let purge t ~now =
+  let rec drain () =
+    match Queue.peek_opt t.order with
+    | Some (addr, at)
+      when not (live t addr at) ->
+      ignore (Queue.pop t.order);
+      drain ()
+    | Some (addr, at)
+      when Netsim.Time.(diff now at >= t.min_interval) ->
+      ignore (Queue.pop t.order);
+      Hashtbl.remove t.tbl addr;
+      drain ()
+    | _ -> ()
+  in
+  drain ()
+
+(* Only reached at capacity with every entry inside its quiet period, so
+   the queue front (minus tombstones) is the genuinely oldest sender. *)
 let evict_oldest t =
-  let victim = ref None in
-  Hashtbl.iter
-    (fun addr at ->
-       match !victim with
-       | None -> victim := Some (addr, at)
-       | Some (_, best) ->
-         if Netsim.Time.compare at best < 0 then victim := Some (addr, at))
-    t.tbl;
-  match !victim with
-  | None -> ()
-  | Some (addr, _) -> Hashtbl.remove t.tbl addr
+  let rec pop () =
+    match Queue.pop t.order with
+    | addr, at when live t addr at -> Hashtbl.remove t.tbl addr
+    | _ -> pop ()
+    | exception Queue.Empty -> ()
+  in
+  pop ()
 
 let allow t ~now addr =
+  purge t ~now;
   let ok =
     match Hashtbl.find_opt t.tbl addr with
     | None -> true
@@ -36,6 +67,7 @@ let allow t ~now addr =
        && Hashtbl.length t.tbl >= t.capacity
     then evict_oldest t;
     Hashtbl.replace t.tbl addr now;
+    Queue.push (addr, now) t.order;
     t.n_allowed <- t.n_allowed + 1
   end
   else t.n_suppressed <- t.n_suppressed + 1;

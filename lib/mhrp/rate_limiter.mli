@@ -19,4 +19,8 @@ val suppressed : t -> int
 (** Sends refused so far. *)
 
 val allowed : t -> int
+
 val size : t -> int
+(** Addresses still inside their quiet period: entries older than
+    [min_interval] (which can no longer suppress anything) are purged
+    lazily on each {!allow}, so this does not overstate active senders. *)

@@ -1,7 +1,55 @@
 type t = {
   agents : Agent.t list;
   mutable syncs : int;
+  (* Reliable control plane: one outstanding sync per (origin, peer,
+     mobile), tagged with a generation so a newer registration for the
+     same mobile host supersedes the retransmission loop of the old one. *)
+  pending : (Ipv4.Addr.t * Ipv4.Addr.t * Ipv4.Addr.t, int) Hashtbl.t;
+  mutable gen : int;
 }
+
+let sync_datagram a ~mobile ~foreign_agent ~peer =
+  Ipv4.Packet.make ~proto:Ipv4.Proto.udp ~src:(Agent.address a)
+    ~dst:(Agent.address peer)
+    (Agent.control_datagram a (Control.Ha_sync { mobile; foreign_agent }))
+
+let mirror t a peer ~mobile ~foreign_agent =
+  t.syncs <- t.syncs + 1;
+  (* mirror over the wire: replicas may sit anywhere on the
+     organisation's network *)
+  Net.Node.send (Agent.node a) (sync_datagram a ~mobile ~foreign_agent ~peer);
+  let config = Agent.config a in
+  if config.Config.reliable_control then begin
+    t.gen <- t.gen + 1;
+    let gen = t.gen in
+    let key = (Agent.address a, Agent.address peer, mobile) in
+    Hashtbl.replace t.pending key gen;
+    let node = Agent.node a in
+    let counters = Agent.counters a in
+    let engine = Net.Node.engine node in
+    let rec arm ~delay ~retries_left =
+      ignore
+        (Netsim.Engine.schedule_after engine ~delay (fun () ->
+             if Net.Node.is_up node
+                && Hashtbl.find_opt t.pending key = Some gen
+             then
+               if retries_left <= 0 then begin
+                 counters.Counters.retransmit_gave_up <-
+                   counters.Counters.retransmit_gave_up + 1;
+                 Hashtbl.remove t.pending key
+               end
+               else begin
+                 counters.Counters.sync_retransmissions <-
+                   counters.Counters.sync_retransmissions + 1;
+                 Net.Node.send node
+                   (sync_datagram a ~mobile ~foreign_agent ~peer);
+                 arm ~delay:(Netsim.Time.add delay delay)
+                   ~retries_left:(retries_left - 1)
+               end))
+    in
+    arm ~delay:config.Config.control_rto
+      ~retries_left:config.Config.control_retries
+  end
 
 let group agents =
   (match agents with
@@ -12,23 +60,16 @@ let group agents =
        if Agent.home_agent a = None then
          invalid_arg "Replication.group: member is not a home agent")
     agents;
-  let t = { agents; syncs = 0 } in
+  let t = { agents; syncs = 0; pending = Hashtbl.create 16; gen = 0 } in
   List.iter
     (fun a ->
        Agent.on_registration a (fun ~mobile ~foreign_agent ->
            List.iter
              (fun peer ->
-                if peer != a then begin
-                  t.syncs <- t.syncs + 1;
-                  (* mirror over the wire: replicas may sit anywhere on
-                     the organisation's network *)
-                  Net.Node.send (Agent.node a)
-                    (Ipv4.Packet.make ~proto:Ipv4.Proto.udp
-                       ~src:(Agent.address a) ~dst:(Agent.address peer)
-                       (Agent.control_datagram a
-                          (Control.Ha_sync { mobile; foreign_agent })))
-                end)
-             t.agents))
+                if peer != a then mirror t a peer ~mobile ~foreign_agent)
+             t.agents);
+       Agent.on_ha_sync_ack a (fun ~peer ~mobile ->
+           Hashtbl.remove t.pending (Agent.address a, peer, mobile)))
     agents;
   t
 

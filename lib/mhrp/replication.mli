@@ -27,7 +27,10 @@ val add_mobile : t -> Ipv4.Addr.t -> unit
 (** Serve a mobile host on every member. *)
 
 val sync_messages : t -> int
-(** Synchronisation messages sent so far. *)
+(** Synchronisation messages sent so far — originals only; with
+    [Config.reliable_control] each sync is also retransmitted with
+    exponential backoff until the replica's [Ha_sync_ack] arrives
+    (counted in the originator's [Counters.sync_retransmissions]). *)
 
 val consistent : t -> Ipv4.Addr.t -> bool
 (** All members agree on the mobile host's current location. *)

@@ -40,10 +40,13 @@ type t = {
   mutable rewrite_forward : t -> Ipv4.Packet.t -> forward_action;
   mutable arp_proxy : Ipv4.Addr.t -> bool;
   mutable reboot_hooks : (t -> unit) list;
-  mutable deliver_tap : t -> Ipv4.Packet.t -> unit;
-  mutable forward_tap : t -> Ipv4.Packet.t -> unit;
-  mutable transmit_tap : t -> Ipv4.Packet.t -> unit;
-  mutable drop_tap : t -> string -> Ipv4.Packet.t -> unit;
+  mutable deliver_taps : (t -> Ipv4.Packet.t -> unit) list;
+  mutable forward_taps : (t -> Ipv4.Packet.t -> unit) list;
+  mutable transmit_taps : (t -> Ipv4.Packet.t -> unit) list;
+  mutable drop_taps : (t -> string -> Ipv4.Packet.t -> unit) list;
+  (* Fault injection: when set, a [false] verdict loses the outgoing
+     packet (counted as a drop) just before it would reach the wire. *)
+  mutable fault_filter : (t -> Ipv4.Packet.t -> bool) option;
   mutable up : bool;
   mutable n_forwarded : int;
   mutable n_delivered : int;
@@ -75,10 +78,11 @@ let create ~engine ~mac_alloc ?trace ?(router = false) ?proc_delay
     rewrite_forward = (fun _ _ -> Forward);
     arp_proxy = (fun _ -> false);
     reboot_hooks = [];
-    deliver_tap = (fun _ _ -> ());
-    forward_tap = (fun _ _ -> ());
-    transmit_tap = (fun _ _ -> ());
-    drop_tap = (fun _ _ _ -> ());
+    deliver_taps = [];
+    forward_taps = [];
+    transmit_taps = [];
+    drop_taps = [];
+    fault_filter = None;
     up = true;
     n_forwarded = 0; n_delivered = 0; n_originated = 0; n_dropped = 0 }
 
@@ -148,10 +152,14 @@ let set_accept_ip t f = t.accept_ip <- f
 let set_rewrite_forward t f = t.rewrite_forward <- f
 let set_arp_proxy t f = t.arp_proxy <- f
 let on_reboot t f = t.reboot_hooks <- f :: t.reboot_hooks
-let on_deliver t f = t.deliver_tap <- f
-let on_forward t f = t.forward_tap <- f
-let on_transmit t f = t.transmit_tap <- f
-let on_drop t f = t.drop_tap <- f
+(* Taps multicast in registration order so a late observer (say, an
+   invariant checker) cannot silently displace an earlier one (say, the
+   workload metrics). *)
+let on_deliver t f = t.deliver_taps <- t.deliver_taps @ [f]
+let on_forward t f = t.forward_taps <- t.forward_taps @ [f]
+let on_transmit t f = t.transmit_taps <- t.transmit_taps @ [f]
+let on_drop t f = t.drop_taps <- t.drop_taps @ [f]
+let set_fault_filter t f = t.fault_filter <- f
 
 (* --- interface lookups --- *)
 
@@ -194,7 +202,7 @@ let iface_for_next_hop t next_hop =
 let drop t reason pkt =
   t.n_dropped <- t.n_dropped + 1;
   tracef t "drop" "%s: %a" reason Ipv4.Packet.pp pkt;
-  t.drop_tap t reason pkt
+  List.iter (fun f -> f t reason pkt) t.drop_taps
 
 (* --- ARP cache with entry aging --- *)
 
@@ -232,7 +240,7 @@ let rec frame_out t i ~dst_mac pkt =
       t.n_dropped <- t.n_dropped + 1;
       tracef t "drop" "needs fragmentation but DF set: %a" Ipv4.Packet.pp
         pkt;
-      t.drop_tap t "df-mtu" pkt;
+      List.iter (fun f -> f t "df-mtu" pkt) t.drop_taps;
       (* ICMP destination unreachable, "fragmentation needed and DF set"
          (type 3 code 4) *)
       if not (has_address t pkt.Ipv4.Packet.src) then
@@ -246,9 +254,14 @@ let rec frame_out t i ~dst_mac pkt =
         (fun fragment -> frame_out t i ~dst_mac fragment)
         (Ipv4.Packet.fragment pkt ~mtu)
   else begin
-    t.transmit_tap t pkt;
-    let frame = Frame.ip ~src:s.mac ~dst:dst_mac (Ipv4.Packet.encode pkt) in
-    Lan.send s.lan frame
+    match t.fault_filter with
+    | Some f when not (f t pkt) -> drop t "fault-loss" pkt
+    | _ ->
+      List.iter (fun f -> f t pkt) t.transmit_taps;
+      let frame =
+        Frame.ip ~src:s.mac ~dst:dst_mac (Ipv4.Packet.encode pkt)
+      in
+      Lan.send s.lan frame
   end
 
 and icmp_error t make_msg (offending : Ipv4.Packet.t) =
@@ -371,10 +384,13 @@ let broadcast_ip t ~iface:i pkt =
       match iface t i with
       | exception Invalid_argument _ -> drop t "iface-down" pkt
       | s ->
-        let frame =
-          Frame.ip ~src:s.mac ~dst:Mac.broadcast (Ipv4.Packet.encode pkt)
-        in
-        Lan.send s.lan frame)
+        (match t.fault_filter with
+         | Some f when not (f t pkt) -> drop t "fault-loss" pkt
+         | _ ->
+           let frame =
+             Frame.ip ~src:s.mac ~dst:Mac.broadcast (Ipv4.Packet.encode pkt)
+           in
+           Lan.send s.lan frame))
 
 let gratuitous_arp t ~iface:i ip =
   let s = iface t i in
@@ -490,12 +506,12 @@ and deliver_local_whole t (pkt : Ipv4.Packet.t) =
     tracef t "lsrr" "source-routing on to %a" Ipv4.Addr.pp
       pkt'.Ipv4.Packet.dst;
     t.n_forwarded <- t.n_forwarded + 1;
-    t.forward_tap t pkt';
+    List.iter (fun f -> f t pkt') t.forward_taps;
     forward_now t pkt'
   | None ->
     t.n_delivered <- t.n_delivered + 1;
     tracef t "rx" "%a" Ipv4.Packet.pp pkt;
-    t.deliver_tap t pkt;
+    List.iter (fun f -> f t pkt) t.deliver_taps;
     match Hashtbl.find_opt t.proto_handlers pkt.Ipv4.Packet.proto with
     | Some h -> h t pkt
     | None ->
@@ -518,12 +534,12 @@ let forward t (pkt : Ipv4.Packet.t) =
     | Replace pkt' ->
       t.n_forwarded <- t.n_forwarded + 1;
       tracef t "fwd" "rewritten: %a" Ipv4.Packet.pp pkt';
-      t.forward_tap t pkt';
+      List.iter (fun f -> f t pkt') t.forward_taps;
       forward_now t pkt'
     | Forward ->
       t.n_forwarded <- t.n_forwarded + 1;
       tracef t "fwd" "%a" Ipv4.Packet.pp pkt;
-      t.forward_tap t pkt;
+      List.iter (fun f -> f t pkt) t.forward_taps;
       forward_now t pkt
 
 let rx_ip t (pkt : Ipv4.Packet.t) =

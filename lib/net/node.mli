@@ -104,7 +104,10 @@ val on_reboot : t -> (t -> unit) -> unit
     agent forgetting its visitor list, Section 5.2). *)
 
 val on_deliver : t -> (t -> Ipv4.Packet.t -> unit) -> unit
-(** Metrics tap: every packet locally consumed. *)
+(** Metrics tap: every packet locally consumed.  All taps multicast:
+    each registration adds an observer (called in registration order)
+    rather than replacing the previous one, so workload metrics and
+    invariant checkers can watch the same node. *)
 
 val on_forward : t -> (t -> Ipv4.Packet.t -> unit) -> unit
 (** Metrics tap: every packet this node forwards (including rewritten and
@@ -116,6 +119,12 @@ val on_transmit : t -> (t -> Ipv4.Packet.t -> unit) -> unit
     alike.  Experiments count per-packet LAN traversals with it. *)
 
 val on_drop : t -> (t -> string -> Ipv4.Packet.t -> unit) -> unit
+
+val set_fault_filter : t -> (t -> Ipv4.Packet.t -> bool) option -> unit
+(** Fault injection hook, checked on every outgoing IP packet (unicast
+    and broadcast, after fragmentation).  A [false] verdict loses the
+    packet, counted as a ["fault-loss"] drop.  [None] (the default)
+    transmits everything. *)
 
 (** {1 Sending} *)
 

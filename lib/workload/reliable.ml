@@ -31,9 +31,20 @@ type t = {
   (* receiver state *)
   received : (int, bytes) Hashtbl.t;
   mutable delivered_prefix : int;  (* chunks received in order *)
+  (* IP identification counters, one per direction.  Reassembly keys
+     fragments by (src, id, proto): deriving the ID from the chunk (or
+     ack) number gave two distinct in-flight transmissions the same ID
+     whenever they shared a chunk number mod 0xFFFE — notably every
+     go-back-N retransmission — so their fragments could mis-reassemble.
+     Every transmission (retransmissions included) gets a fresh ID. *)
+  mutable sender_ip_id : int;
+  mutable receiver_ip_id : int;
 }
 
 let seq_of_chunk t k = k * t.chunk
+
+(* 16-bit wraparound, skipping 0 (the "no fragmentation context" ID). *)
+let next_ip_id cur = if cur >= 0xFFFF then 1 else cur + 1
 
 let chunk_data t k =
   let off = k * t.chunk in
@@ -46,9 +57,10 @@ let send_segment t k ~retransmit =
     Tcp.make ~seq:(seq_of_chunk t k) ~ack:0 ~flags:[Tcp.Psh] ~src_port:5001
       ~dst_port:5002 (chunk_data t k)
   in
+  t.sender_ip_id <- next_ip_id t.sender_ip_id;
   Mhrp.Agent.send t.sender
     (Packet.make
-       ~id:(1 + (k mod 0xFFFE))
+       ~id:t.sender_ip_id
        ~proto:Ipv4.Proto.tcp
        ~src:(Mhrp.Agent.address t.sender)
        ~dst:(Mhrp.Agent.address t.receiver)
@@ -103,9 +115,10 @@ let receiver_handle_data t (seg : Tcp.t) =
     Tcp.make ~seq:0 ~ack ~flags:[Tcp.Ack] ~src_port:5002 ~dst_port:5001
       Bytes.empty
   in
+  t.receiver_ip_id <- next_ip_id t.receiver_ip_id;
   Mhrp.Agent.send t.receiver
     (Packet.make
-       ~id:(1 + (t.delivered_prefix mod 0xFFFE))
+       ~id:t.receiver_ip_id
        ~proto:Ipv4.Proto.tcp
        ~src:(Mhrp.Agent.address t.receiver)
        ~dst:(Mhrp.Agent.address t.sender)
@@ -123,7 +136,8 @@ let start ?(chunk = 512) ?(window = 8) ?(rto = Time.of_ms 300) ~sender
       data;
       base = 0; next = 0; sent = 0; retransmissions = 0; acks = 0;
       completed_at = None; timer_armed = false;
-      received = Hashtbl.create 64; delivered_prefix = 0 }
+      received = Hashtbl.create 64; delivered_prefix = 0;
+      sender_ip_id = 0; receiver_ip_id = 0 }
   in
   Mhrp.Agent.on_app_receive receiver (fun pkt ->
       if pkt.Packet.proto = Ipv4.Proto.tcp then

@@ -159,15 +159,39 @@ let replay_tests =
           (Replay.check r ~now
              ~timestamp:(Time.add now (Time.add window (Time.of_us 1)))
              ~nonce:4L));
-    Alcotest.test_case "nonce window slides" `Quick (fun () ->
+    Alcotest.test_case "nonces age out by time, not by count" `Quick (fun () ->
+        let window = Time.of_sec 2.0 in
+        let r = Replay.create ~window ~capacity:2 in
+        let t0 = Time.of_sec 10.0 in
+        check verdict "recorded" Replay.Fresh
+          (Replay.check r ~now:t0 ~timestamp:t0 ~nonce:1L);
+        (* Caught while any in-window timestamp could still carry it... *)
+        let mid = Time.add t0 window in
+        check verdict "replay at ts+window" Replay.Replayed_nonce
+          (Replay.check r ~now:mid ~timestamp:mid ~nonce:1L);
+        (* ...dead once [now > ts + 2*window], and actually evicted. *)
+        let late =
+          Time.add t0 (Time.add (Time.add window window) (Time.of_us 1))
+        in
+        check verdict "fresh again after expiry" Replay.Fresh
+          (Replay.check r ~now:late ~timestamp:late ~nonce:1L);
+        check Alcotest.int "expired entry dropped" 1 (Replay.size r));
+    Alcotest.test_case "a fresh burst cannot flush a replayable nonce" `Quick
+      (fun () ->
+        (* Regression: FIFO eviction after [capacity] inserts let an
+           attacker flush a captured message's nonce with fresh traffic
+           and replay it while its timestamp was still inside the
+           window (the old code answered Fresh here). *)
         let r = Replay.create ~window:(Time.of_sec 60.0) ~capacity:2 in
         let now = Time.of_sec 10.0 in
         let chk = Replay.check r ~now ~timestamp:now in
-        check verdict "1" Replay.Fresh (chk ~nonce:1L);
-        check verdict "2" Replay.Fresh (chk ~nonce:2L);
-        check verdict "3 evicts 1" Replay.Fresh (chk ~nonce:3L);
-        check verdict "1 slid out" Replay.Fresh (chk ~nonce:1L);
-        check verdict "3 still seen" Replay.Replayed_nonce (chk ~nonce:3L));
+        check verdict "capture" Replay.Fresh (chk ~nonce:1L);
+        for k = 2 to 9 do
+          check verdict "burst" Replay.Fresh (chk ~nonce:(Int64.of_int k))
+        done;
+        check verdict "replay still caught" Replay.Replayed_nonce
+          (chk ~nonce:1L);
+        check Alcotest.int "all nonces live" 9 (Replay.size r));
     Alcotest.test_case "rejections leave no trace" `Quick (fun () ->
         let r = Replay.create ~window:(Time.of_sec 2.0) ~capacity:2 in
         let now = Time.of_sec 10.0 in

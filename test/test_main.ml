@@ -17,4 +17,5 @@ let () =
          Test_baselines_stale.suite;
          Test_edges.suite;
          Test_auth.suite;
+         Test_fault.suite;
          Test_obs.suite ])

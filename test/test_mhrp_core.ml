@@ -335,6 +335,44 @@ let cache_tests =
            (Mhrp.Location_cache.evictions c);
          check (Alcotest.option addr_testable) "updated" (Some (a 11))
            (Mhrp.Location_cache.peek c (a 1)));
+    Alcotest.test_case "capacity 1: overwrite is not an eviction" `Quick
+      (fun () ->
+         let c = Mhrp.Location_cache.create ~capacity:1 in
+         Mhrp.Location_cache.insert c ~mobile:(a 1) ~foreign_agent:(a 10);
+         Mhrp.Location_cache.insert c ~mobile:(a 1) ~foreign_agent:(a 11);
+         check Alcotest.int "same key overwritten in place" 0
+           (Mhrp.Location_cache.evictions c);
+         check (Alcotest.option addr_testable) "newest mapping" (Some (a 11))
+           (Mhrp.Location_cache.peek c (a 1));
+         Mhrp.Location_cache.insert c ~mobile:(a 2) ~foreign_agent:(a 20);
+         check Alcotest.int "new key evicts the only entry" 1
+           (Mhrp.Location_cache.evictions c);
+         check (Alcotest.option addr_testable) "old key gone" None
+           (Mhrp.Location_cache.peek c (a 1));
+         check Alcotest.int "still one entry" 1 (Mhrp.Location_cache.size c));
+    Alcotest.test_case "entries are ordered most recently used first" `Quick
+      (fun () ->
+         let c = Mhrp.Location_cache.create ~capacity:4 in
+         Mhrp.Location_cache.insert c ~mobile:(a 1) ~foreign_agent:(a 10);
+         Mhrp.Location_cache.insert c ~mobile:(a 2) ~foreign_agent:(a 20);
+         Mhrp.Location_cache.insert c ~mobile:(a 3) ~foreign_agent:(a 30);
+         check (Alcotest.list (Alcotest.pair addr_testable addr_testable))
+           "insertion order, newest first"
+           [(a 3, a 30); (a 2, a 20); (a 1, a 10)]
+           (Mhrp.Location_cache.entries c);
+         (* a find refreshes recency; a peek must not *)
+         ignore (Mhrp.Location_cache.find c (a 1));
+         ignore (Mhrp.Location_cache.peek c (a 2));
+         check (Alcotest.list (Alcotest.pair addr_testable addr_testable))
+           "find moves to front, peek does not"
+           [(a 1, a 10); (a 3, a 30); (a 2, a 20)]
+           (Mhrp.Location_cache.entries c);
+         (* re-insert of a warm key must not evict the colder ones *)
+         Mhrp.Location_cache.insert c ~mobile:(a 3) ~foreign_agent:(a 31);
+         check (Alcotest.list (Alcotest.pair addr_testable addr_testable))
+           "re-insert refreshes, everything retained"
+           [(a 3, a 31); (a 1, a 10); (a 2, a 20)]
+           (Mhrp.Location_cache.entries c));
     qtest
       (QCheck.Test.make ~name:"size never exceeds capacity" ~count:100
          QCheck.(list_of_size Gen.(int_range 0 100) (pair arb_addr arb_addr))
@@ -378,7 +416,41 @@ let rate_tests =
              sending, as the paper's LRU list does) *)
           check Alcotest.int "bounded" 2 (Mhrp.Rate_limiter.size r);
           check Alcotest.bool "aged out" true
-            (Mhrp.Rate_limiter.allow r ~now:(Netsim.Time.of_sec 2.0) (a 1))) ]
+            (Mhrp.Rate_limiter.allow r ~now:(Netsim.Time.of_sec 2.0) (a 1)));
+    Alcotest.test_case "eviction removes the oldest sender, not a refreshed one"
+      `Quick (fun () ->
+          let sec = Netsim.Time.of_sec in
+          let r =
+            Mhrp.Rate_limiter.create ~capacity:2
+              ~min_interval:(Netsim.Time.of_sec 10.0)
+          in
+          ignore (Mhrp.Rate_limiter.allow r ~now:(sec 1.0) (a 1));
+          ignore (Mhrp.Rate_limiter.allow r ~now:(sec 2.0) (a 2));
+          (* refresh a1 after its quiet period: a2 is now the oldest *)
+          check Alcotest.bool "a1 refreshed" true
+            (Mhrp.Rate_limiter.allow r ~now:(sec 11.5) (a 1));
+          ignore (Mhrp.Rate_limiter.allow r ~now:(sec 12.0) (a 3));
+          (* a3's insert at capacity must evict a2 (oldest), keeping the
+             refreshed a1 in its quiet period *)
+          check Alcotest.bool "a1 still limited" false
+            (Mhrp.Rate_limiter.allow r ~now:(sec 12.5) (a 1));
+          check Alcotest.bool "a2 was the victim" true
+            (Mhrp.Rate_limiter.allow r ~now:(sec 12.5) (a 2)));
+    Alcotest.test_case "aged entries are purged, size counts active senders"
+      `Quick (fun () ->
+          let sec = Netsim.Time.of_sec in
+          let r =
+            Mhrp.Rate_limiter.create ~capacity:8
+              ~min_interval:(Netsim.Time.of_sec 1.0)
+          in
+          for k = 1 to 5 do
+            ignore (Mhrp.Rate_limiter.allow r ~now:(sec 1.0) (a k))
+          done;
+          check Alcotest.int "all active" 5 (Mhrp.Rate_limiter.size r);
+          (* one send after the quiet period lapses drops the stale bulk *)
+          ignore (Mhrp.Rate_limiter.allow r ~now:(sec 3.0) (a 6));
+          check Alcotest.int "stale senders purged" 1
+            (Mhrp.Rate_limiter.size r)) ]
 
 (* --- Control codec --- *)
 

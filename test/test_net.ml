@@ -533,7 +533,26 @@ let node_tests =
          check Alcotest.bool "cache warm" true (Node.arp_cache_size b > 0);
          Node.reboot b;
          check Alcotest.bool "hook ran" true !rebooted;
-         check Alcotest.int "cache cold" 0 (Node.arp_cache_size b)) ]
+         check Alcotest.int "cache cold" 0 (Node.arp_cache_size b));
+    Alcotest.test_case "reboot keeps the routing table" `Quick (fun () ->
+        let topo = Topology.create () in
+        let l1 = Topology.add_lan topo ~net:1 "l1" in
+        let l2 = Topology.add_lan topo ~net:2 "l2" in
+        let r = Topology.add_router topo "r" [(l1, 1); (l2, 1)] in
+        let a = Topology.add_host topo "a" l1 10 in
+        let b = Topology.add_host topo "b" l2 10 in
+        Topology.compute_routes topo;
+        let before = Route.lookup (Node.routes r) (Node.primary_addr b) in
+        check Alcotest.bool "route exists" true (before <> None);
+        Node.reboot r;
+        check Alcotest.bool "route survives the reboot" true
+          (Route.lookup (Node.routes r) (Node.primary_addr b) = before);
+        (* and it still forwards: a's datagram crosses the rebooted router *)
+        let got = ref 0 in
+        Node.set_proto_handler b Ipv4.Proto.udp (fun _ _ -> incr got);
+        Node.send a (udp_to ~src:a ~dst_addr:(Node.primary_addr b) Bytes.empty);
+        Topology.run topo;
+        check Alcotest.int "forwarded after reboot" 1 !got) ]
 
 (* --- Routing computation --- *)
 

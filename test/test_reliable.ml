@@ -82,6 +82,49 @@ let reliable_tests =
          check Alcotest.bool "complete" true (Workload.Reliable.complete xfer);
          check Alcotest.bool "intact" true
            (Workload.Reliable.received_ok xfer));
+    Alcotest.test_case "fragmented transfer: fresh IP ID per transmission"
+      `Quick (fun () ->
+          (* Chunks larger than the 1500-byte MTU fragment on every hop, so
+             reassembly keys (src, id, proto) are load-bearing.  Regression:
+             IDs derived from the chunk number made every go-back-N
+             retransmission reuse its original transmission's ID while
+             fragments of that transmission could still sit in reassembly
+             buffers.  Each transmission must carry a distinct ID. *)
+          let f = setup () in
+          Workload.Mobility.move_at f.TG.topo f.TG.m ~at:(Time.of_sec 0.5)
+            f.TG.net_d;
+          let xfer =
+            Workload.Reliable.start ~sender:f.TG.s ~receiver:f.TG.m
+              ~chunk:2048 ~window:4 ~bytes:32768 ~at:(Time.of_sec 1.0) ()
+          in
+          (* crash the serving foreign agent while the first window is in
+             flight, forcing go-back-N retransmissions *)
+          ignore
+            (Netsim.Engine.schedule (Topology.engine f.TG.topo)
+               ~at:(Time.of_ms 1001) (fun () ->
+                   Node.crash_for (Agent.node f.TG.r4) (Time.of_sec 1.0)));
+          let ids = ref [] and frags = ref 0 in
+          (* sender-built tunnels keep the inner ID but carry proto mhrp *)
+          Node.on_transmit (Agent.node f.TG.s) (fun _ pkt ->
+              if pkt.Ipv4.Packet.proto = Ipv4.Proto.tcp
+                 || pkt.Ipv4.Packet.proto = Ipv4.Proto.mhrp
+              then begin
+                if Ipv4.Packet.is_fragment pkt then incr frags;
+                (* the offset-0 fragment marks one transmission *)
+                if pkt.Ipv4.Packet.frag_offset = 0 then
+                  ids := pkt.Ipv4.Packet.id :: !ids
+              end);
+          Topology.run ~until:(Time.of_sec 30.0) f.TG.topo;
+          check Alcotest.bool "complete" true (Workload.Reliable.complete xfer);
+          check Alcotest.bool "intact" true
+            (Workload.Reliable.received_ok xfer);
+          let s = Workload.Reliable.stats xfer in
+          check Alcotest.bool "needed some retransmissions" true
+            (s.Workload.Reliable.retransmissions > 0);
+          check Alcotest.bool "chunks actually fragmented" true (!frags > 0);
+          check Alcotest.int "one distinct IP ID per transmission"
+            (List.length !ids)
+            (List.length (List.sort_uniq compare !ids)));
     Alcotest.test_case "mobile-to-mobile transfer, both away" `Quick
       (fun () ->
          let c =

@@ -73,6 +73,33 @@ let fa_recovery_tests =
          let last = List.nth (records env) 2 in
          check Alcotest.bool "delivered after recovery" true
            (delivered last));
+    Alcotest.test_case
+      "reboot drops the volatile visitor list, keeps the routes" `Quick
+      (fun () ->
+         let env = setup () in
+         move env 1.0 env.f.TG.net_d;
+         at env 2.0 (fun () ->
+             let r4 = Agent.node env.f.TG.r4 in
+             (match Agent.foreign_agent env.f.TG.r4 with
+              | Some fa ->
+                check Alcotest.bool "visitor present before" true
+                  (Mhrp.Foreign_agent.mem fa env.m_addr)
+              | None -> Alcotest.fail "no fa role");
+             let route_before =
+               Net.Route.lookup (Node.routes r4)
+                 (Agent.address env.f.TG.s)
+             in
+             Node.reboot r4;
+             (match Agent.foreign_agent env.f.TG.r4 with
+              | Some fa ->
+                check Alcotest.bool "visitor list wiped (volatile)" false
+                  (Mhrp.Foreign_agent.mem fa env.m_addr)
+              | None -> Alcotest.fail "no fa role after reboot");
+             check Alcotest.bool "routing table retained" true
+               (Net.Route.lookup (Node.routes r4)
+                  (Agent.address env.f.TG.s)
+                = route_before && route_before <> None));
+         run env);
     Alcotest.test_case "recovered visitor is delivered to via ARP" `Quick
       (fun () ->
          let env = setup () in
