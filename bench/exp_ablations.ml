@@ -8,7 +8,7 @@ module Time = Netsim.Time
 (* cache capacity vs hit rate: many mobile correspondents, small cache *)
 let cache_capacity_run ~capacity =
   let config =
-    { Mhrp.Config.default with Mhrp.Config.cache_capacity = capacity }
+    Mhrp.Config.make ~cache_capacity:capacity ()
   in
   let c =
     TGm.campuses ~config ~campuses:4 ~mobiles_per_campus:4
@@ -57,8 +57,7 @@ let cache_capacity_run ~capacity =
 (* rate limiting vs update volume toward a non-caching sender *)
 let rate_limit_run ~min_interval_ms =
   let config =
-    { Mhrp.Config.default with
-      Mhrp.Config.update_min_interval = Time.of_ms min_interval_ms }
+    Mhrp.Config.make ~update_min_interval:(Time.of_ms min_interval_ms) ()
   in
   (* snooping off: otherwise R1 starts tunneling for the non-MHRP host
      after the first update (Section 6.2) and the home agent never sees
@@ -83,14 +82,14 @@ let rate_limit_run ~min_interval_ms =
 let run () =
   heading "A1" "ablation: cache capacity vs hit rate (16 mobile peers)";
   let rows =
-    List.map
-      (fun cap ->
-         let hit_rate, evictions = cache_capacity_run ~capacity:cap in
-         let labels = [("capacity", string_of_int cap)] in
-         rec_f ~exp:"A" ~labels "hit_rate" hit_rate;
-         rec_i ~exp:"A" ~labels "evictions" evictions;
-         [i cap; f2 hit_rate; i evictions])
-      [2; 4; 8; 16; 32]
+    sweep ~exp:"A" ~labels:[("sweep", "a1")] [2; 4; 8; 16; 32]
+      ~trial:(fun ctx cap ->
+          let hit_rate, evictions = cache_capacity_run ~capacity:cap in
+          let reg = ctx.Parallel.Sweep.registry in
+          let labels = [("capacity", string_of_int cap)] in
+          rec_f ~reg ~exp:"A" ~labels "hit_rate" hit_rate;
+          rec_i ~reg ~exp:"A" ~labels "evictions" evictions;
+          [i cap; f2 hit_rate; i evictions])
   in
   table ~columns:["cache entries"; "hit rate"; "evictions"] rows;
   note
@@ -101,14 +100,14 @@ let run () =
   heading "A2"
     "ablation: location-update rate limiting toward one non-MHRP sender";
   let rows =
-    List.map
-      (fun ms ->
-         let sent, suppressed = rate_limit_run ~min_interval_ms:ms in
-         let labels = [("min_interval_ms", string_of_int ms)] in
-         rec_i ~exp:"A" ~labels "updates_sent" sent;
-         rec_i ~exp:"A" ~labels "updates_suppressed" suppressed;
-         [i ms; i sent; i suppressed])
-      [0; 100; 1000; 5000]
+    sweep ~exp:"A" ~labels:[("sweep", "a2")] [0; 100; 1000; 5000]
+      ~trial:(fun ctx ms ->
+          let sent, suppressed = rate_limit_run ~min_interval_ms:ms in
+          let reg = ctx.Parallel.Sweep.registry in
+          let labels = [("min_interval_ms", string_of_int ms)] in
+          rec_i ~reg ~exp:"A" ~labels "updates_sent" sent;
+          rec_i ~reg ~exp:"A" ~labels "updates_suppressed" suppressed;
+          [i ms; i sent; i suppressed])
   in
   table
     ~columns:["min interval ms"; "updates sent"; "updates suppressed"]
@@ -117,3 +116,9 @@ let run () =
     "a host that ignores location updates would otherwise receive one per \
      intercepted packet (Section 4.3's flooding concern); the LRU-timed \
      limiter caps that without touching protocol correctness."
+
+let experiment =
+  Experiment.make ~id:"A"
+    ~title:"ablations of the implementation-defined knobs (DESIGN.md \
+            Section 4)"
+    run

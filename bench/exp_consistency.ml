@@ -96,3 +96,7 @@ let run () =
     "every cache agent recorded in the delivered packet's previous-source \
      list receives one location update naming the correct foreign agent \
      (Section 5.1); the single chased packet heals the whole chain."
+
+let experiment =
+  Experiment.make ~id:"E11"
+    ~title:"cache consistency maintenance fan-out (Section 5.1)" run

@@ -8,7 +8,7 @@ module TGm = Workload.Topo_gen
 
 let series ~forwarding_pointers =
   let config =
-    { Mhrp.Config.default with Mhrp.Config.forwarding_pointers } in
+    Mhrp.Config.make ~forwarding_pointers () in
   let env = fig_setup ~config () in
   let net_e, _r5 = add_second_cell env in
   fig_move env 1.0 env.f.TGm.net_d;
@@ -73,3 +73,9 @@ let run () =
     "the first stale packet takes the longer path (pointer: one extra \
      tunnel; no pointer: chase to the home agent); the location updates \
      it triggers make every later packet optimal."
+
+let experiment =
+  Experiment.make ~id:"E4"
+    ~title:"cache convergence after movement (Section 6.3): hop count \
+            series"
+    run

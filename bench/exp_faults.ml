@@ -16,12 +16,9 @@ module Time = Netsim.Time
 module Engine = Netsim.Engine
 
 let config ~rtx =
-  { Mhrp.Config.default with
-    Mhrp.Config.advert_interval = Time.of_sec 1.0;
-    advert_lifetime = Time.of_sec 3.0;
-    reliable_control = rtx;
-    control_rto = Time.of_ms 300;
-    control_retries = 5 }
+  Mhrp.Config.make ~advert_interval:(Time.of_sec 1.0)
+    ~advert_lifetime:(Time.of_sec 3.0) ~reliable_control:rtx
+    ~control_rto:(Time.of_ms 300) ~control_retries:5 ()
 
 type outcome = {
   sent : int;
@@ -175,16 +172,16 @@ let run_campus ~loss ~rtx =
 
 (* --- the sweep --- *)
 
-let record ~labels o =
-  rec_i ~exp:"E17" ~labels "sent" o.sent;
-  rec_i ~exp:"E17" ~labels "delivered" o.delivered;
-  rec_i ~exp:"E17" ~labels "control_retransmissions" o.ctrl_rtx;
-  rec_i ~exp:"E17" ~labels "retransmit_gave_up" o.gave_up;
-  rec_i ~exp:"E17" ~labels "control_losses" o.ctrl_lost;
-  rec_i ~exp:"E17" ~labels "fault_events" o.fault_events;
-  rec_i ~exp:"E17" ~labels "ttl_expired_drops" o.ttl_expired;
+let record ~reg ~labels o =
+  rec_i ~reg ~exp:"E17" ~labels "sent" o.sent;
+  rec_i ~reg ~exp:"E17" ~labels "delivered" o.delivered;
+  rec_i ~reg ~exp:"E17" ~labels "control_retransmissions" o.ctrl_rtx;
+  rec_i ~reg ~exp:"E17" ~labels "retransmit_gave_up" o.gave_up;
+  rec_i ~reg ~exp:"E17" ~labels "control_losses" o.ctrl_lost;
+  rec_i ~reg ~exp:"E17" ~labels "fault_events" o.fault_events;
+  rec_i ~reg ~exp:"E17" ~labels "ttl_expired_drops" o.ttl_expired;
   match o.rereg_us with
-  | Some us -> rec_ms ~exp:"E17" ~labels "rereg_ms" (float_of_int us)
+  | Some us -> rec_ms ~reg ~exp:"E17" ~labels "rereg_ms" (float_of_int us)
   | None -> ()
 
 let onoff b = if b then "on" else "off"
@@ -198,62 +195,105 @@ let row ~topo ~loss ~crash ~rtx o =
      | None -> "-");
     i o.ttl_expired ]
 
+(* The sweep grid: every Figure 1 loss x crash x rtx point, the campus
+   loss x rtx points, and two repeats of the worst figure1 point whose
+   outcomes back the replay-determinism invariant.  Each point is an
+   isolated trial, so the whole campaign fans out over the domain
+   pool. *)
+type point =
+  | Fig of { loss : float; crash : bool; rtx : bool }
+  | Campus of { loss : float; rtx : bool }
+  | Det  (* determinism repeat: worst-case figure1 point, not recorded *)
+
+let points =
+  List.concat_map
+    (fun loss ->
+       List.concat_map
+         (fun crash ->
+            List.map (fun rtx -> Fig { loss; crash; rtx }) [false; true])
+         [false; true])
+    [0.0; 0.1; 0.3]
+  @ List.concat_map
+      (fun loss ->
+         List.map (fun rtx -> Campus { loss; rtx }) [false; true])
+      [0.0; 0.3]
+  @ [Det; Det]
+
 let run () =
   heading "E17" "MHRP under injected failures (fault campaign)";
-  let rows = ref [] in
-  let ttl_total = ref 0 in
-  let live_ok = ref true in
-  let push r = rows := r :: !rows in
-  List.iter
-    (fun loss ->
-       List.iter
-         (fun crash ->
-            List.iter
-              (fun rtx ->
-                 let o = run_figure1 ~loss ~crash ~rtx in
-                 let labels =
-                   [ ("topo", "figure1"); ("loss", f1 loss);
-                     ("crash", onoff crash); ("rtx", onoff rtx) ]
-                 in
-                 record ~labels o;
-                 ttl_total := !ttl_total + o.ttl_expired;
-                 if rtx && o.delivered < o.sent then live_ok := false;
-                 push (row ~topo:"figure1" ~loss ~crash ~rtx o))
-              [false; true])
-         [false; true])
-    [0.0; 0.1; 0.3];
-  List.iter
-    (fun loss ->
-       List.iter
-         (fun rtx ->
-            let o = run_campus ~loss ~rtx in
-            let labels =
+  let outcomes =
+    sweep ~exp:"E17" points ~trial:(fun ctx point ->
+        let reg = ctx.Parallel.Sweep.registry in
+        match point with
+        | Fig { loss; crash; rtx } ->
+          let o = run_figure1 ~loss ~crash ~rtx in
+          record ~reg
+            ~labels:
+              [ ("topo", "figure1"); ("loss", f1 loss);
+                ("crash", onoff crash); ("rtx", onoff rtx) ]
+            o;
+          o
+        | Campus { loss; rtx } ->
+          let o = run_campus ~loss ~rtx in
+          record ~reg
+            ~labels:
               [ ("topo", "campus8"); ("loss", f1 loss); ("crash", "on");
                 ("rtx", onoff rtx) ]
-            in
-            record ~labels o;
-            ttl_total := !ttl_total + o.ttl_expired;
-            if rtx && o.delivered < o.sent then live_ok := false;
-            push (row ~topo:"campus8" ~loss ~crash:true ~rtx o))
-         [false; true])
-    [0.0; 0.3];
+            o;
+          o
+        | Det -> run_figure1 ~loss:0.3 ~crash:true ~rtx:true)
+  in
+  let swept, det =
+    List.partition (fun (p, _) -> p <> Det) (List.combine points outcomes)
+  in
+  let rows =
+    List.filter_map
+      (function
+        | Fig { loss; crash; rtx }, o ->
+          Some (row ~topo:"figure1" ~loss ~crash ~rtx o)
+        | Campus { loss; rtx }, o ->
+          Some (row ~topo:"campus8" ~loss ~crash:true ~rtx o)
+        | Det, _ -> None)
+      swept
+  in
+  let ttl_total =
+    List.fold_left (fun acc (_, o) -> acc + o.ttl_expired) 0 swept
+  in
+  let live_ok =
+    List.for_all
+      (fun (p, o) ->
+         let rtx =
+           match p with
+           | Fig { rtx; _ } | Campus { rtx; _ } -> rtx
+           | Det -> false
+         in
+         (not rtx) || o.delivered >= o.sent)
+      swept
+  in
   table
     ~columns:["topology"; "loss"; "crash"; "rtx"; "delivered";
               "ctrl rtx"; "gave up"; "ctrl lost"; "rereg ms"; "ttl drops"]
-    (List.rev !rows);
+    rows;
   (* campaign invariants *)
-  let a = run_figure1 ~loss:0.3 ~crash:true ~rtx:true in
-  let b = run_figure1 ~loss:0.3 ~crash:true ~rtx:true in
+  let a, b =
+    match det with
+    | [(_, a); (_, b)] -> (a, b)
+    | _ -> assert false
+  in
   let deterministic =
     a.delivered = b.delivered && a.ctrl_rtx = b.ctrl_rtx
     && a.ctrl_lost = b.ctrl_lost && a.fault_events = b.fault_events
   in
-  rec_flag ~exp:"E17" "no_forwarding_loops" (!ttl_total = 0);
-  rec_flag ~exp:"E17" "live_periods_delivered" !live_ok;
+  rec_flag ~exp:"E17" "no_forwarding_loops" (ttl_total = 0);
+  rec_flag ~exp:"E17" "live_periods_delivered" live_ok;
   rec_flag ~exp:"E17" "deterministic" deterministic;
   note "forwarding-loop invariant: %d ttl-expired drops across the campaign"
-    !ttl_total;
+    ttl_total;
   note "live-period delivery with retransmission: %s"
-    (if !live_ok then "all delivered" else "VIOLATED");
+    (if live_ok then "all delivered" else "VIOLATED");
   note "replay determinism (same seeds, twice): %s"
     (if deterministic then "identical" else "DIVERGED")
+
+let experiment =
+  Experiment.make ~id:"E17"
+    ~title:"MHRP under injected failures (fault campaign)" run

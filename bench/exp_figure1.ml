@@ -85,3 +85,9 @@ let run () =
   note
     "E9 check: at-home and after-return rows show 0 overhead and the same \
      3-hop path as a never-mobile host."
+
+let experiment =
+  Experiment.make ~id:"E2" ~records_ids:["E9"]
+    ~title:"the Figure 1 example, phase by phase (Sections 6.1-6.3); also \
+            records E9's at-home metrics"
+    run

@@ -95,3 +95,7 @@ let run () =
      window; IPTP's 40 bytes fragments datagrams that every other scheme \
      still carries whole — doubling frames, per-packet processing and \
      loss exposure for MTU-sized traffic."
+
+let experiment =
+  Experiment.make ~id:"E14"
+    ~title:"encapsulation overhead vs link MTU (fragmentation onset)" run

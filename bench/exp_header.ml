@@ -44,3 +44,6 @@ let run () =
         stale agents owed a location update (Section 4.4)"
        (Header.length h) (Header.length t)
    | `Ok _ -> note "ERROR: expected the list to be full")
+
+let experiment =
+  Experiment.make ~id:"E3" ~title:"MHRP header wire format (Figure 3)" run

@@ -72,3 +72,7 @@ let run () =
      own transformation.  minimum quote: the paper's fallback — the \
      tunnel head can only delete its cache entry, so the sender's next \
      packet takes a fresh path."
+
+let experiment =
+  Experiment.make ~id:"E8"
+    ~title:"returned ICMP error handling (Section 4.5)" run

@@ -20,9 +20,8 @@ module Time = Netsim.Time
 
 let run_loop ~loop_size ~max_list =
   let config =
-    { Mhrp.Config.default with
-      Mhrp.Config.max_prev_sources = max_list;
-      on_loop = Mhrp.Config.Tunnel_home }
+    Mhrp.Config.make ~max_prev_sources:max_list
+      ~on_loop:Mhrp.Config.Tunnel_home ()
   in
   (* router 0 is the home agent, outside the ring; the ring is routers
      1..L *)
@@ -141,3 +140,7 @@ let run () =
     "contrast (Section 7): protocols relying on the IP time-to-live leave \
      the loop standing, and every new packet circulates until its TTL \
      expires — sustained congestion instead of repair."
+
+let experiment =
+  Experiment.make ~id:"E5"
+    ~title:"cache-loop detection and dissolution (Section 5.3)" run

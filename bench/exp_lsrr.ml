@@ -82,3 +82,7 @@ let run () =
      router fast path like plain traffic; LSRR packets pay the option \
      slow path (8x per-hop processing here) at every router, and the \
      penalty grows with path length."
+
+let experiment =
+  Experiment.make ~id:"E10"
+    ~title:"router slow path for IP options (Section 7 vs IBM LSRR)" run

@@ -64,3 +64,7 @@ let run () =
       ["IBM"; "LSRR option (each way)"; i (over lsrr); "8 (+8 reverse)"] ];
   note "MHRP at home: 0 bytes (no mechanism engaged at all, E9).";
   note "base packet: %d bytes (20 IP + 8 UDP + 64 payload)" base
+
+let experiment =
+  Experiment.make ~id:"E1"
+    ~title:"per-packet encapsulation overhead (Section 7)" run

@@ -10,8 +10,7 @@ module Time = Netsim.Time
 
 let run_e7 ~verify =
   let config =
-    { Mhrp.Config.default with
-      Mhrp.Config.verify_recovered_visitors = verify }
+    Mhrp.Config.make ~verify_recovered_visitors:verify ()
   in
   let env = fig_setup ~config () in
   fig_move env 1.0 env.f.TGm.net_d;
@@ -41,7 +40,7 @@ let run_e7 ~verify =
 
 let run_e12 ~forwarding_pointers =
   let config =
-    { Mhrp.Config.default with Mhrp.Config.forwarding_pointers } in
+    Mhrp.Config.make ~forwarding_pointers () in
   let env = fig_setup ~config () in
   let net_e, _r5 = add_second_cell env in
   fig_move env 1.0 env.f.TGm.net_d;
@@ -104,3 +103,11 @@ let run_e12 () =
     "with the pointer, stale tunnels are redirected by the old foreign \
      agent without touching the (dead) home agent; without it they chase \
      to the home network and die."
+
+let experiment =
+  Experiment.make ~id:"E7"
+    ~title:"foreign-agent reboot recovery (Section 5.2)" run
+
+let experiment_e12 =
+  Experiment.make ~id:"E12"
+    ~title:"reachability while the home agent is down (Section 2)" run_e12

@@ -78,3 +78,6 @@ let run () =
      per replica), answers proxy ARP for the departed host on the home \
      LAN, and tunnels interceptions itself when the primary's agent \
      process is gone."
+
+let experiment =
+  Experiment.make ~id:"E13" ~title:"replicated home agents (Section 2)" run

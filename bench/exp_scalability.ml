@@ -352,27 +352,34 @@ let run () =
       (fun c -> match c with ' ' | '-' -> '_' | c -> Char.lowercase_ascii c)
       proto
   in
-  let rows =
+  (* The grid: campus count x protocol, each point an isolated trial
+     (own topology, own engine, fixed seeds) run on the domain pool.
+     64 joined the sweep once the indexed-topology overhaul made it
+     affordable; the full 256-campus internetwork is E16's job. *)
+  let points =
     List.concat_map
       (fun n ->
          List.map
-           (fun o ->
-              let labels =
-                [("protocol", slug o.proto); ("campuses", string_of_int n)]
-              in
-              rec_i ~exp:"E6" ~labels "ctrl_msgs" o.ctrl;
-              rec_f ~exp:"E6" ~labels "ctrl_per_move"
-                (float_of_int o.ctrl /. float_of_int o.moves);
-              rec_i ~exp:"E6" ~labels "delivered" o.delivered;
-              rec_i ~exp:"E6" ~labels "hot_node_state_bytes" o.central_state;
-              [ o.proto; i n; i o.moves; i o.flows; i o.ctrl;
-                f1 (float_of_int o.ctrl /. float_of_int o.moves);
-                i o.delivered; i o.central_state ])
-           [ run_mhrp n; run_sunshine n; run_columbia n; run_sony n;
-             run_matsushita n; run_ibm n ])
-      (* 64 joined the sweep once the indexed-topology overhaul made it
-         affordable; the full 256-campus internetwork is E16's job *)
+           (fun runner -> (n, runner))
+           [ run_mhrp; run_sunshine; run_columbia; run_sony;
+             run_matsushita; run_ibm ])
       [4; 8; 16; 64]
+  in
+  let rows =
+    sweep ~exp:"E6" points ~trial:(fun ctx (n, runner) ->
+        let o = runner n in
+        let reg = ctx.Parallel.Sweep.registry in
+        let labels =
+          [("protocol", slug o.proto); ("campuses", string_of_int n)]
+        in
+        rec_i ~reg ~exp:"E6" ~labels "ctrl_msgs" o.ctrl;
+        rec_f ~reg ~exp:"E6" ~labels "ctrl_per_move"
+          (float_of_int o.ctrl /. float_of_int o.moves);
+        rec_i ~reg ~exp:"E6" ~labels "delivered" o.delivered;
+        rec_i ~reg ~exp:"E6" ~labels "hot_node_state_bytes" o.central_state;
+        [ o.proto; i n; i o.moves; i o.flows; i o.ctrl;
+          f1 (float_of_int o.ctrl /. float_of_int o.moves);
+          i o.delivered; i o.central_state ])
   in
   table
     ~columns:["protocol"; "campuses"; "moves"; "flows"; "ctrl msgs";
@@ -385,3 +392,7 @@ let run () =
      multicast per cache miss; Sunshine-Postel is cheap per move but \
      funnels every lookup through one database whose state grows with the \
      world's mobile population."
+
+let experiment =
+  Experiment.make ~id:"E6"
+    ~title:"control traffic and state scaling (Section 7)" run

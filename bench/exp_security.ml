@@ -16,7 +16,7 @@ module Control = Mhrp.Control
 module Adversary = Auth.Adversary
 
 let auth_config =
-  { Mhrp.Config.default with Mhrp.Config.authenticate = true }
+  Mhrp.Config.make ~authenticate:true ()
 
 let shared_key = Auth.Siphash.of_string "E15 shared secret"
 
@@ -182,3 +182,7 @@ let run () =
   table
     ~columns:[ "message"; "plain"; "authenticated"; "added" ]
     (overhead_rows ())
+
+let experiment =
+  Experiment.make ~id:"E15"
+    ~title:"control-plane attacks: forgery and replay, auth off vs on" run

@@ -1,5 +1,5 @@
-(* Shared helpers for the experiment harness: table formatting and common
-   scenario plumbing. *)
+(* Shared helpers for the experiment harness: the experiment descriptor,
+   table formatting, metric recording and common scenario plumbing. *)
 
 module Time = Netsim.Time
 module Addr = Ipv4.Addr
@@ -7,6 +7,26 @@ module Node = Net.Node
 module Topology = Net.Topology
 module Agent = Mhrp.Agent
 module TG = Workload.Topo_gen
+
+(* The first-class experiment: each [Exp_*] module exports one (or, for
+   exp_recovery, two) of these and bench/main.ml just folds the list —
+   no inline [(string * run) list], no special-cased id knowledge. *)
+module Experiment = struct
+  type t = {
+    id : string;  (* the id accepted on the command line: "E6", "A", ... *)
+    title : string;  (* one line for the usage screen *)
+    records_ids : string list;
+    (* registry experiment ids [run] records *beyond* [id]: E2 also
+       records E9's at-home phase, so a baseline check restricted to a
+       run of E2 must include E9 *)
+    run : unit -> unit;
+  }
+
+  let make ?(records_ids = []) ~id ~title run =
+    { id; title; records_ids; run }
+
+  let recorded_ids t = t.id :: t.records_ids
+end
 
 let heading id title =
   Format.printf "@.=== %s: %s ===@." id title
@@ -35,20 +55,41 @@ let table ~columns rows =
 (* Every number an experiment prints is also recorded here, so that
    bench/main.exe --json can dump it and --baseline --check can gate it.
    Counters and gauges default to exact comparison (the simulator is
-   deterministic); use [rec_ms]/[~tol:(Pct _)] for timing-derived values. *)
+   deterministic); use [rec_ms]/[~tol:(Pct _)] for timing-derived values.
+
+   [?reg] selects the target registry: serial experiment code keeps the
+   process-wide default, while sweep trials MUST pass their private
+   [ctx.registry] — recording into the shared one from a worker domain
+   is a race. *)
 let registry = Obs.Registry.default
 
-let rec_i ~exp ?labels ?tol name v =
-  Obs.Registry.counter registry ~exp ?labels ?tol name v
+let rec_i ?(reg = registry) ~exp ?labels ?tol name v =
+  Obs.Registry.counter reg ~exp ?labels ?tol name v
 
-let rec_f ~exp ?labels ?tol name v =
-  Obs.Registry.gauge registry ~exp ?labels ?tol name v
+let rec_f ?(reg = registry) ~exp ?labels ?tol name v =
+  Obs.Registry.gauge reg ~exp ?labels ?tol name v
 
-let rec_flag ~exp ?labels name b = rec_i ~exp ?labels name (if b then 1 else 0)
+let rec_flag ?reg ~exp ?labels name b =
+  rec_i ?reg ~exp ?labels name (if b then 1 else 0)
 
-let rec_ms ~exp ?labels name us =
-  Obs.Registry.gauge registry ~exp ?labels ~tol:(Obs.Metric.Pct 20.0) name
+let rec_ms ?(reg = registry) ~exp ?labels name us =
+  Obs.Registry.gauge reg ~exp ?labels ~tol:(Obs.Metric.Pct 20.0) name
     (us /. 1000.0)
+
+(* Run a sweep through the multicore runner and archive its wall-clock
+   (never gated: Info tolerance, and the jobs label makes the key vary
+   with the CLI's --jobs).  Sweep trials get a private registry in
+   [ctx]; their metrics land in the default registry in grid order once
+   every trial is done. *)
+let sweep ~exp ?labels ~trial points =
+  Parallel.Sweep.run ~trial points
+    ~on_done:(fun s ->
+        let labels =
+          Option.value labels ~default:[]
+          @ [("jobs", string_of_int s.Parallel.Sweep.jobs)]
+        in
+        rec_f ~exp ~labels ~tol:Obs.Metric.Info "sweep_wall_ms"
+          (s.Parallel.Sweep.elapsed_s *. 1000.0))
 
 let f1 v = Printf.sprintf "%.1f" v
 let f2 v = Printf.sprintf "%.2f" v

@@ -6,39 +6,61 @@
    Run everything:        dune exec bench/main.exe
    Run one experiment:    dune exec bench/main.exe -- E5
    All incl. micro:       dune exec bench/main.exe -- tables
+   Parallel sweeps:       dune exec bench/main.exe -- tables --jobs 4
    Dump metrics JSON:     dune exec bench/main.exe -- tables --json out.json
    Regression gate:       dune exec bench/main.exe -- tables \
                             --baseline bench/baselines.json --check
 
-   The JSON schema ({schema_version, commit, experiments: {E1..E15, A,
+   Each experiment is an [Exp_util.Experiment.t] descriptor exported by
+   its module; this file only folds the list.  The heavy sweeps (E6, E16,
+   E17, A) fan their independent trials out over a domain pool sized by
+   --jobs (default: the machine's recommended domain count); results are
+   bit-identical whatever the job count, so --jobs only moves wall-clock.
+
+   The JSON schema ({schema_version, commit, experiments: {E1..E17, A,
    micro}}) and the baseline workflow are documented in README.md and
-   DESIGN.md. *)
+   DESIGN.md.  --no-info drops Info-tolerance metrics (wall-clock
+   readings) from the dump, making dumps from different machines or job
+   counts byte-comparable — CI's serial-vs-parallel equivalence check
+   diffs exactly those. *)
 
-let experiments =
-  [ ("E1", Exp_overhead.run);
-    ("E2", Exp_figure1.run);  (* also records E9's at-home metrics *)
-    ("E3", Exp_header.run);
-    ("E4", Exp_convergence.run);
-    ("E5", Exp_loops.run);
-    ("E6", Exp_scalability.run);
-    ("E7", Exp_recovery.run);
-    ("E8", Exp_icmp.run);
-    ("E10", Exp_lsrr.run);
-    ("E11", Exp_consistency.run);
-    ("E12", Exp_recovery.run_e12);
-    ("E13", Exp_replication.run);
-    ("E14", Exp_fragmentation.run);
-    ("E15", Exp_security.run);
-    ("E16", Exp_scale.run);
-    ("E17", Exp_faults.run);
-    ("A", Exp_ablations.run);
-    ("micro", Micro.run) ]
+module Experiment = Exp_util.Experiment
 
-let all_ids = List.map fst experiments
+let experiments : Experiment.t list =
+  [ Exp_overhead.experiment;
+    Exp_figure1.experiment;
+    Exp_header.experiment;
+    Exp_convergence.experiment;
+    Exp_loops.experiment;
+    Exp_scalability.experiment;
+    Exp_recovery.experiment;
+    Exp_icmp.experiment;
+    Exp_lsrr.experiment;
+    Exp_consistency.experiment;
+    Exp_recovery.experiment_e12;
+    Exp_replication.experiment;
+    Exp_fragmentation.experiment;
+    Exp_security.experiment;
+    Exp_scale.experiment;
+    Exp_faults.experiment;
+    Exp_ablations.experiment;
+    Micro.experiment ]
 
-(* E2 records its at-home phase under the separate id E9, so a run of E2
-   legitimately produces both keys; the subset check must know that. *)
-let recorded_ids ids = if List.mem "E2" ids then "E9" :: ids else ids
+let all_ids = List.map (fun e -> e.Experiment.id) experiments
+
+let find_experiment id =
+  List.find_opt (fun e -> e.Experiment.id = id) experiments
+
+(* Registry experiment ids a run of [ids] legitimately produces: each
+   experiment's own id plus whatever else its descriptor declares it
+   records (E2 also records E9's at-home phase). *)
+let recorded_ids ids =
+  List.concat_map
+    (fun id ->
+       match find_experiment id with
+       | Some e -> Experiment.recorded_ids e
+       | None -> [id])
+    ids
 
 let commit () =
   match Sys.getenv_opt "GITHUB_SHA" with
@@ -58,14 +80,18 @@ let commit () =
 
 let usage () =
   Format.eprintf
-    "usage: main.exe [IDS|tables|micro] [--json FILE] [--baseline FILE] \
-     [--check]@.known ids: %s@."
-    (String.concat ", " all_ids);
+    "usage: main.exe [IDS|tables|micro] [--jobs N] [--json FILE] \
+     [--no-info] [--baseline FILE] [--check]@.known ids:@.";
+  List.iter
+    (fun e ->
+       Format.eprintf "  %-5s %s@." e.Experiment.id e.Experiment.title)
+    experiments;
   exit 1
 
 type opts = {
   ids : string list;  (* in run order; empty means everything *)
   json_out : string option;
+  include_info : bool;
   baseline : string option;
   check : bool;
 }
@@ -73,22 +99,34 @@ type opts = {
 let parse_args args =
   let rec go acc = function
     | [] -> acc
+    | "--jobs" :: n :: rest ->
+      (match int_of_string_opt n with
+       | Some n when n >= 1 ->
+         Parallel.Sweep.set_default_jobs n;
+         go acc rest
+       | _ ->
+         Format.eprintf "--jobs needs a positive integer@.";
+         usage ())
     | "--json" :: file :: rest -> go { acc with json_out = Some file } rest
+    | "--no-info" :: rest -> go { acc with include_info = false } rest
     | "--baseline" :: file :: rest ->
       go { acc with baseline = Some file } rest
     | "--check" :: rest -> go { acc with check = true } rest
-    | ("--json" | "--baseline") :: [] ->
-      Format.eprintf "missing file argument@.";
+    | ("--json" | "--baseline" | "--jobs") :: [] ->
+      Format.eprintf "missing argument@.";
       usage ()
     | "tables" :: rest -> go { acc with ids = acc.ids @ all_ids } rest
-    | id :: rest when List.mem_assoc id experiments ->
+    | id :: rest when find_experiment id <> None ->
       go { acc with ids = acc.ids @ [id] } rest
     | id :: _ ->
       Format.eprintf "unknown experiment %s (known: %s, tables)@." id
         (String.concat ", " all_ids);
       exit 1
   in
-  go { ids = []; json_out = None; baseline = None; check = false } args
+  go
+    { ids = []; json_out = None; include_info = true; baseline = None;
+      check = false }
+    args
 
 let () =
   let opts = parse_args (List.tl (Array.to_list Sys.argv)) in
@@ -103,12 +141,17 @@ let () =
       (* run in the canonical order, deduplicated *)
       List.filter (fun id -> List.mem id ids) all_ids
   in
-  List.iter (fun id -> (List.assoc id experiments) ()) ids;
+  List.iter
+    (fun id -> (Option.get (find_experiment id)).Experiment.run ())
+    ids;
   let registry = Obs.Registry.default in
   (match opts.json_out with
    | None -> ()
    | Some file ->
-     let json = Obs.Registry.to_json registry ~commit:(commit ()) in
+     let json =
+       Obs.Registry.to_json ~include_info:opts.include_info registry
+         ~commit:(commit ())
+     in
      Out_channel.with_open_bin file (fun oc ->
          Out_channel.output_string oc (Obs.Json.to_string ~pretty:true json);
          Out_channel.output_char oc '\n');

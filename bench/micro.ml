@@ -149,3 +149,7 @@ let run () =
       tests
   in
   Exp_util.table ~columns:["operation"; "ns/run"] rows
+
+let experiment =
+  Exp_util.Experiment.make ~id:"micro"
+    ~title:"bechamel micro-benchmarks (ns per run)" run

@@ -17,7 +17,7 @@ module TG = Workload.Topo_gen
 
 let () =
   let config =
-    { Mhrp.Config.default with Mhrp.Config.authenticate = true }
+    Mhrp.Config.make ~authenticate:true ()
   in
   let f = TG.figure1 ~config () in
   let topo = f.TG.topo in

@@ -40,3 +40,30 @@ let default =
     reliable_control = false;
     control_rto = Netsim.Time.of_ms 300;
     control_retries = 5 }
+
+let make ?max_prev_sources ?cache_capacity ?update_min_interval
+    ?update_rate_entries ?advert_interval ?advert_lifetime
+    ?forwarding_pointers ?on_loop ?verify_recovered_visitors
+    ?gratuitous_arp_count ?ha_persistent ?authenticate
+    ?auth_timestamp_window ?auth_nonce_capacity ?reliable_control
+    ?control_rto ?control_retries () =
+  let v default = Option.value ~default in
+  { max_prev_sources = v default.max_prev_sources max_prev_sources;
+    cache_capacity = v default.cache_capacity cache_capacity;
+    update_min_interval = v default.update_min_interval update_min_interval;
+    update_rate_entries = v default.update_rate_entries update_rate_entries;
+    advert_interval = v default.advert_interval advert_interval;
+    advert_lifetime = v default.advert_lifetime advert_lifetime;
+    forwarding_pointers = v default.forwarding_pointers forwarding_pointers;
+    on_loop = v default.on_loop on_loop;
+    verify_recovered_visitors =
+      v default.verify_recovered_visitors verify_recovered_visitors;
+    gratuitous_arp_count = v default.gratuitous_arp_count gratuitous_arp_count;
+    ha_persistent = v default.ha_persistent ha_persistent;
+    authenticate = v default.authenticate authenticate;
+    auth_timestamp_window =
+      v default.auth_timestamp_window auth_timestamp_window;
+    auth_nonce_capacity = v default.auth_nonce_capacity auth_nonce_capacity;
+    reliable_control = v default.reliable_control reliable_control;
+    control_rto = v default.control_rto control_rto;
+    control_retries = v default.control_retries control_retries }

@@ -76,3 +76,28 @@ val default : t
     persistent home agent; authentication off (2 s timestamp window and a
     64-nonce replay window when enabled); unreliable control plane (300 ms
     initial RTO and 5 retries when [reliable_control] is enabled). *)
+
+val make :
+  ?max_prev_sources:int ->
+  ?cache_capacity:int ->
+  ?update_min_interval:Netsim.Time.t ->
+  ?update_rate_entries:int ->
+  ?advert_interval:Netsim.Time.t ->
+  ?advert_lifetime:Netsim.Time.t ->
+  ?forwarding_pointers:bool ->
+  ?on_loop:on_loop ->
+  ?verify_recovered_visitors:bool ->
+  ?gratuitous_arp_count:int ->
+  ?ha_persistent:bool ->
+  ?authenticate:bool ->
+  ?auth_timestamp_window:Netsim.Time.t ->
+  ?auth_nonce_capacity:int ->
+  ?reliable_control:bool ->
+  ?control_rto:Netsim.Time.t ->
+  ?control_retries:int ->
+  unit ->
+  t
+(** [make ()] is [default]; each label overrides one field.  Prefer this
+    over [{ default with ... }] record syntax: new fields added to [t]
+    keep call sites compiling without edits.  The bare record type stays
+    public for exhaustive construction and pattern matching. *)

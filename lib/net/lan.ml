@@ -2,8 +2,11 @@ type station = Frame.t -> unit
 
 (* Unique id per LAN instance, used as an O(1) identity hash key by the
    routing graph builder (structural hashing of a LAN would walk the
-   engine and rng it embeds). *)
-let next_id = ref 0
+   engine and rng it embeds).  Atomic so topologies may be constructed
+   concurrently from several domains (the parallel sweep runner builds
+   one per trial); ids are only ever compared for equality or hashed, so
+   the values a trial draws cannot affect simulation results. *)
+let next_id = Atomic.make 0
 
 type t = {
   id : int;
@@ -35,8 +38,7 @@ let create ~engine ~name ?(latency = Netsim.Time.of_us 500)
     invalid_arg "Lan.create: loss > 0 requires rng";
   if bandwidth_bps <= 0 then invalid_arg "Lan.create: bandwidth";
   if mtu < 68 then invalid_arg "Lan.create: mtu below the IP minimum";
-  let id = !next_id in
-  incr next_id;
+  let id = Atomic.fetch_and_add next_id 1 in
   { id; engine; name; prefix; latency; bandwidth_bps; loss; mtu; rng;
     stations = Hashtbl.create 8; sorted_macs = None; monitors_rev = [];
     monitors = None; up = true; frames = 0; bytes = 0 }

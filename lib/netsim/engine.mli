@@ -2,7 +2,15 @@
 
     An engine owns the clock and an event queue of thunks.  Components
     schedule callbacks at absolute or relative times; [run] drains the queue
-    in timestamp order, advancing the clock to each event as it fires. *)
+    in timestamp order, advancing the clock to each event as it fires.
+
+    {1 Domain safety}
+
+    [create] is safe to call from any domain, so parallel sweeps
+    ({!Parallel.Sweep}) give every trial its own engine.  A given [t] is
+    single-domain-only: nothing here is synchronised, so all calls on one
+    engine — scheduling, [run], accessors — must come from the domain that
+    created it.  Engines share no mutable state with each other. *)
 
 type t
 
@@ -31,9 +39,6 @@ val run : ?until:Time.t -> t -> unit
 (** Drain the event queue.  With [until], stops (leaving later events
     queued) once the next event would fire after [until], and sets the
     clock to [until]. *)
-
-val step : t -> bool
-(** Fire the single earliest event; [false] if the queue was empty. *)
 
 val pending : t -> int
 (** Events currently queued. *)

@@ -34,6 +34,26 @@ let hist t ~exp ?labels ?(tol = Metric.Exact) name samples =
   set t ~exp ?labels name
     { Metric.value = Metric.hist_of_samples samples; tol }
 
+exception Duplicate_metric of string
+
+let merge_into ~into src =
+  Hashtbl.iter
+    (fun exp src_tbl ->
+       let dst_tbl = exp_table into exp in
+       (* Deterministic insertion order regardless of the source table's
+          internal layout: sort the keys before inserting. *)
+       let keys =
+         Hashtbl.fold (fun k v acc -> (k, v) :: acc) src_tbl []
+         |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+       in
+       List.iter
+         (fun (k, m) ->
+            if Hashtbl.mem dst_tbl k then
+              raise (Duplicate_metric (exp ^ "/" ^ k));
+            Hashtbl.replace dst_tbl k m)
+         keys)
+    src.tbl
+
 let experiments t =
   Hashtbl.fold (fun k _ acc -> k :: acc) t.tbl []
   |> List.sort String.compare
@@ -51,14 +71,18 @@ let find t ~exp name =
 
 let schema_version = 1
 
-let to_json t ~commit =
+let to_json ?(include_info = true) t ~commit =
+  let keep (m : Metric.t) = include_info || m.Metric.tol <> Metric.Info in
   let exps =
-    List.map
+    List.filter_map
       (fun exp ->
-         ( exp,
-           Json.Obj
-             (List.map (fun (k, m) -> (k, Metric.to_json m)) (metrics t ~exp))
-         ))
+         match
+           List.filter_map
+             (fun (k, m) -> if keep m then Some (k, Metric.to_json m) else None)
+             (metrics t ~exp)
+         with
+         | [] when not include_info -> None
+         | fields -> Some (exp, Json.Obj fields))
       (experiments t)
   in
   Json.Obj

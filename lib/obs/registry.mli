@@ -4,8 +4,15 @@
 
     The registry is what [bench/main.exe --json] serializes and what the
     baseline checker compares.  A process-wide {!default} registry serves
-    the experiment harness so the fourteen [Exp_*] modules need no
-    plumbing; tests create their own instances. *)
+    the experiment harness so the [Exp_*] modules need no plumbing; tests
+    and parallel sweep trials create their own instances with {!create}
+    and fold them back with {!merge_into}.
+
+    Domain-safety: one registry instance must only be mutated from one
+    domain at a time.  The parallel sweep runner respects this by giving
+    every trial a private registry and merging into the shared one from
+    the coordinating domain only, after the worker domains have been
+    joined. *)
 
 type t
 
@@ -40,6 +47,18 @@ val set :
 (** Record a pre-built metric (the hook used by [Netsim.Stats] and
     [Workload.Metrics] conversions). *)
 
+exception Duplicate_metric of string
+(** Carries ["exp/key"] of the offending metric. *)
+
+val merge_into : into:t -> t -> unit
+(** [merge_into ~into src] copies every metric of [src] into [into].
+    Raises {!Duplicate_metric} if [into] already holds a metric under the
+    same experiment id and key — two sweep trials recording the same
+    metric is a bug (a missing sweep-point label), not a
+    last-writer-wins situation.  Merging the per-trial registries of a
+    sweep in grid order therefore yields exactly the registry a serial
+    run would have produced. *)
+
 val experiments : t -> string list
 (** Sorted experiment ids currently holding at least one metric. *)
 
@@ -50,9 +69,14 @@ val find : t -> exp:string -> string -> Metric.t option
 
 val schema_version : int
 
-val to_json : t -> commit:string -> Json.t
+val to_json : ?include_info:bool -> t -> commit:string -> Json.t
 (** [{schema_version; commit; experiments: {id: {key: metric}}}] with
-    experiment ids and metric keys sorted, so output is canonical. *)
+    experiment ids and metric keys sorted, so output is canonical.
+    [include_info] (default [true]): when [false], metrics with
+    {!Metric.Info} tolerance — wall-clock timings and other run-specific
+    readings — are omitted (experiments left with no metrics disappear
+    entirely), which makes dumps from runs that differ only in machine
+    speed or [--jobs] byte-comparable. *)
 
 val of_json : Json.t -> (t, string) result
 (** Rebuild a registry from {!to_json} output (the [commit] field is

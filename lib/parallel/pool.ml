@@ -1,0 +1,40 @@
+let default_jobs () = Domain.recommended_domain_count ()
+
+(* Each cell of [results] is written by exactly one worker (the one that
+   claimed its index from the shared counter) and read only after every
+   worker has been joined, so there are no data races on the array. *)
+
+let map ~jobs ~f tasks =
+  let n = Array.length tasks in
+  if n = 0 then [||]
+  else begin
+    let jobs = max 1 (min jobs n) in
+    let results = Array.make n None in
+    let run i = results.(i) <- Some (try Ok (f i tasks.(i)) with e -> Error e) in
+    (if jobs = 1 then
+       for i = 0 to n - 1 do
+         run i
+       done
+     else begin
+       let next = Atomic.make 0 in
+       let worker () =
+         let rec loop () =
+           let i = Atomic.fetch_and_add next 1 in
+           if i < n then begin
+             run i;
+             loop ()
+           end
+         in
+         loop ()
+       in
+       let spawned = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+       worker ();
+       List.iter Domain.join spawned
+     end);
+    Array.map
+      (function
+        | Some (Ok r) -> r
+        | Some (Error e) -> raise e
+        | None -> assert false (* every index is claimed exactly once *))
+      results
+  end

@@ -1,0 +1,31 @@
+(** A fixed-size pool of OCaml 5 domains executing an indexed batch of
+    independent tasks.
+
+    [map] is the only entry point: it spawns at most [jobs - 1] worker
+    domains (the calling domain is the pool's first worker), has them
+    pull task indices from a shared atomic counter, and joins them all
+    before returning.  Task results land in a result array at their own
+    index, so the output order is the input order regardless of which
+    domain ran what.
+
+    Tasks must be isolated: they may not share mutable state with each
+    other (they run concurrently) and anything they do share with the
+    caller must be written before [map] is called and read after it
+    returns.  The [Domain.join] on every worker provides the
+    happens-before edge that makes the result array safe to read. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — the machine's useful level of
+    parallelism. *)
+
+val map : jobs:int -> f:(int -> 'a -> 'b) -> 'a array -> 'b array
+(** [map ~jobs ~f tasks] applies [f index task] to every task and
+    returns the results in input order.  [jobs] is clamped to
+    [1 .. Array.length tasks]; with [jobs = 1] no domain is spawned and
+    the tasks run sequentially, in order, in the calling domain — the
+    serial path is the parallel path with a pool of one.
+
+    If any task raises, the batch still runs to completion (a crashed
+    trial must not strand the domains still working), and the exception
+    of the lowest-indexed failed task is then re-raised in the calling
+    domain. *)

@@ -1,0 +1,38 @@
+type ctx = { index : int; seed : int; registry : Obs.Registry.t }
+type stats = { jobs : int; trials : int; elapsed_s : float }
+
+(* Written once at startup (CLI parsing) and read from the coordinating
+   domain when a sweep starts; atomic so a late [set_default_jobs] from
+   another domain is still well-defined. *)
+let jobs_default = Atomic.make (Pool.default_jobs ())
+
+let set_default_jobs n =
+  if n < 1 then invalid_arg "Sweep.set_default_jobs: jobs < 1";
+  Atomic.set jobs_default n
+
+let default_jobs () = Atomic.get jobs_default
+
+let run ?jobs ?(into = Obs.Registry.default) ?(seed = 42) ?on_done ~trial
+    points =
+  let points = Array.of_list points in
+  let n = Array.length points in
+  let jobs = max 1 (min (Option.value jobs ~default:(default_jobs ())) n) in
+  (* Per-trial seeds drawn up front from one stream keyed on the base
+     seed: a pure function of (seed, index), independent of [jobs] and
+     of scheduling. *)
+  let seeds =
+    let r = Netsim.Rng.of_int seed in
+    Array.init n (fun _ -> Netsim.Rng.int r 0x3FFF_FFFF)
+  in
+  let t0 = Unix.gettimeofday () in
+  let outcomes =
+    Pool.map ~jobs points ~f:(fun index point ->
+        let registry = Obs.Registry.create () in
+        let r = trial { index; seed = seeds.(index); registry } point in
+        (registry, r))
+  in
+  let elapsed_s = Unix.gettimeofday () -. t0 in
+  (* Grid-order merge, from the calling domain only. *)
+  Array.iter (fun (reg, _) -> Obs.Registry.merge_into ~into reg) outcomes;
+  Option.iter (fun f -> f { jobs; trials = n; elapsed_s }) on_done;
+  Array.to_list (Array.map snd outcomes)

@@ -1,0 +1,66 @@
+(** Deterministic multicore sweeps: a grid of independent simulation
+    trials executed over a {!Pool} of domains, with results — both the
+    returned values and the recorded {!Obs} metrics — guaranteed
+    bit-identical to a serial run regardless of how the trials were
+    scheduled.
+
+    The contract that buys the guarantee:
+
+    - each trial is a pure function of its grid point (and, when it
+      wants one, the pre-derived [ctx.seed]): it builds its own
+      [Netsim.Engine], topology and RNG, and touches no state shared
+      with other trials;
+    - each trial records metrics only through its private
+      [ctx.registry], never the global {!Obs.Registry.default};
+    - the runner merges the per-trial registries into the destination
+      registry in grid order, from the calling domain, after all worker
+      domains are joined — so the merged registry is exactly what the
+      serial loop would have built, and duplicate metric keys (a missing
+      sweep-point label) raise {!Obs.Registry.Duplicate_metric} instead
+      of silently resolving by scheduling luck.
+
+    Trials must not print: table rendering belongs to the caller, after
+    [run] returns, using the trial results it hands back in grid
+    order. *)
+
+type ctx = {
+  index : int;  (** Position of this trial in the grid, from 0. *)
+  seed : int;
+      (** Deterministic per-trial seed, derived from the sweep's base
+          seed and [index] — the same for a given grid regardless of
+          [jobs].  Trials reproducing pre-sweep experiments ignore it
+          and keep their historical fixed seeds. *)
+  registry : Obs.Registry.t;
+      (** Private registry for this trial's metrics; merged into the
+          sweep's destination registry in grid order. *)
+}
+
+type stats = {
+  jobs : int;  (** Worker domains actually used (after clamping). *)
+  trials : int;
+  elapsed_s : float;  (** Wall-clock of the whole sweep. *)
+}
+
+val set_default_jobs : int -> unit
+(** Set the pool size used when [run] is not given [~jobs] — the CLI's
+    [--jobs] lands here once, at startup.  Raises [Invalid_argument] on
+    values < 1. *)
+
+val default_jobs : unit -> int
+(** Current default pool size.  Initially
+    [Domain.recommended_domain_count ()]. *)
+
+val run :
+  ?jobs:int -> ?into:Obs.Registry.t -> ?seed:int ->
+  ?on_done:(stats -> unit) -> trial:(ctx -> 'p -> 'r) -> 'p list -> 'r list
+(** [run ~trial points] executes one trial per grid point and returns
+    their results in grid order.
+
+    [jobs] defaults to {!default_jobs} (clamped to the number of
+    points); [jobs = 1] runs the trials sequentially in the calling
+    domain — today's serial path.  [into] (default
+    [Obs.Registry.default]) receives the per-trial registries, merged in
+    grid order.  [seed] (default 42) is the base from which every
+    [ctx.seed] is derived.  [on_done] observes the sweep's wall-clock —
+    the hook the experiments use to record their [Info]-tolerance
+    speedup metrics. *)

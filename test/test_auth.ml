@@ -262,7 +262,7 @@ let sa_tests =
 (* --- the authenticated control plane end to end --- *)
 
 let auth_config =
-  { Mhrp.Config.default with Mhrp.Config.authenticate = true }
+  Mhrp.Config.make ~authenticate:true ()
 
 let agents f = TG.[ f.s; f.m; f.r1; f.r2; f.r3; f.r4 ]
 

@@ -12,10 +12,8 @@ module TG = Workload.Topo_gen
 let check = Alcotest.check
 
 let reliable_config =
-  { Mhrp.Config.default with
-    Mhrp.Config.reliable_control = true;
-    control_rto = Time.of_ms 300;
-    control_retries = 5 }
+  Mhrp.Config.make ~reliable_control:true ~control_rto:(Time.of_ms 300)
+    ~control_retries:5 ()
 
 (* Deterministic loss without the injector's probabilistic stream: drop
    the node's first outgoing port-434 datagram to each distinct peer, so
@@ -84,9 +82,8 @@ let injector_tests =
       `Quick (fun () ->
         (* 1 s advertisements, so control traffic exists inside the window *)
         let config =
-          { Mhrp.Config.default with
-            Mhrp.Config.advert_interval = Time.of_sec 1.0;
-            advert_lifetime = Time.of_sec 3.0 }
+          Mhrp.Config.make ~advert_interval:(Time.of_sec 1.0)
+            ~advert_lifetime:(Time.of_sec 3.0) ()
         in
         let f = TG.figure1 ~config () in
         let topo = f.TG.topo in

@@ -18,4 +18,5 @@ let () =
          Test_edges.suite;
          Test_auth.suite;
          Test_fault.suite;
-         Test_obs.suite ])
+         Test_obs.suite;
+         Test_parallel.suite ])

@@ -122,9 +122,8 @@ let misc_tests =
       `Quick (fun () ->
           (* short advertisement cadence so the test runs quickly *)
           let config =
-            { Mhrp.Config.default with
-              Mhrp.Config.advert_interval = Time.of_sec 1.0;
-              advert_lifetime = Time.of_sec 3.0 }
+            Mhrp.Config.make ~advert_interval:(Time.of_sec 1.0)
+              ~advert_lifetime:(Time.of_sec 3.0) ()
           in
           let f = TG.figure1 ~config () in
           let topo = f.TG.topo in

@@ -291,6 +291,41 @@ let test_only_restricts () =
   let only = Baseline.compare ~only:["E1"] ~baseline:base ~current:cur () in
   check_bool "subset compare does not" true (only.Baseline.drifts = [])
 
+let test_merge_grid_order () =
+  (* merging per-trial registries in grid order must reproduce exactly
+     what serial recording into one registry would have produced *)
+  let serial =
+    mk
+      [ (fun t -> Registry.counter t ~exp:"E1" "a" 1);
+        (fun t -> Registry.gauge t ~exp:"E1" ~tol:(Metric.Pct 5.0) "b" 2.5);
+        (fun t -> Registry.counter t ~exp:"E2" "c" 3) ]
+  in
+  let t1 = mk [(fun t -> Registry.counter t ~exp:"E1" "a" 1)] in
+  let t2 =
+    mk
+      [ (fun t -> Registry.gauge t ~exp:"E1" ~tol:(Metric.Pct 5.0) "b" 2.5);
+        (fun t -> Registry.counter t ~exp:"E2" "c" 3) ]
+  in
+  let merged = Registry.create () in
+  Registry.merge_into ~into:merged t1;
+  Registry.merge_into ~into:merged t2;
+  check_bool "merged equals serial" true
+    (String.equal
+       (Json.to_string ~pretty:true (Registry.to_json serial ~commit:"t"))
+       (Json.to_string ~pretty:true (Registry.to_json merged ~commit:"t")))
+
+let test_merge_duplicate_rejected () =
+  (* two trials recording the same metric id is a bug in the experiment,
+     not a last-writer-wins race to paper over *)
+  let a = mk [(fun t -> Registry.counter t ~exp:"E1" "x" 1)] in
+  let b = mk [(fun t -> Registry.counter t ~exp:"E1" "x" 2)] in
+  let merged = Registry.create () in
+  Registry.merge_into ~into:merged a;
+  match Registry.merge_into ~into:merged b with
+  | () -> Alcotest.fail "duplicate metric id accepted"
+  | exception Registry.Duplicate_metric id ->
+    Alcotest.(check string) "names the colliding metric" "E1/x" id
+
 let test_schema_version_mismatch () =
   match
     Registry.of_json
@@ -319,6 +354,10 @@ let suite =
           test_kind_change_flagged;
         Alcotest.test_case "--only restricts the gate" `Quick
           test_only_restricts;
+        Alcotest.test_case "merge preserves grid order" `Quick
+          test_merge_grid_order;
+        Alcotest.test_case "merge rejects duplicate metric ids" `Quick
+          test_merge_duplicate_rejected;
         Alcotest.test_case "schema version mismatch rejected" `Quick
           test_schema_version_mismatch ] );
     ( "obs properties",

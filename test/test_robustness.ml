@@ -124,8 +124,7 @@ let fa_recovery_tests =
       "verification mode probes before re-adding (Section 5.2)" `Quick
       (fun () ->
          let config =
-           { Mhrp.Config.default with
-             Mhrp.Config.verify_recovered_visitors = true }
+           Mhrp.Config.make ~verify_recovered_visitors:true ()
          in
          let env = setup ~config () in
          move env 1.0 env.f.TG.net_d;
@@ -196,8 +195,7 @@ let loop_tests =
     Alcotest.test_case "packet survives when configured to tunnel home"
       `Quick (fun () ->
           let config =
-            { Mhrp.Config.default with
-              Mhrp.Config.on_loop = Mhrp.Config.Tunnel_home }
+            Mhrp.Config.make ~on_loop:Mhrp.Config.Tunnel_home ()
           in
           let env = setup ~config () in
           move env 1.0 env.f.TG.net_d;
@@ -236,7 +234,7 @@ let loop_tests =
             after contraction (Section 5.3): build a 3-agent loop with
             max_prev_sources = 2. *)
          let config =
-           { Mhrp.Config.default with Mhrp.Config.max_prev_sources = 2 }
+           Mhrp.Config.make ~max_prev_sources:2 ()
          in
          let env = setup ~config () in
          move env 1.0 env.f.TG.net_d;
@@ -378,7 +376,7 @@ let ha_tests =
     Alcotest.test_case "volatile HA database loses registrations" `Quick
       (fun () ->
          let config =
-           { Mhrp.Config.default with Mhrp.Config.ha_persistent = false }
+           Mhrp.Config.make ~ha_persistent:false ()
          in
          let env = setup ~config () in
          move env 1.0 env.f.TG.net_d;
