@@ -17,7 +17,7 @@
    --jobs (default: the machine's recommended domain count); results are
    bit-identical whatever the job count, so --jobs only moves wall-clock.
 
-   The JSON schema ({schema_version, commit, experiments: {E1..E17, A,
+   The JSON schema ({schema_version, commit, experiments: {E1..E18, A,
    micro}}) and the baseline workflow are documented in README.md and
    DESIGN.md.  --no-info drops Info-tolerance metrics (wall-clock
    readings) from the dump, making dumps from different machines or job
@@ -44,6 +44,7 @@ let experiments : Experiment.t list =
     Exp_scale.experiment;
     Exp_faults.experiment;
     Exp_ablations.experiment;
+    Exp_lsr.experiment;
     Micro.experiment ]
 
 let all_ids = List.map (fun e -> e.Experiment.id) experiments
@@ -80,13 +81,22 @@ let commit () =
 
 let usage () =
   Format.eprintf
-    "usage: main.exe [IDS|tables|micro] [--jobs N] [--json FILE] \
+    "usage: main.exe [IDS|tables|micro|--list] [--jobs N] [--json FILE] \
      [--no-info] [--baseline FILE] [--check]@.known ids:@.";
   List.iter
     (fun e ->
        Format.eprintf "  %-5s %s@." e.Experiment.id e.Experiment.title)
     experiments;
   exit 1
+
+(* --list: the registered experiment descriptors, one per line, to
+   stdout — the machine-readable cousin of the usage screen. *)
+let list_experiments () =
+  List.iter
+    (fun e ->
+       Format.printf "%-5s %s@." e.Experiment.id e.Experiment.title)
+    experiments;
+  exit 0
 
 type opts = {
   ids : string list;  (* in run order; empty means everything *)
@@ -99,6 +109,7 @@ type opts = {
 let parse_args args =
   let rec go acc = function
     | [] -> acc
+    | "--list" :: _ -> list_experiments ()
     | "--jobs" :: n :: rest ->
       (match int_of_string_opt n with
        | Some n when n >= 1 ->

@@ -1,5 +1,6 @@
 (* Micro-benchmarks (bechamel) of the hot paths: codec and cache
-   operations, route computation, and a full Figure 1 scenario run. *)
+   operations, route computation, a full Figure 1 scenario run, and the
+   link-state control plane's flood and SPF costs at 8/64/256 campuses. *)
 
 open Bechamel
 open Toolkit
@@ -52,6 +53,58 @@ let host_route_table =
 
 let host_route_hit = Addr.host 17 126  (* a /32 entry *)
 let host_route_miss = Addr.host 18 251 (* falls through to the net route *)
+
+(* Converged link-state domains for the lib/lsr hot paths, one per
+   internetwork scale.  Built lazily (and forced before the benchmark
+   loop starts, so setup never eats a test's quota): construct the campus
+   backbone, start the protocol cold and run five simulated seconds —
+   ample for hello discovery, designated database sync and SPF
+   everywhere.  The refresh timer is pushed out to an hour so the
+   measured windows hold only the work we inject. *)
+let lsr_domain campuses =
+  lazy
+    (let c =
+       Workload.Topo_gen.campuses_plain ~backbone_prefix_len:16 ~campuses
+         ~mobiles_per_campus:1 ~correspondents:1 ~compute_routes:false ()
+     in
+     let topo = c.Workload.Topo_gen.cp_topo in
+     Netsim.Trace.set_enabled (Net.Topology.trace topo) false;
+     let d =
+       Lsr.Domain.create
+         ~config:
+           (Lsr.Config.make ~hello_interval:(Netsim.Time.of_ms 500)
+              ~refresh_interval:(Netsim.Time.of_sec 3600.0) ())
+         topo
+     in
+     Lsr.Domain.start d;
+     Net.Topology.run ~until:(Netsim.Time.of_sec 5.0) topo;
+     (topo, d))
+
+let lsr_domains = List.map (fun n -> (n, lsr_domain n)) [8; 64; 256]
+
+(* One origination + the complete flood it triggers: every router
+   receives, dedups and re-floods the new LSA version.  The links are
+   unchanged, so no SPF is scheduled anywhere — this isolates pure
+   flooding cost (encode, broadcast, decode, store) from route
+   computation, measured separately below.  10 ms of simulated time
+   drains the flood across the backbone and every campus LAN. *)
+let lsa_flood_test (n, dom) =
+  Test.make ~name:(Printf.sprintf "lsr-lsa-flood-%d-campuses" n)
+    (Staged.stage (fun () ->
+         let topo, d = Lazy.force dom in
+         Lsr.Router.reoriginate (List.hd (Lsr.Domain.routers d));
+         Net.Topology.run
+           ~until:(Netsim.Time.add (Net.Topology.now topo)
+                     (Netsim.Time.of_ms 10))
+           topo))
+
+(* One router's full SPF over the converged database: shortest-path
+   tree, next-hop resolution and table install. *)
+let spf_test (n, dom) =
+  Test.make ~name:(Printf.sprintf "lsr-spf-recompute-%d-campuses" n)
+    (Staged.stage (fun () ->
+         let _, d = Lazy.force dom in
+         Lsr.Router.spf_now (List.hd (Lsr.Domain.routers d))))
 
 let tests =
   [ Test.make ~name:"packet-encode" (Staged.stage (fun () ->
@@ -117,9 +170,12 @@ let tests =
         Exp_util.fig_send env 2.0;
         Exp_util.fig_send env 3.0;
         Exp_util.fig_run ~until:5.0 env)) ]
+  @ List.map lsa_flood_test lsr_domains
+  @ List.map spf_test lsr_domains
 
 let run () =
   Exp_util.heading "MICRO" "bechamel micro-benchmarks (ns per run)";
+  List.iter (fun (_, dom) -> ignore (Lazy.force dom)) lsr_domains;
   let instance = Instance.monotonic_clock in
   let cfg =
     Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:None ()

@@ -67,13 +67,29 @@ let figure1_cmd =
 
 (* --- roam --- *)
 
-let run_roam seed campuses mobiles seconds json_out =
+let run_roam seed campuses mobiles seconds use_lsr json_out =
   let c =
     TG.campuses ~seed ~campuses ~mobiles_per_campus:mobiles
       ~correspondents:4 ()
   in
   let topo = c.TG.c_topo in
   Netsim.Trace.set_enabled (Topology.trace topo) false;
+  (* --lsr swaps the instantaneous oracle tables for the distributed
+     control plane: router tables start cold and are rebuilt from hello
+     and LSA exchange.  100 ms hellos converge the backbone well before
+     the traffic starts at 700 ms. *)
+  let lsr_domain =
+    if not use_lsr then None
+    else begin
+      let d =
+        Lsr.Domain.create
+          ~config:(Lsr.Config.make ~hello_interval:(Time.of_ms 100) ())
+          topo
+      in
+      Lsr.Domain.start d;
+      Some d
+    end
+  in
   let metrics = Workload.Metrics.create topo in
   let traffic = Workload.Traffic.create metrics (Topology.engine topo) in
   Array.iter
@@ -101,6 +117,12 @@ let run_roam seed campuses mobiles seconds json_out =
       0 c.TG.c_mobiles
   in
   Format.printf "hand-offs: %d@." moves;
+  (match lsr_domain with
+   | None -> ()
+   | Some d ->
+     Format.printf "lsr: %a@." Lsr.Counters.pp (Lsr.Domain.totals d);
+     Format.printf "lsr converged: %b  oracle-equivalent: %b@."
+       (Lsr.Domain.synchronized d) (Lsr.Domain.equivalent d));
   match json_out with
   | None -> ()
   | Some file ->
@@ -132,10 +154,19 @@ let roam_cmd =
     Arg.(value & opt (some string) None & info ["json"] ~docv:"FILE"
            ~doc:"Also write the run's metrics as JSON (lib/obs schema).")
   in
+  let use_lsr =
+    Arg.(value & flag
+         & info ["lsr"]
+             ~doc:"Replace the instantaneous routing oracle with the \
+                   distributed link-state control plane (lib/lsr): \
+                   routers start with empty tables and build them from \
+                   hello and LSA exchange inside the simulation.")
+  in
   Cmd.v
     (Cmd.info "roam"
        ~doc:"Random-waypoint roaming over a campus internetwork.")
-    Term.(const run_roam $ seed_arg $ campuses $ mobiles $ seconds $ json)
+    Term.(const run_roam $ seed_arg $ campuses $ mobiles $ seconds
+          $ use_lsr $ json)
 
 (* --- handoff --- *)
 

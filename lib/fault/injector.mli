@@ -47,4 +47,12 @@ val loss_windows : t -> int
 val control_losses : t -> int
 (** Control transmissions actually dropped by the loss filter. *)
 
+val is_control : Ipv4.Packet.t -> bool
+(** The loss filter's own classifier, exported for byte accounting:
+    [true] for MHRP control traffic in any of its encodings (port-434
+    UDP, the MHRP ICMP messages, either inside an MHRP tunnel).
+    Link-state routing traffic ({!Ipv4.Proto.lsrp}) is {e not} control
+    in this sense — faults reach it through link flaps, crashes and
+    partitions rather than the MHRP control-loss dice. *)
+
 val pp_ledger : Format.formatter -> t -> unit

@@ -7,6 +7,7 @@ let udp = 17
 let mhrp = 99
 let iptp = 98
 let vip = 97
+let lsrp = 89
 
 let name = function
   | 1 -> "icmp"
@@ -16,6 +17,7 @@ let name = function
   | 99 -> "mhrp"
   | 98 -> "iptp"
   | 97 -> "vip"
+  | 89 -> "lsr"
   | n -> Printf.sprintf "proto-%d" n
 
 let pp ppf t = Format.pp_print_string ppf (name t)

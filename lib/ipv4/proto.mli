@@ -26,6 +26,13 @@ val iptp : t
 val vip : t
 (** 97 — Sony's Virtual IP header. *)
 
+val lsrp : t
+(** 89 — the in-simulation link-state routing protocol (the [Lsr]
+    library): hello beacons and LSA floods, broadcast link-locally
+    between routers.  89 is OSPF's number, which is exactly the niche
+    this protocol fills.  (Named [lsrp] because [lsr] is an OCaml
+    keyword.) *)
+
 val name : t -> string
 (** Human-readable name, e.g. ["udp"]; unknown numbers print as
     ["proto-N"]. *)

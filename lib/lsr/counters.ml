@@ -1,0 +1,44 @@
+type t = {
+  mutable hellos_sent : int;
+  mutable hellos_received : int;
+  mutable lsas_originated : int;
+  mutable lsas_sent : int;
+  mutable lsas_received : int;
+  mutable floods_suppressed : int;
+  mutable spf_runs : int;
+  mutable routes_installed : int;
+  mutable neighbors_up : int;
+  mutable neighbors_down : int;
+  mutable bytes_sent : int;
+  mutable bytes_received : int;
+}
+
+let create () =
+  { hellos_sent = 0; hellos_received = 0; lsas_originated = 0;
+    lsas_sent = 0; lsas_received = 0; floods_suppressed = 0; spf_runs = 0;
+    routes_installed = 0; neighbors_up = 0; neighbors_down = 0;
+    bytes_sent = 0; bytes_received = 0 }
+
+let add into src =
+  into.hellos_sent <- into.hellos_sent + src.hellos_sent;
+  into.hellos_received <- into.hellos_received + src.hellos_received;
+  into.lsas_originated <- into.lsas_originated + src.lsas_originated;
+  into.lsas_sent <- into.lsas_sent + src.lsas_sent;
+  into.lsas_received <- into.lsas_received + src.lsas_received;
+  into.floods_suppressed <- into.floods_suppressed + src.floods_suppressed;
+  into.spf_runs <- into.spf_runs + src.spf_runs;
+  into.routes_installed <- into.routes_installed + src.routes_installed;
+  into.neighbors_up <- into.neighbors_up + src.neighbors_up;
+  into.neighbors_down <- into.neighbors_down + src.neighbors_down;
+  into.bytes_sent <- into.bytes_sent + src.bytes_sent;
+  into.bytes_received <- into.bytes_received + src.bytes_received
+
+let control_messages t = t.hellos_sent + t.lsas_sent
+
+let pp ppf t =
+  Format.fprintf ppf
+    "hello=%d/%d lsa=%d/%d (orig %d, dup %d) spf=%d routes=%d nbr=+%d/-%d \
+     bytes=%d/%d"
+    t.hellos_sent t.hellos_received t.lsas_sent t.lsas_received
+    t.lsas_originated t.floods_suppressed t.spf_runs t.routes_installed
+    t.neighbors_up t.neighbors_down t.bytes_sent t.bytes_received

@@ -1,0 +1,37 @@
+(** Per-router protocol event counters, read by tests and experiments.
+
+    Counters are cumulative measurement state: they survive a simulated
+    reboot (the router's protocol state is volatile, the experimenter's
+    tally is not).  [bytes_sent]/[bytes_received] count full IP wire
+    bytes (header included) per link-level transmission or reception, so
+    they are directly comparable with MHRP's control-byte accounting. *)
+
+type t = {
+  mutable hellos_sent : int;
+  mutable hellos_received : int;
+  mutable lsas_originated : int;  (** Own-LSA (re-)originations. *)
+  mutable lsas_sent : int;
+      (** LSA transmissions: origination floods, re-floods of received
+          LSAs, and database broadcasts toward new neighbors. *)
+  mutable lsas_received : int;
+  mutable floods_suppressed : int;
+      (** LSAs whose sequence number was not newer than the database
+          copy: the dedup cache terminating the flood. *)
+  mutable spf_runs : int;
+  mutable routes_installed : int;
+      (** Route entries written across all SPF runs. *)
+  mutable neighbors_up : int;
+  mutable neighbors_down : int;  (** Dead-neighbor declarations. *)
+  mutable bytes_sent : int;
+  mutable bytes_received : int;
+}
+
+val create : unit -> t
+
+val add : t -> t -> unit
+(** [add into src] accumulates [src] into [into] — domain-wide totals. *)
+
+val control_messages : t -> int
+(** [hellos_sent + lsas_sent]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,42 @@
+(** Wire codec for link-state control messages.
+
+    Two message types ride IP protocol {!Ipv4.Proto.lsrp}, always as
+    link-level broadcasts with TTL 1 — they are never forwarded, only
+    re-originated hop by hop, which is what makes flooding observable
+    (and destroyable) by the fault layer:
+
+    - {b hello}: the sender's router id, beaconed per interface for
+      neighbor discovery and liveness;
+    - {b LSA}: the sender's router id, a sequence number, and one link
+      record per attached up network — the network prefix, the router's
+      address on it, and the router ids it currently hears hellos from
+      there.
+
+    Encoding is byte-exact so control-byte accounting measures real
+    serialized sizes, like every other overhead figure in the bench. *)
+
+type link = {
+  prefix : Ipv4.Addr.Prefix.t;  (** The attached network. *)
+  addr : Ipv4.Addr.t;  (** The originator's address on it. *)
+  neighbors : Ipv4.Addr.t list;
+      (** Router ids of live neighbors heard on this network, ascending.
+          An SPF edge exists only when both endpoints list each other —
+          the bidirectionality check that routes around routers whose
+          stale LSAs outlive them. *)
+}
+
+type t =
+  | Hello of { origin : Ipv4.Addr.t }
+  | Lsa of { origin : Ipv4.Addr.t; seq : int; links : link list }
+
+val encode : t -> bytes
+
+val decode : bytes -> t
+(** Raises [Invalid_argument] on malformed input. *)
+
+val decode_opt : bytes -> t option
+
+val size : t -> int
+(** Encoded payload size in bytes (without the IP header). *)
+
+val pp : Format.formatter -> t -> unit

@@ -30,7 +30,14 @@ type t = {
   (** How long a mobile host trusts its current agent without hearing an
       advertisement.  Expiry means the host "notices its own movement"
       (Section 3, implicit disconnection): it returns to searching and
-      solicits.  Conventionally ~3 advertisement periods (RFC 1256). *)
+      solicits.  Conventionally ~3 advertisement periods (RFC 1256).
+      When MHRP runs over the distributed routing plane rather than the
+      oracle (E18), this lifetime also bounds how long a mobile host
+      keeps trusting an agent that a routing outage has made
+      unreachable: it should comfortably exceed the routing
+      reconvergence time ([Lsr.Config] dead detection + SPF, about
+      [dead_count * hello_interval]), or cells detach on every routing
+      blip. *)
   forwarding_pointers : bool;
   (** Old foreign agents keep a cache entry pointing at the new foreign
       agent (Section 2). *)

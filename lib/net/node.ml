@@ -43,6 +43,7 @@ type t = {
   mutable deliver_taps : (t -> Ipv4.Packet.t -> unit) list;
   mutable forward_taps : (t -> Ipv4.Packet.t -> unit) list;
   mutable transmit_taps : (t -> Ipv4.Packet.t -> unit) list;
+  mutable broadcast_taps : (t -> Ipv4.Packet.t -> unit) list;
   mutable drop_taps : (t -> string -> Ipv4.Packet.t -> unit) list;
   (* Fault injection: when set, a [false] verdict loses the outgoing
      packet (counted as a drop) just before it would reach the wire. *)
@@ -81,6 +82,7 @@ let create ~engine ~mac_alloc ?trace ?(router = false) ?proc_delay
     deliver_taps = [];
     forward_taps = [];
     transmit_taps = [];
+    broadcast_taps = [];
     drop_taps = [];
     fault_filter = None;
     up = true;
@@ -158,6 +160,7 @@ let on_reboot t f = t.reboot_hooks <- f :: t.reboot_hooks
 let on_deliver t f = t.deliver_taps <- t.deliver_taps @ [f]
 let on_forward t f = t.forward_taps <- t.forward_taps @ [f]
 let on_transmit t f = t.transmit_taps <- t.transmit_taps @ [f]
+let on_broadcast t f = t.broadcast_taps <- t.broadcast_taps @ [f]
 let on_drop t f = t.drop_taps <- t.drop_taps @ [f]
 let set_fault_filter t f = t.fault_filter <- f
 
@@ -387,6 +390,7 @@ let broadcast_ip t ~iface:i pkt =
         (match t.fault_filter with
          | Some f when not (f t pkt) -> drop t "fault-loss" pkt
          | _ ->
+           List.iter (fun f -> f t pkt) t.broadcast_taps;
            let frame =
              Frame.ip ~src:s.mac ~dst:Mac.broadcast (Ipv4.Packet.encode pkt)
            in

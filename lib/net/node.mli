@@ -118,6 +118,13 @@ val on_transmit : t -> (t -> Ipv4.Packet.t -> unit) -> unit
     originations, forwards, tunnel re-injections and last-hop deliveries
     alike.  Experiments count per-packet LAN traversals with it. *)
 
+val on_broadcast : t -> (t -> Ipv4.Packet.t -> unit) -> unit
+(** Metrics tap: every link-level IP broadcast this node puts on a LAN
+    ({!broadcast_ip}: agent advertisements, link-state hellos and LSA
+    floods).  Kept separate from {!on_transmit} so hop-count metrics
+    over unicast traffic are not polluted by periodic beacons, while
+    control-byte accounting can still see every control transmission. *)
+
 val on_drop : t -> (t -> string -> Ipv4.Packet.t -> unit) -> unit
 
 val set_fault_filter : t -> (t -> Ipv4.Packet.t -> bool) option -> unit

@@ -143,7 +143,16 @@ let iface_on node lan =
     (fun (i, l, _) -> if l == lan then Some i else None)
     (Node.ifaces node)
 
+(* Full-table sweeps performed process-wide.  Atomic because parallel
+   sweep trials build topologies from worker domains; the total after a
+   sweep has joined its workers is deterministic (a sum of per-trial
+   increments), even though interleavings are not. *)
+let recomputes = Atomic.make 0
+
+let recompute_count () = Atomic.get recomputes
+
 let compute_graph g =
+  Atomic.incr recomputes;
   let routers_on lan =
     Option.value ~default:[] (Hashtbl.find_opt g.routers_on (Lan.id lan))
   in

@@ -7,7 +7,17 @@
     table with one entry per reachable network prefix.
 
     Host-specific (/32) routes installed later by protocol code survive
-    only until the next [compute]; recompute before protocol setup. *)
+    only until the next [compute]; recompute before protocol setup.
+
+    This computation is an {b oracle}: it reads the whole topology in one
+    pass and installs every table instantaneously at the current simulated
+    time, with no packets exchanged, no convergence delay and no
+    control-byte cost.  It is the right substrate for experiments that
+    assume routing "just works" underneath the mobility protocols — but it
+    cannot exhibit reconvergence behaviour.  The {!Lsr} library provides
+    the contrasting in-simulation distributed protocol; {!recompute_count}
+    exists so experiments can report the oracle's work honestly alongside
+    LSR's per-router SPF counts. *)
 
 type graph
 (** The LAN-adjacency graph over a snapshot of nodes and LANs, plus the
@@ -44,3 +54,12 @@ val graph_of_nodes : Node.t list -> graph
 
 val path_length_graph : graph -> src:Node.t -> dst_lan:Lan.t -> int option
 (** {!path_length} against a prebuilt graph. *)
+
+val recompute_count : unit -> int
+(** Number of global full-table computations ({!compute} /
+    {!compute_graph}) performed so far, process-wide and monotone.  Each
+    one is a complete omniscient rebuild of every node's table — the
+    oracle's unit of SPF work, comparable against [Lsr]'s per-router
+    [spf_runs] counter.  Thread-safe; under a parallel sweep, read it
+    before and after the whole sweep (the delta is deterministic), not
+    from inside concurrent trials. *)

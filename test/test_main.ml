@@ -18,5 +18,6 @@ let () =
          Test_edges.suite;
          Test_auth.suite;
          Test_fault.suite;
+         Test_lsr.suite;
          Test_obs.suite;
          Test_parallel.suite ])

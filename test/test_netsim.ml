@@ -164,7 +164,96 @@ let eq_tests =
               | Some (_, v) -> drain (v :: acc)
             in
             let out = drain [] in
-            out = List.stable_sort compare times)) ]
+            out = List.stable_sort compare times));
+    Alcotest.test_case "cancellation inside a tie group keeps FIFO order"
+      `Quick (fun () ->
+        let q = Eq.create () in
+        let hs = List.init 6 (fun i -> (i, Eq.push q (Time.of_us 7) i)) in
+        (* Cancel the middle of the group; survivors must keep their
+           relative scheduling order, not re-sort around the hole. *)
+        List.iter
+          (fun (i, h) -> if i = 2 || i = 3 then ignore (Eq.cancel q h))
+          hs;
+        let rec drain acc =
+          match Eq.pop q with
+          | None -> List.rev acc
+          | Some (_, v) -> drain (v :: acc)
+        in
+        check (Alcotest.list Alcotest.int) "survivors in order" [0; 1; 4; 5]
+          (drain []));
+    Alcotest.test_case "cancelling the head exposes the next event" `Quick
+      (fun () ->
+        let q = Eq.create () in
+        let h = Eq.push q (Time.of_us 1) 1 in
+        ignore (Eq.push q (Time.of_us 2) 2);
+        check Alcotest.bool "cancelled" true (Eq.cancel q h);
+        check Alcotest.int "length skips the corpse" 1 (Eq.length q);
+        check
+          (Alcotest.option (Alcotest.pair Alcotest.int Alcotest.int))
+          "pop skips the corpse" (Some (2, 2))
+          (Option.map (fun (t, v) -> (Time.to_us t, v)) (Eq.pop q));
+        check Alcotest.bool "empty after" true (Eq.is_empty q));
+    Alcotest.test_case "a stale handle never cancels a newer event" `Quick
+      (fun () ->
+        let q = Eq.create () in
+        let h = Eq.push q (Time.of_us 5) "old" in
+        check Alcotest.bool "first cancel" true (Eq.cancel q h);
+        (* Same timestamp, scheduled after the cancellation: the retired
+           handle must not alias it. *)
+        ignore (Eq.push q (Time.of_us 5) "new");
+        check Alcotest.bool "stale handle refused" false (Eq.cancel q h);
+        check
+          (Alcotest.option Alcotest.string)
+          "newer event survives" (Some "new")
+          (Option.map snd (Eq.pop q)));
+    Alcotest.test_case "ties straddling a pop still fire in push order"
+      `Quick (fun () ->
+        let q = Eq.create () in
+        ignore (Eq.push q (Time.of_us 5) "a");
+        ignore (Eq.push q (Time.of_us 5) "b");
+        check (Alcotest.option Alcotest.string) "first" (Some "a")
+          (Option.map snd (Eq.pop q));
+        (* Pushed after a pop, at the same instant: the sequence counter
+           is monotone for the queue's lifetime, so "c" follows "b". *)
+        ignore (Eq.push q (Time.of_us 5) "c");
+        check (Alcotest.option Alcotest.string) "second" (Some "b")
+          (Option.map snd (Eq.pop q));
+        check (Alcotest.option Alcotest.string) "third" (Some "c")
+          (Option.map snd (Eq.pop q)));
+    qtest
+      (QCheck.Test.make
+         ~name:"random cancellations preserve stable order of survivors"
+         ~count:100
+         QCheck.(
+           list_of_size
+             Gen.(int_range 0 100)
+             (pair (int_bound 50) bool))
+         (fun events ->
+            (* Schedule everything, cancel the flagged ones, and require
+               the drain to equal a stable sort of the survivors. *)
+            let q = Eq.create () in
+            let handles =
+              List.mapi
+                (fun i (t, dead) -> (t, i, dead, Eq.push q (Time.of_us t) (t, i)))
+                events
+            in
+            List.iter
+              (fun (_, _, dead, h) ->
+                 if dead then
+                   ignore (Eq.cancel q h))
+              handles;
+            let rec drain acc =
+              match Eq.pop q with
+              | None -> List.rev acc
+              | Some (_, v) -> drain (v :: acc)
+            in
+            let expected =
+              List.filter_map
+                (fun (t, i, dead, _) -> if dead then None else Some (t, i))
+                handles
+              |> List.stable_sort (fun (t, _) (t', _) -> compare t t')
+            in
+            drain [] = expected)) ]
 
 (* --- Engine --- *)
 
