@@ -45,6 +45,7 @@ let experiments : Experiment.t list =
     Exp_faults.experiment;
     Exp_ablations.experiment;
     Exp_lsr.experiment;
+    Exp_alloc.experiment;
     Micro.experiment ]
 
 let all_ids = List.map (fun e -> e.Experiment.id) experiments

@@ -14,6 +14,8 @@ let sample_packet =
        (Ipv4.Udp.make ~src_port:4000 ~dst_port:4000 (Bytes.create 64)))
 
 let encoded_packet = Packet.encode sample_packet
+let fwd_view_buf = Bytes.copy encoded_packet
+let fwd_view_budget = ref 0
 
 let mhrp_header =
   Mhrp.Mhrp_header.make ~prev_sources:[Addr.host 1 10; Addr.host 2 1]
@@ -113,6 +115,23 @@ let tests =
         ignore (Packet.decode encoded_packet)));
     Test.make ~name:"checksum-84B" (Staged.stage (fun () ->
         ignore (Ipv4.Checksum.of_bytes encoded_packet)));
+    (* the per-hop header work of the two forwarding paths; the view
+       test restores the TTL it decrements every 60 iterations to stay
+       steady-state.  exp_alloc gates the ratio. *)
+    Test.make ~name:"fwd-hot-record" (Staged.stage (fun () ->
+        let p = Packet.decode encoded_packet in
+        match Packet.decr_ttl p with
+        | Some p -> ignore (Packet.encode p)
+        | None -> assert false));
+    Test.make ~name:"fwd-hot-view" (Staged.stage (fun () ->
+        let v = Packet.View.make fwd_view_buf in
+        if not (Packet.View.valid v) then failwith "fwd-hot-view";
+        (if !fwd_view_budget = 0 then begin
+           Packet.View.set_ttl v Packet.default_ttl;
+           fwd_view_budget := 60
+         end);
+        decr fwd_view_budget;
+        Packet.View.decr_ttl v));
     Test.make ~name:"mhrp-header-encode" (Staged.stage (fun () ->
         ignore (Mhrp.Mhrp_header.encode mhrp_header Bytes.empty)));
     Test.make ~name:"mhrp-header-decode" (Staged.stage (fun () ->

@@ -1,0 +1,73 @@
+(* A freelist of packet buffers, keyed by exact byte length.
+
+   Frames carry bare [bytes] whose length *is* the wire length (byte
+   accounting and MTU checks read [Bytes.length]), so the pool hands out
+   exact-size buffers rather than capacity classes: workloads are
+   dominated by a handful of packet sizes (64-byte UDP payloads, tunnel
+   headers of a few fixed widths), so exact keying still reuses almost
+   every buffer.  Returned buffers hold stale bytes — every taker
+   overwrites the full buffer (encoders write each byte of header and
+   payload), which is why no clearing pass is needed.
+
+   Ownership discipline (DESIGN.md Section 11): [take] transfers the
+   buffer to the caller; [release] transfers it back and the caller must
+   drop every reference — a released buffer will be handed to someone
+   else and overwritten.  Never release a buffer that has been given to
+   a frame: the receiver owns it from delivery onward. *)
+
+type cls = {
+  mutable free : bytes list;
+  mutable n_free : int;
+}
+
+type t = {
+  classes : (int, cls) Hashtbl.t;
+  max_per_class : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable releases : int;
+  mutable discards : int;  (* releases bounced off a full class *)
+}
+
+let create ?(max_per_class = 64) () =
+  if max_per_class < 0 then invalid_arg "Buffer_pool.create: max_per_class";
+  { classes = Hashtbl.create 8; max_per_class; hits = 0; misses = 0;
+    releases = 0; discards = 0 }
+
+let class_for t len =
+  match Hashtbl.find_opt t.classes len with
+  | Some c -> c
+  | None ->
+    let c = { free = []; n_free = 0 } in
+    Hashtbl.replace t.classes len c;
+    c
+
+let take t len =
+  if len < 0 then invalid_arg "Buffer_pool.take: negative length";
+  let c = class_for t len in
+  match c.free with
+  | buf :: rest ->
+    c.free <- rest;
+    c.n_free <- c.n_free - 1;
+    t.hits <- t.hits + 1;
+    buf
+  | [] ->
+    t.misses <- t.misses + 1;
+    Bytes.create len
+
+let release t buf =
+  t.releases <- t.releases + 1;
+  let c = class_for t (Bytes.length buf) in
+  if c.n_free < t.max_per_class then begin
+    c.free <- buf :: c.free;
+    c.n_free <- c.n_free + 1
+  end
+  else t.discards <- t.discards + 1
+
+let hits t = t.hits
+let misses t = t.misses
+let releases t = t.releases
+let discards t = t.discards
+
+let pooled t =
+  Hashtbl.fold (fun _ c acc -> acc + c.n_free) t.classes 0

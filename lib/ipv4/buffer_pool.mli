@@ -1,0 +1,45 @@
+(** A freelist of packet buffers, keyed by exact byte length.
+
+    The encap/decap fast path builds outgoing wire packets into pooled
+    buffers instead of fresh allocations: [take] pops a previously
+    released buffer of the right size (or allocates on a miss), the
+    caller overwrites it completely, and whoever ends up owning the
+    bytes [release]s them when done.  Exact-length keying matters
+    because frames carry bare [bytes] whose length is the wire length.
+
+    Ownership rules — DESIGN.md Section 11: [take] transfers the buffer
+    to the caller; [release] transfers it back, after which the caller
+    must hold no reference (the buffer will be reissued and
+    overwritten).  A buffer handed to a frame belongs to the frame's
+    receiver and must not be released by the sender.  Buffers come back
+    dirty: takers must overwrite every byte they transmit.
+
+    Not domain-safe: one pool per domain (the parallel sweep runner
+    already gives each trial its own world). *)
+
+type t
+
+val create : ?max_per_class:int -> unit -> t
+(** [max_per_class] (default 64) bounds how many free buffers of one
+    size are retained; excess releases are dropped for the GC. *)
+
+val take : t -> int -> bytes
+(** A buffer of exactly the requested length, contents unspecified. *)
+
+val release : t -> bytes -> unit
+(** Return a buffer to the pool.  The caller must drop its references. *)
+
+(** {1 Counters} (deterministic; gated by the allocation CI lane) *)
+
+val hits : t -> int
+(** [take]s served from the freelist. *)
+
+val misses : t -> int
+(** [take]s that had to allocate. *)
+
+val releases : t -> int
+val discards : t -> int
+(** Releases dropped because the size class was full. *)
+
+val pooled : t -> int
+(** Free buffers currently held, across all size classes. *)

@@ -153,6 +153,90 @@ let decode_prefix buf =
 
 let decr_ttl t = if t.ttl <= 1 then None else Some { t with ttl = t.ttl - 1 }
 
+(* Zero-copy slice views over encoded packets: the forwarding fast path
+   reads fields and rewrites TTL/checksum in place without ever building
+   a [t].  A view only points into its buffer; see DESIGN.md Section 11
+   for the ownership rules that make in-place mutation sound. *)
+module View = struct
+  type t = {
+    buf : bytes;
+    off : int;
+    len : int;
+  }
+
+  let make ?(off = 0) ?len buf =
+    let len = match len with Some l -> l | None -> Bytes.length buf - off in
+    if off < 0 || len < 0 || off + len > Bytes.length buf then
+      invalid_arg "Packet.View.make: range";
+    { buf; off; len }
+
+  let buffer v = v.buf
+  let offset v = v.off
+  let length v = v.len
+
+  let u8 v i = Char.code (Bytes.get v.buf (v.off + i))
+  let u16 v i = Bytes.get_uint16_be v.buf (v.off + i)
+
+  (* Accepts exactly what [decode] accepts structurally: a complete
+     IPv4 header with a valid checksum and a total length that fits the
+     slice.  Never raises, whatever the bytes — checked by a QCheck
+     totality property.  (Option *contents* are not parsed here; the
+     fast path only handles option-free headers and falls back to
+     [decode] — which does parse and may reject them — otherwise.) *)
+  let valid v =
+    v.len >= 20
+    && (let b0 = u8 v 0 in
+        b0 lsr 4 = 4
+        && (let hlen = (b0 land 0xF) * 4 in
+            hlen >= 20 && hlen <= v.len
+            && Checksum.valid_range v.buf ~off:v.off ~len:hlen
+            && (let tlen = u16 v 2 in
+                tlen >= hlen && tlen <= v.len)))
+
+  let header_length v = (u8 v 0 land 0xF) * 4
+  let total_length v = u16 v 2
+  let tos v = u8 v 1
+  let id v = u16 v 4
+  let ttl v = u8 v 8
+  let proto v = u8 v 9
+  let src v = Addr.of_int ((u16 v 12 lsl 16) lor u16 v 14)
+  let dst v = Addr.of_int ((u16 v 16 lsl 16) lor u16 v 18)
+  let has_options v = header_length v > 20
+  let dont_fragment v = u16 v 6 land 0x4000 <> 0
+
+  let is_fragment v =
+    let flags = u16 v 6 in
+    flags land 0x2000 <> 0 || flags land 0x1FFF <> 0
+
+  (* TTL shares its 16-bit checksum word with the protocol byte. *)
+  let set_ttl v new_ttl =
+    if new_ttl < 0 || new_ttl > 0xFF then
+      invalid_arg "Packet.View.set_ttl: out of range";
+    let old_word = u16 v 8 in
+    let new_word = (new_ttl lsl 8) lor (old_word land 0xFF) in
+    if new_word <> old_word then begin
+      Bytes.set v.buf (v.off + 8) (Char.chr new_ttl);
+      Checksum.update v.buf ~at:(v.off + 10) ~old_word ~new_word
+    end
+
+  (* [set_ttl (ttl - 1)] with the TTL/protocol word read once: the TTL
+     always changes, so no unchanged-word test either. *)
+  let decr_ttl v =
+    let old_word = u16 v 8 in
+    let t = old_word lsr 8 in
+    if t < 1 then invalid_arg "Packet.View.decr_ttl: ttl is zero";
+    Bytes.set v.buf (v.off + 8) (Char.chr (t - 1));
+    Checksum.update v.buf ~at:(v.off + 10) ~old_word
+      ~new_word:(((t - 1) lsl 8) lor (old_word land 0xFF))
+
+  let to_wire v =
+    if v.off = 0 && v.len = Bytes.length v.buf then v.buf
+    else Bytes.sub v.buf v.off v.len
+
+  let decode v = decode (to_wire v)
+  let decode_prefix v = decode_prefix (to_wire v)
+end
+
 let pp ppf t =
   Format.fprintf ppf "%a -> %a %a len=%d ttl=%d%s" Addr.pp t.src Addr.pp
     t.dst Proto.pp t.proto (total_length t) t.ttl

@@ -84,5 +84,69 @@ val decr_ttl : t -> t option
 (** [None] when the TTL hits zero — caller should emit ICMP time
     exceeded. *)
 
+(** Zero-copy slice views over encoded packets.
+
+    A view is a window [\[off, off+len)] onto a buffer holding a wire
+    packet.  The forwarding fast path validates, reads fields and
+    rewrites TTL (patching the header checksum incrementally) straight
+    through a view, never materialising a {!t}; decoding happens only at
+    protocol endpoints.  Views alias their buffer — mutation is visible
+    to every other holder.  DESIGN.md Section 11 spells out the
+    ownership rules (who may mutate a buffer, and when) that keep this
+    sound. *)
+module View : sig
+  type packet := t
+  type t
+
+  val make : ?off:int -> ?len:int -> bytes -> t
+  (** View of [\[off, off+len)] (default: the whole buffer).  Raises
+      [Invalid_argument] if the range does not fit the buffer; the
+      *contents* are not inspected — call {!valid} for that. *)
+
+  val buffer : t -> bytes
+  val offset : t -> int
+  val length : t -> int
+
+  val valid : t -> bool
+  (** Structural acceptance, mirroring {!decode}: complete IPv4 header,
+      valid header checksum, total length within the slice.  Total —
+      never raises, whatever the bytes.  Does not parse option contents
+      (the fast path handles only option-free headers). *)
+
+  (** Field accessors.  Unchecked: call only after {!valid}. *)
+
+  val header_length : t -> int
+  val total_length : t -> int
+  val tos : t -> int
+  val id : t -> int
+  val ttl : t -> int
+  val proto : t -> Proto.t
+  val src : t -> Addr.t
+  val dst : t -> Addr.t
+  val has_options : t -> bool
+  val dont_fragment : t -> bool
+  val is_fragment : t -> bool
+
+  val set_ttl : t -> int -> unit
+  (** Rewrite the TTL byte in place and incrementally patch the header
+      checksum ({!Checksum.update}) — byte-for-byte what
+      decode → set → {!encode} would produce.  Raises [Invalid_argument]
+      outside [0, 255]. *)
+
+  val decr_ttl : t -> unit
+  (** [set_ttl (ttl - 1)].  Raises [Invalid_argument] at zero — the fast
+      path checks TTL before committing to forward. *)
+
+  val to_wire : t -> bytes
+  (** The viewed bytes.  Returns the underlying buffer itself (no copy)
+      when the view covers it exactly, so the fast path can hand a
+      received buffer straight back to the wire. *)
+
+  val decode : t -> packet
+  (** Full decode of the slice, for endpoints and slow-path fallbacks. *)
+
+  val decode_prefix : t -> (packet * int) option
+end
+
 val pp : Format.formatter -> t -> unit
 (** One-line summary: [src -> dst proto len=N ttl=N]. *)

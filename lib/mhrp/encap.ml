@@ -95,3 +95,115 @@ let retunnel ~max_prev_sources ~me ~new_dst (pkt : Ipv4.Packet.t) =
 
 let added_bytes ~original ~tunneled =
   Ipv4.Packet.total_length tunneled - Ipv4.Packet.total_length original
+
+(* --- zero-copy wire-level encap/decap ---
+
+   The record-based functions above decode, rebuild and re-encode a
+   whole packet per tunnel operation.  These build the outgoing wire
+   bytes directly from a {!Ipv4.Packet.View} of the original, into a
+   buffer drawn from a {!Ipv4.Buffer_pool}: prepend the new IP + MHRP
+   headers, blit the transport payload once, checksum in place.  Output
+   is byte-identical to [Packet.encode (tunnel_by_* (View.decode v))]
+   (QCheck-verified), so either path may serve any packet.  Option-free
+   originals only — the record path keeps IP options in the tunnel
+   envelope, a rebuild these single-blit functions cannot do — callers
+   fall back on [has_options].  The returned buffer is owned by the
+   caller (release it, or hand it to a frame whose receiver then owns
+   it — DESIGN.md Section 11). *)
+
+module View = Ipv4.Packet.View
+
+let blit_addr buf i a =
+  let v = Ipv4.Addr.to_int a in
+  Bytes.set_uint16_be buf i (v lsr 16);
+  Bytes.set_uint16_be buf (i + 2) (v land 0xFFFF)
+
+let read_addr buf i =
+  Ipv4.Addr.of_int
+    ((Bytes.get_uint16_be buf i lsl 16) lor Bytes.get_uint16_be buf (i + 2))
+
+let tunnel_into ~pool ~src ~dst ~prev_sources v =
+  if View.has_options v then
+    invalid_arg "Encap.tunnel_into: original carries IP options";
+  let vbuf = View.buffer v and voff = View.offset v in
+  let ihl = View.header_length v in
+  let transport_len = View.total_length v - ihl in
+  let n_prev = List.length prev_sources in
+  let mh_len = Mhrp_header.fixed_length + (4 * n_prev) in
+  let tlen = 20 + mh_len + transport_len in
+  if n_prev > 255 then invalid_arg "Encap.tunnel_into: list too long";
+  if tlen > 0xFFFF then invalid_arg "Encap.tunnel_into: packet too long";
+  let buf = Ipv4.Buffer_pool.take pool tlen in
+  (* IP envelope: tos, id, flags and TTL travel over from the original *)
+  Bytes.set buf 0 '\x45';
+  Bytes.set buf 1 (Bytes.get vbuf (voff + 1));
+  Bytes.set_uint16_be buf 2 tlen;
+  Bytes.blit vbuf (voff + 4) buf 4 4;  (* id + flags/fragment offset *)
+  Bytes.set buf 8 (Bytes.get vbuf (voff + 8));
+  Bytes.set buf 9 (Char.chr Ipv4.Proto.mhrp);
+  blit_addr buf 12 src;
+  blit_addr buf 16 dst;
+  (* MHRP header, checksummed over its own bytes *)
+  Bytes.set buf 20 (Char.chr n_prev);
+  Bytes.set buf 21 (Char.chr (View.proto v));
+  Bytes.set buf 22 '\000';
+  Bytes.set buf 23 '\000';
+  blit_addr buf 24 (View.dst v);  (* the mobile: the original destination *)
+  List.iteri (fun k a -> blit_addr buf (28 + (4 * k)) a) prev_sources;
+  Ipv4.Checksum.set buf ~at:22 ~off:20 ~len:mh_len;
+  (* the transport payload moves exactly once *)
+  Bytes.blit vbuf (voff + ihl) buf (20 + mh_len) transport_len;
+  Ipv4.Checksum.set buf ~at:10 ~off:0 ~len:20;
+  buf
+
+let tunnel_by_sender_into ~pool ~foreign_agent v =
+  tunnel_into ~pool ~src:(View.src v) ~dst:foreign_agent ~prev_sources:[] v
+
+let tunnel_by_agent_into ~pool ~agent ~foreign_agent v =
+  tunnel_into ~pool ~src:agent ~dst:foreign_agent
+    ~prev_sources:[View.src v] v
+
+let detunnel_into ~pool v =
+  if View.proto v <> Ipv4.Proto.mhrp then None
+  else if View.has_options v then
+    invalid_arg "Encap.detunnel_into: envelope carries IP options"
+  else begin
+    let vbuf = View.buffer v and voff = View.offset v in
+    let ihl = View.header_length v in
+    let plen = View.total_length v - ihl in
+    let mh_off = voff + ihl in
+    if plen < Mhrp_header.fixed_length then None
+    else begin
+      let count = Char.code (Bytes.get vbuf mh_off) in
+      let mh_len = Mhrp_header.fixed_length + (4 * count) in
+      if plen < mh_len
+         || not (Ipv4.Checksum.valid ~off:mh_off ~len:mh_len vbuf)
+      then None
+      else begin
+        let header =
+          Mhrp_header.make
+            ~prev_sources:
+              (List.init count (fun k -> read_addr vbuf (mh_off + 8 + (4 * k))))
+            ~orig_proto:(Char.code (Bytes.get vbuf (mh_off + 1)))
+            ~mobile:(read_addr vbuf (mh_off + 4)) ()
+        in
+        let transport_len = plen - mh_len in
+        let tlen = 20 + transport_len in
+        let buf = Ipv4.Buffer_pool.take pool tlen in
+        Bytes.set buf 0 '\x45';
+        Bytes.set buf 1 (Bytes.get vbuf (voff + 1));
+        Bytes.set_uint16_be buf 2 tlen;
+        Bytes.blit vbuf (voff + 4) buf 4 4;
+        Bytes.set buf 8 (Bytes.get vbuf (voff + 8));
+        Bytes.set buf 9 (Char.chr header.Mhrp_header.orig_proto);
+        blit_addr buf 12
+          (match Mhrp_header.original_sender header with
+           | Some s -> s
+           | None -> View.src v);
+        blit_addr buf 16 header.Mhrp_header.mobile;
+        Bytes.blit vbuf (mh_off + mh_len) buf 20 transport_len;
+        Ipv4.Checksum.set buf ~at:10 ~off:0 ~len:20;
+        Some (buf, header)
+      end
+    end
+  end

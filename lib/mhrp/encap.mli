@@ -54,3 +54,38 @@ val retunnel :
 
 val added_bytes : original:Ipv4.Packet.t -> tunneled:Ipv4.Packet.t -> int
 (** Wire-size difference — the overhead the paper quotes as 8/12 bytes. *)
+
+(** {1 Zero-copy wire-level encap/decap}
+
+    Pool-backed equivalents of {!tunnel_by_sender}, {!tunnel_by_agent}
+    and {!detunnel} that never build an {!Ipv4.Packet.t}: they read the
+    original through an {!Ipv4.Packet.View}, draw an exact-size buffer
+    from an {!Ipv4.Buffer_pool}, write the new headers directly and blit
+    the transport payload once.  The produced bytes are byte-identical
+    to encoding the record-path result (QCheck-verified), so the two
+    paths are freely interchangeable on the wire.
+
+    All three require an option-free original ([View.has_options v =
+    false]) and raise [Invalid_argument] otherwise — the record path
+    preserves IP options in the rebuilt envelope, which a fixed-layout
+    single blit cannot; callers fall back to the record path for those.
+    The returned buffer is owned by the caller until handed to a frame
+    (DESIGN.md Section 11). *)
+
+val tunnel_by_sender_into :
+  pool:Ipv4.Buffer_pool.t -> foreign_agent:Ipv4.Addr.t ->
+  Ipv4.Packet.View.t -> bytes
+(** Wire bytes of [tunnel_by_sender ~foreign_agent (View.decode v)]. *)
+
+val tunnel_by_agent_into :
+  pool:Ipv4.Buffer_pool.t -> agent:Ipv4.Addr.t ->
+  foreign_agent:Ipv4.Addr.t -> Ipv4.Packet.View.t -> bytes
+(** Wire bytes of [tunnel_by_agent ~agent ~foreign_agent (View.decode v)]. *)
+
+val detunnel_into :
+  pool:Ipv4.Buffer_pool.t -> Ipv4.Packet.View.t ->
+  (bytes * Mhrp_header.t) option
+(** Wire bytes of the reconstructed original, paired with the parsed
+    MHRP header: [detunnel (View.decode v)] with the packet encoded.
+    [None] exactly when the record path returns [None] (not MHRP,
+    truncated or checksum-corrupt MHRP header). *)

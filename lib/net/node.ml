@@ -36,8 +36,11 @@ type t = {
   reassembly : Ipv4.Packet.Reassembly.t;
   arp_tries : (Ipv4.Addr.t, int) Hashtbl.t;
   proto_handlers : (int, t -> Ipv4.Packet.t -> unit) Hashtbl.t;
-  mutable accept_ip : t -> Ipv4.Packet.t -> bool;
-  mutable rewrite_forward : t -> Ipv4.Packet.t -> forward_action;
+  (* [None] means the built-in default (refuse / plain Forward).  Kept
+     as options so the forwarding fast path can see at a glance that no
+     stack is watching and skip the full decode (see [fast_rx]). *)
+  mutable accept_ip : (t -> Ipv4.Packet.t -> bool) option;
+  mutable rewrite_forward : (t -> Ipv4.Packet.t -> forward_action) option;
   mutable arp_proxy : Ipv4.Addr.t -> bool;
   mutable reboot_hooks : (t -> unit) list;
   mutable deliver_taps : (t -> Ipv4.Packet.t -> unit) list;
@@ -50,6 +53,8 @@ type t = {
   mutable fault_filter : (t -> Ipv4.Packet.t -> bool) option;
   mutable up : bool;
   mutable n_forwarded : int;
+  mutable n_fast_forwarded : int;
+  (* subset of [n_forwarded] that took the zero-copy view path *)
   mutable n_delivered : int;
   mutable n_originated : int;
   mutable n_dropped : int;
@@ -75,8 +80,8 @@ let create ~engine ~mac_alloc ?trace ?(router = false) ?proc_delay
     reassembly = Ipv4.Packet.Reassembly.create ();
     arp_tries = Hashtbl.create 8;
     proto_handlers = Hashtbl.create 8;
-    accept_ip = (fun _ _ -> false);
-    rewrite_forward = (fun _ _ -> Forward);
+    accept_ip = None;
+    rewrite_forward = None;
     arp_proxy = (fun _ -> false);
     reboot_hooks = [];
     deliver_taps = [];
@@ -86,22 +91,26 @@ let create ~engine ~mac_alloc ?trace ?(router = false) ?proc_delay
     drop_taps = [];
     fault_filter = None;
     up = true;
-    n_forwarded = 0; n_delivered = 0; n_originated = 0; n_dropped = 0 }
+    n_forwarded = 0; n_fast_forwarded = 0; n_delivered = 0;
+    n_originated = 0; n_dropped = 0 }
 
 let name t = t.name
 let engine t = t.engine
 let is_router t = t.router
 let trace t = t.tr
 
+(* Format only when someone is listening: with tracing absent or
+   disabled the arguments are consumed without rendering ([ikfprintf]),
+   so per-packet trace calls cost nothing on benchmark runs. *)
 let tracef t kind fmt =
-  Format.kasprintf
-    (fun detail ->
-       match t.tr with
-       | None -> ()
-       | Some tr ->
+  match t.tr with
+  | Some tr when Netsim.Trace.enabled tr ->
+    Format.kasprintf
+      (fun detail ->
          Netsim.Trace.emit tr ~at:(Engine.now t.engine) ~node:t.name ~kind
            detail)
-    fmt
+      fmt
+  | _ -> Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
 
 (* --- addresses --- *)
 
@@ -150,8 +159,8 @@ let update_routes t f = t.table <- f t.table
 
 let set_proto_handler t proto h = Hashtbl.replace t.proto_handlers proto h
 let clear_proto_handler t proto = Hashtbl.remove t.proto_handlers proto
-let set_accept_ip t f = t.accept_ip <- f
-let set_rewrite_forward t f = t.rewrite_forward <- f
+let set_accept_ip t f = t.accept_ip <- Some f
+let set_rewrite_forward t f = t.rewrite_forward <- Some f
 let set_arp_proxy t f = t.arp_proxy <- f
 let on_reboot t f = t.reboot_hooks <- f :: t.reboot_hooks
 (* Taps multicast in registration order so a late observer (say, an
@@ -532,7 +541,9 @@ let forward t (pkt : Ipv4.Packet.t) =
       (fun original -> Ipv4.Icmp.Time_exceeded { code = 0; original })
       pkt
   | Some pkt ->
-    match t.rewrite_forward t pkt with
+    match
+      (match t.rewrite_forward with Some f -> f t pkt | None -> Forward)
+    with
     | Consume -> ()
     | Drop reason -> drop t reason pkt
     | Replace pkt' ->
@@ -550,23 +561,122 @@ let rx_ip t (pkt : Ipv4.Packet.t) =
   if Ipv4.Addr.equal pkt.Ipv4.Packet.dst Ipv4.Addr.broadcast
      || has_address t pkt.Ipv4.Packet.dst
   then deliver_local t pkt
-  else if t.accept_ip t pkt then begin
+  else if (match t.accept_ip with Some f -> f t pkt | None -> false)
+  then begin
     tracef t "intercept" "%a" Ipv4.Packet.pp pkt;
     deliver_local t pkt
   end
   else if t.router then forward t pkt
   else drop t "not-mine" pkt
 
+(* The classical receive path: full decode, then the hook-driven stack. *)
+let rx_ip_bytes t bytes =
+  match Ipv4.Packet.decode bytes with
+  | pkt -> rx_ip t pkt
+  | exception Invalid_argument msg ->
+    tracef t "drop" "malformed packet: %s" msg;
+    t.n_dropped <- t.n_dropped + 1
+
+(* --- zero-copy forwarding fast path ---
+
+   A transit router whose stack is not watching (no accept_ip claim, no
+   rewrite hook, no forward taps, tracing off) forwards a packet without
+   ever decoding it: validate the header through a {!Ipv4.Packet.View},
+   rewrite TTL and patch the checksum in place, and hand the *received*
+   buffer straight to the outgoing frame.  Mutating the received buffer
+   is sound because a unicast frame's payload has exactly one owner
+   after delivery (DESIGN.md Section 11): LAN monitors have already run
+   synchronously, and anything they keep is decoded (copied), never the
+   raw buffer.  Every condition the fast path cannot preserve
+   byte-for-byte — options, fragmentation at the egress MTU, TTL
+   expiry, ARP misses, fault filters, transmit taps — falls back to the
+   classical path on the same bytes, so wire semantics, counters, drops
+   and ICMP errors are identical either way; only allocation and CPU
+   cost differ.  Hooks installed between receipt and the (delayed)
+   transmit are honoured by re-checking at emit time, mirroring where
+   the classical path consults them. *)
+
+module View = Ipv4.Packet.View
+
+let fast_forward_eligible t =
+  t.router
+  && (match t.accept_ip with None -> true | Some _ -> false)
+  && (match t.rewrite_forward with None -> true | Some _ -> false)
+  && (match t.forward_taps with [] -> true | _ :: _ -> false)
+  && not (Netsim.Trace.active t.tr)
+
+let fast_frame_out t i ~dst_mac v =
+  let s = iface t i in
+  let needs_slow_emit =
+    View.total_length v > Lan.mtu s.lan
+    || (match t.fault_filter with Some _ -> true | None -> false)
+    || (match t.transmit_taps with [] -> false | _ :: _ -> true)
+  in
+  if needs_slow_emit then frame_out t i ~dst_mac (View.decode v)
+  else Lan.send s.lan (Frame.ip ~src:s.mac ~dst:dst_mac (View.to_wire v))
+
+let fast_resolve_and_emit t i ~next_hop v =
+  match arp_fresh t next_hop with
+  | Some mac -> fast_frame_out t i ~dst_mac:mac v
+  | None ->
+    (* ARP miss: park the decoded packet on the classical pending queue;
+       the eventual flush re-encodes it to the same bytes. *)
+    resolve_and_emit t i ~next_hop (View.decode v)
+
+let fast_route_and_send t v =
+  if not t.up then ()
+  else
+    let dst = View.dst v in
+    match Route.lookup t.table dst with
+    | None ->
+      let pkt = View.decode v in
+      drop t "no-route" pkt;
+      if not (has_address t pkt.Ipv4.Packet.src) then
+        icmp_error t
+          (fun original ->
+             Ipv4.Icmp.Dest_unreachable { code = 0; original })
+          pkt
+    | Some (Route.Direct i) ->
+      (match iface t i with
+       | exception Invalid_argument _ -> drop t "iface-down" (View.decode v)
+       | _ -> fast_resolve_and_emit t i ~next_hop:dst v)
+    | Some (Route.Via gw) ->
+      match iface_for_next_hop t gw with
+      | None -> drop t "gateway-unreachable" (View.decode v)
+      | Some i -> fast_resolve_and_emit t i ~next_hop:gw v
+
+let fast_forward t v =
+  t.n_forwarded <- t.n_forwarded + 1;
+  t.n_fast_forwarded <- t.n_fast_forwarded + 1;
+  View.decr_ttl v;
+  delayed t ~slow:false (fun () -> fast_route_and_send t v)
+
+let fast_rx t bytes =
+  let v = View.make bytes in
+  if not (View.valid v)
+     (* options may be malformed (decode rejects them) and cost the
+        slow-path delay factor; whole-buffer views only, so the egress
+        frame carries no trailing bytes the classical encode would trim *)
+     || View.has_options v
+     || View.total_length v <> Bytes.length bytes
+  then rx_ip_bytes t bytes
+  else
+    let dst = View.dst v in
+    if Ipv4.Addr.equal dst Ipv4.Addr.broadcast || has_address t dst
+       || View.ttl v <= 1
+    then rx_ip_bytes t bytes
+    else fast_forward t v
+
 let on_frame t i (frame : Frame.t) =
   if t.up then
     match frame.Frame.content with
     | Frame.Arp a -> handle_arp t i a
     | Frame.Ip bytes ->
-      match Ipv4.Packet.decode bytes with
-      | pkt -> rx_ip t pkt
-      | exception Invalid_argument msg ->
-        tracef t "drop" "malformed packet: %s" msg;
-        t.n_dropped <- t.n_dropped + 1
+      (* A MAC-broadcast frame's payload is shared by every station on
+         the LAN and must never be mutated in place. *)
+      if fast_forward_eligible t && not (Mac.is_broadcast frame.Frame.dst)
+      then fast_rx t bytes
+      else rx_ip_bytes t bytes
 
 (* --- attachment --- *)
 
@@ -606,6 +716,7 @@ let crash_for t d =
 (* --- counters --- *)
 
 let packets_forwarded t = t.n_forwarded
+let packets_fast_forwarded t = t.n_fast_forwarded
 let packets_delivered t = t.n_delivered
 let packets_originated t = t.n_originated
 let packets_dropped t = t.n_dropped

@@ -182,6 +182,18 @@ val crash_for : t -> Netsim.Time.t -> unit
 (** {1 Counters} *)
 
 val packets_forwarded : t -> int
+
+val packets_fast_forwarded : t -> int
+(** The subset of {!packets_forwarded} received on the zero-copy view
+    path: no decode, in-place TTL/checksum rewrite, and — unless egress
+    needs fragmentation — the received buffer reused for the outgoing
+    frame.  The path engages on transit routers with no accept/rewrite
+    hooks, no forward taps and tracing off, for option-free unicast
+    packets; everything else falls back to the decoded path with
+    identical wire semantics.  Counted at receive time, so a hop whose
+    egress falls back (fragmentation) still counts.  The allocation CI
+    lane gates this counter to catch accidental de-optimisation. *)
+
 val packets_delivered : t -> int
 val packets_originated : t -> int
 val packets_dropped : t -> int

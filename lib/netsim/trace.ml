@@ -19,6 +19,8 @@ let create ?(capacity = 65536) () =
 let enabled t = t.on
 let set_enabled t v = t.on <- v
 
+let active = function None -> false | Some t -> t.on
+
 let emit t ~at ~node ~kind detail =
   if t.on then begin
     t.events <- { at; node; kind; detail } :: t.events;

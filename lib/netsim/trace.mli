@@ -21,6 +21,11 @@ val create : ?capacity:int -> unit -> t
 val enabled : t -> bool
 val set_enabled : t -> bool -> unit
 
+val active : t option -> bool
+(** [active tr] — a trace is present and enabled.  Per-packet emitters
+    (and the forwarding fast path, which skips work when nobody
+    listens) guard on this before rendering any detail string. *)
+
 val emit : t -> at:Time.t -> node:string -> kind:string -> string -> unit
 val events : t -> event list
 (** Oldest first. *)

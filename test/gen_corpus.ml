@@ -1,0 +1,113 @@
+(* Golden wire corpus: one named, deterministically-constructed message
+   per line, hex-dumped.  The committed test/golden/wire_corpus.hex is
+   the reference; a dune diff rule (aliases @runtest and @wire-corpus)
+   fails when any codec's output drifts.  After an INTENDED wire-format
+   change, regenerate with `dune promote` and review the diff — every
+   changed line is a wire-compatibility break.
+
+   Covers the encoders whose byte layout the experiments depend on: IP
+   headers (plain, TOS/DF/TTL variants, options), fragmentation, MHRP
+   encapsulation (sender-, agent-built and re-tunneled), MHRP control
+   messages, ICMP including the location update, the authentication
+   extension, and link-state hello/LSA floods. *)
+
+module Addr = Ipv4.Addr
+module Packet = Ipv4.Packet
+module Time = Netsim.Time
+
+let hex buf =
+  String.concat ""
+    (List.map (Printf.sprintf "%02x") (List.map Char.code
+       (List.init (Bytes.length buf) (Bytes.get buf))))
+
+let udp payload_len =
+  Ipv4.Udp.encode
+    (Ipv4.Udp.make ~src_port:4000 ~dst_port:4001 (Bytes.make payload_len '\x5a'))
+
+let s = Addr.host 1 10
+let m = Addr.host 2 10
+let ha = Addr.host 2 1
+let fa = Addr.host 4 1
+let fa2 = Addr.host 5 1
+
+let basic = Packet.make ~id:7 ~proto:Ipv4.Proto.udp ~src:s ~dst:m (udp 16)
+
+let corpus =
+  [ ("ip-udp-basic", Packet.encode basic);
+    ( "ip-tos-df-ttl1",
+      Packet.encode
+        (Packet.make ~tos:0x10 ~id:0xBEEF ~dont_fragment:true ~ttl:1
+           ~proto:Ipv4.Proto.udp ~src:s ~dst:m (udp 8)) );
+    ( "ip-opt-lsrr",
+      Packet.encode
+        (Packet.make ~id:9
+           ~options:[Ipv4.Ip_option.lsrr [ha; fa]; Ipv4.Ip_option.Nop]
+           ~proto:Ipv4.Proto.udp ~src:s ~dst:m (udp 8)) );
+    ( "ip-opt-record-route",
+      Packet.encode
+        (Packet.make ~id:10
+           ~options:
+             [ Ipv4.Ip_option.Record_route
+                 { pointer = 8; route = [| s; Addr.zero; Addr.zero |] } ]
+           ~proto:Ipv4.Proto.udp ~src:s ~dst:m (udp 8)) ) ]
+  @ List.mapi
+      (fun i frag -> (Printf.sprintf "ip-frag-%d" i, Packet.encode frag))
+      (Packet.fragment
+         (Packet.make ~id:11 ~proto:Ipv4.Proto.udp ~src:s ~dst:m (udp 100))
+         ~mtu:64)
+  @ (let tunneled = Mhrp.Encap.tunnel_by_agent ~agent:ha ~foreign_agent:fa basic in
+     let retunneled =
+       match
+         Mhrp.Encap.retunnel ~max_prev_sources:8 ~me:fa ~new_dst:fa2 tunneled
+       with
+       | Some (Mhrp.Encap.Retunneled p) -> p
+       | _ -> failwith "gen_corpus: retunnel"
+     in
+     [ ( "mhrp-tunnel-sender",
+         Packet.encode (Mhrp.Encap.tunnel_by_sender ~foreign_agent:fa basic) );
+       ("mhrp-tunnel-agent", Packet.encode tunneled);
+       ("mhrp-retunneled", Packet.encode retunneled) ])
+  @ List.map
+      (fun (name, msg) -> (name, Mhrp.Control.encode msg))
+      [ ("ctl-reg-request", Mhrp.Control.Reg_request { mobile = m; foreign_agent = fa });
+        ("ctl-reg-reply", Mhrp.Control.Reg_reply { mobile = m; accepted = true });
+        ("ctl-fa-connect", Mhrp.Control.Fa_connect { mobile = m; mac = Net.Mac.of_int 42 });
+        ("ctl-fa-connect-ack", Mhrp.Control.Fa_connect_ack { mobile = m });
+        ( "ctl-fa-disconnect",
+          Mhrp.Control.Fa_disconnect { mobile = m; new_foreign_agent = fa2 } );
+        ("ctl-ha-sync", Mhrp.Control.Ha_sync { mobile = m; foreign_agent = fa });
+        ("ctl-ha-sync-ack", Mhrp.Control.Ha_sync_ack { mobile = m }) ]
+  @ List.map
+      (fun (name, msg) -> (name, Ipv4.Icmp.encode msg))
+      [ ( "icmp-echo-request",
+          Ipv4.Icmp.Echo_request { ident = 3; seq = 1; data = Bytes.make 4 '\x11' } );
+        ( "icmp-time-exceeded",
+          Ipv4.Icmp.Time_exceeded { code = 0; original = Packet.encode basic } );
+        ("icmp-host-unreachable", Ipv4.Icmp.host_unreachable ~original:(Packet.encode basic));
+        ( "icmp-location-update",
+          Ipv4.Icmp.Location_update { mobile = m; foreign_agent = fa } );
+        ( "icmp-agent-advertisement",
+          Ipv4.Icmp.Agent_advertisement { agent = fa; home = false; foreign = true } ) ]
+  @ (let key = Auth.Siphash.of_string "corpus key" in
+     let payload =
+       Mhrp.Control.encode
+         (Mhrp.Control.Reg_request { mobile = m; foreign_agent = fa })
+     in
+     let ext =
+       Auth.Extension.sign ~key ~spi:7 ~timestamp:(Time.of_ms 1500)
+         ~nonce:99L payload
+     in
+     [("auth-signed-reg-request", Bytes.cat payload (Auth.Extension.encode ext))])
+  @ [ ("lsr-hello", Lsr.Packet.encode (Lsr.Packet.Hello { origin = ha }));
+      ( "lsr-lsa",
+        Lsr.Packet.encode
+          (Lsr.Packet.Lsa
+             { origin = ha;
+               seq = 12;
+               links =
+                 [ { Lsr.Packet.prefix = Addr.net 2;
+                     addr = ha;
+                     neighbors = [Addr.host 0 1; Addr.host 0 2] } ] }) ) ]
+
+let () =
+  List.iter (fun (name, buf) -> Printf.printf "%s %s\n" name (hex buf)) corpus

@@ -1,0 +1,262 @@
+(* The zero-copy forwarding fast path (DESIGN.md Section 11): the
+   in-place header rewrite and pool-backed encap must be byte-equivalent
+   to the classical decode -> rebuild -> encode paths, the view decoders
+   must be total on hostile bytes, and a transit chain must produce
+   byte-identical traffic whether or not the fast path engages. *)
+
+module Time = Netsim.Time
+module Rng = Netsim.Rng
+module Addr = Ipv4.Addr
+module Packet = Ipv4.Packet
+module View = Ipv4.Packet.View
+module Node = Net.Node
+module Topology = Net.Topology
+
+let qtest = QCheck_alcotest.to_alcotest
+let arb_seed = QCheck.(make ~print:string_of_int Gen.(int_bound 1_000_000))
+
+(* A random packet: fields, fragmentation bits, options and payload all
+   derived from one printable seed. *)
+let mk_packet ?(options = true) rng =
+  let opts =
+    if not options then []
+    else
+      match Rng.int rng 4 with
+      | 0 -> [Ipv4.Ip_option.lsrr [Addr.host 9 1; Addr.host 9 2]]
+      | 1 -> [Ipv4.Ip_option.Nop; Ipv4.Ip_option.lsrr [Addr.host 9 3]]
+      | _ -> []
+  in
+  let more_fragments = Rng.int rng 4 = 0 in
+  Packet.make ~tos:(Rng.int rng 256) ~id:(Rng.int rng 0x10000)
+    ~dont_fragment:(Rng.int rng 4 = 0 && not more_fragments)
+    ~more_fragments
+    ~frag_offset:(8 * Rng.int rng 16)
+    ~ttl:(1 + Rng.int rng 255)
+    ~proto:(Rng.int rng 256)
+    ~src:(Addr.host (Rng.int rng 200) (1 + Rng.int rng 250))
+    ~dst:(Addr.host (Rng.int rng 200) (1 + Rng.int rng 250))
+    (Bytes.init (Rng.int rng 201) (fun _ -> Char.chr (Rng.int rng 256)))
+    ~options:opts
+
+(* In-place TTL rewrite == decode -> mutate -> re-encode, bit for bit,
+   for arbitrary headers (with and without options). *)
+let patch_equals_reencode seed =
+  let rng = Rng.of_int seed in
+  let p = mk_packet rng in
+  let wire = Packet.encode p in
+  let new_ttl = Rng.int rng 256 in
+  let a = Bytes.copy wire in
+  let va = View.make a in
+  View.valid va
+  && (View.decr_ttl va;
+      Bytes.equal a
+        (Packet.encode { p with Ipv4.Packet.ttl = p.Ipv4.Packet.ttl - 1 }))
+  && (let b = Bytes.copy wire in
+      let vb = View.make b in
+      View.set_ttl vb new_ttl;
+      Bytes.equal b (Packet.encode { p with Ipv4.Packet.ttl = new_ttl }))
+
+(* Checksum.update == zero-and-recompute after any single word change,
+   on any header-like range (first byte pinned non-zero, as in real IPv4
+   headers — the documented precondition). *)
+let update_equals_set seed =
+  let rng = Rng.of_int seed in
+  let len = 20 + (2 * Rng.int rng 21) in
+  let buf = Bytes.init len (fun _ -> Char.chr (Rng.int rng 256)) in
+  Bytes.set buf 0 '\x45';
+  Ipv4.Checksum.set buf ~at:10 ~off:0 ~len;
+  let i =
+    let i = 2 + (2 * Rng.int rng ((len / 2) - 2)) in
+    if i = 10 then 12 else i
+  in
+  let new_word = Rng.int rng 0x10000 in
+  let a = Bytes.copy buf and b = Bytes.copy buf in
+  let old_word = Bytes.get_uint16_be a i in
+  Bytes.set_uint16_be a i new_word;
+  Ipv4.Checksum.update a ~at:10 ~old_word ~new_word;
+  Bytes.set_uint16_be b i new_word;
+  Ipv4.Checksum.set b ~at:10 ~off:0 ~len;
+  Bytes.equal a b
+
+(* View.valid and View.decode_prefix never raise on arbitrary bytes at
+   arbitrary offsets; a valid option-free whole-buffer view decodes. *)
+let view_total s =
+  let buf = Bytes.of_string s in
+  let n = Bytes.length buf in
+  let check off len =
+    let v = View.make ~off ~len buf in
+    let no_raise name f =
+      match f () with
+      | _ -> true
+      | exception e ->
+        QCheck.Test.fail_reportf "%s raised %s on %S off=%d len=%d" name
+          (Printexc.to_string e) s off len
+    in
+    no_raise "View.valid" (fun () -> View.valid v)
+    && no_raise "View.decode_prefix" (fun () -> View.decode_prefix v)
+    && (not
+          (View.valid v
+           && (not (View.has_options v))
+           && View.total_length v = View.length v)
+        ||
+        match View.decode v with
+        | _ -> true
+        | exception e ->
+          QCheck.Test.fail_reportf
+            "View.decode raised %s on a valid view of %S"
+            (Printexc.to_string e) s)
+  in
+  check 0 n && (n < 3 || check (n / 3) (n - (n / 3)))
+
+(* Pool-backed wire-level encap/decap == record-based encap/decap. *)
+let encap_into_equals_record seed =
+  let rng = Rng.of_int seed in
+  let p = mk_packet ~options:false rng in
+  let wire = Packet.encode p in
+  let v = View.make wire in
+  let pool = Ipv4.Buffer_pool.create () in
+  let agent = Addr.host 3 1 and foreign_agent = Addr.host 4 1 in
+  let by_agent = Mhrp.Encap.tunnel_by_agent ~agent ~foreign_agent p in
+  let ok_agent =
+    Bytes.equal
+      (Mhrp.Encap.tunnel_by_agent_into ~pool ~agent ~foreign_agent v)
+      (Packet.encode by_agent)
+  in
+  let ok_sender =
+    Bytes.equal
+      (Mhrp.Encap.tunnel_by_sender_into ~pool ~foreign_agent v)
+      (Packet.encode (Mhrp.Encap.tunnel_by_sender ~foreign_agent p))
+  in
+  let ok_detunnel =
+    match
+      ( Mhrp.Encap.detunnel_into ~pool (View.make (Packet.encode by_agent)),
+        Mhrp.Encap.detunnel by_agent )
+    with
+    | Some (buf, h), Some (orig, h') ->
+      Bytes.equal buf (Packet.encode orig) && Mhrp.Mhrp_header.equal h h'
+    | None, None -> true
+    | _ -> false
+  in
+  (* a non-tunneled packet must detunnel to None on both paths — unless
+     its payload happens to parse as a well-formed MHRP header, in
+     which case both must agree byte for byte *)
+  let ok_plain =
+    match Mhrp.Encap.detunnel_into ~pool v, Mhrp.Encap.detunnel p with
+    | None, None -> true
+    | Some (buf, h), Some (orig, h') ->
+      Bytes.equal buf (Packet.encode orig) && Mhrp.Mhrp_header.equal h h'
+    | _ -> false
+  in
+  ok_agent && ok_sender && ok_detunnel && ok_plain
+
+(* --- end-to-end: a transit chain with the fast path on vs off ------ *)
+
+type chain_result = {
+  captured : (Addr.t * Addr.t * int * int * string) list;  (* src,dst,id,ttl,payload *)
+  forwarded : int list;
+  fast : int list;
+  dropped : int list;
+  delivered : int;
+}
+
+(* S - R1 - R2 - D over three LANs; [slow] forces the classical path
+   with a no-op forward tap, exactly how metric-bearing experiments do.
+   [sends] runs at 1s against the sender and receiver addresses. *)
+let chain_run ?(mid_mtu = 1500) ~slow sends =
+  let topo = Topology.create ~seed:5 () in
+  Netsim.Trace.set_enabled (Topology.trace topo) false;
+  let a = Topology.add_lan topo ~net:1 "netA" in
+  let b = Topology.add_lan topo ~mtu:mid_mtu ~net:2 "netB" in
+  let c = Topology.add_lan topo ~net:3 "netC" in
+  let r1 = Topology.add_router topo "R1" [(a, 1); (b, 1)] in
+  let r2 = Topology.add_router topo "R2" [(b, 2); (c, 1)] in
+  let s = Topology.add_host topo "S" a 10 in
+  let d = Topology.add_host topo "D" c 10 in
+  Topology.compute_routes topo;
+  if slow then begin
+    Node.on_forward r1 (fun _ _ -> ());
+    Node.on_forward r2 (fun _ _ -> ())
+  end;
+  let captured = ref [] in
+  Node.set_proto_handler d Ipv4.Proto.udp (fun _ pkt ->
+      captured :=
+        ( pkt.Ipv4.Packet.src, pkt.Ipv4.Packet.dst, pkt.Ipv4.Packet.id,
+          pkt.Ipv4.Packet.ttl, Bytes.to_string pkt.Ipv4.Packet.payload )
+        :: !captured);
+  ignore
+    (Netsim.Engine.schedule (Topology.engine topo) ~at:(Time.of_sec 1.0)
+       (fun () -> sends s (Node.primary_addr s) (Node.primary_addr d)));
+  Topology.run ~until:(Time.of_sec 10.0) topo;
+  { captured = List.rev !captured;
+    forwarded = [Node.packets_forwarded r1; Node.packets_forwarded r2];
+    fast = [Node.packets_fast_forwarded r1; Node.packets_fast_forwarded r2];
+    dropped =
+      List.map Node.packets_dropped [r1; r2; s; d];
+    delivered = Node.packets_delivered d }
+
+let send_mixed s src dst =
+  for i = 1 to 30 do
+    (* payload sizes, ids and TTLs vary; ttl=1 exercises time-exceeded
+       at R1, ttl=2 at R2 — both fall off the fast path by design *)
+    let ttl = match i mod 3 with 0 -> 1 | 1 -> 2 | _ -> 64 in
+    Node.send s
+      (Packet.make ~id:i ~ttl ~proto:Ipv4.Proto.udp ~src ~dst
+         (Ipv4.Udp.encode
+            (Ipv4.Udp.make ~src_port:1 ~dst_port:2
+               (Bytes.make (7 * i mod 120) 'x'))))
+  done
+
+let chains_equivalent () =
+  let fast = chain_run ~slow:false send_mixed in
+  let slow = chain_run ~slow:true send_mixed in
+  Alcotest.(check int) "delivered" slow.delivered fast.delivered;
+  Alcotest.(check (list int)) "forwarded" slow.forwarded fast.forwarded;
+  Alcotest.(check (list int)) "dropped" slow.dropped fast.dropped;
+  Alcotest.(check bool) "traffic byte-identical" true
+    (fast.captured = slow.captured);
+  (* every transit of a forwardable packet took the fast path... *)
+  Alcotest.(check (list int)) "fast path engaged" fast.forwarded fast.fast;
+  (* ...and none did with a tap installed *)
+  Alcotest.(check (list int)) "fast path disengaged" [0; 0] slow.fast
+
+let send_big s src dst =
+  Node.send s
+    (Packet.make ~id:77 ~proto:Ipv4.Proto.udp ~src ~dst
+       (Ipv4.Udp.encode
+          (Ipv4.Udp.make ~src_port:1 ~dst_port:2 (Bytes.make 300 'y'))))
+
+(* A small egress MTU forces fragmentation at R1: the fast path must
+   fall back to the classical emit and the reassembled delivery must be
+   identical in both modes. *)
+let fragmentation_falls_back () =
+  let fast = chain_run ~mid_mtu:128 ~slow:false send_big in
+  let slow = chain_run ~mid_mtu:128 ~slow:true send_big in
+  Alcotest.(check bool) "delivered whole" true (fast.delivered >= 1);
+  Alcotest.(check bool) "traffic byte-identical" true
+    (fast.captured = slow.captured);
+  Alcotest.(check (list int)) "forwarded" slow.forwarded fast.forwarded
+
+let suite =
+  [ ( "fastpath",
+      [ qtest
+          (QCheck.Test.make
+             ~name:"in-place TTL patch == decode/mutate/re-encode"
+             ~count:300 arb_seed patch_equals_reencode);
+        qtest
+          (QCheck.Test.make
+             ~name:"Checksum.update == full recompute" ~count:300 arb_seed
+             update_equals_set);
+        qtest
+          (QCheck.Test.make
+             ~name:"View.valid/decode_prefix total on arbitrary bytes"
+             ~count:500
+             QCheck.(string_of_size Gen.(int_range 0 64))
+             view_total);
+        qtest
+          (QCheck.Test.make
+             ~name:"pool-backed encap/decap == record encap/decap"
+             ~count:200 arb_seed encap_into_equals_record);
+        Alcotest.test_case "fast and slow chains are byte-equivalent"
+          `Quick chains_equivalent;
+        Alcotest.test_case "egress fragmentation falls back cleanly"
+          `Quick fragmentation_falls_back ] ) ]

@@ -20,4 +20,5 @@ let () =
          Test_fault.suite;
          Test_lsr.suite;
          Test_obs.suite;
-         Test_parallel.suite ])
+         Test_parallel.suite;
+         Test_fastpath.suite ])
