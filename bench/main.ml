@@ -46,6 +46,7 @@ let experiments : Experiment.t list =
     Exp_ablations.experiment;
     Exp_lsr.experiment;
     Exp_alloc.experiment;
+    Exp_e19.experiment;
     Micro.experiment ]
 
 let all_ids = List.map (fun e -> e.Experiment.id) experiments

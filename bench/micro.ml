@@ -56,6 +56,51 @@ let host_route_table =
 let host_route_hit = Addr.host 17 126  (* a /32 entry *)
 let host_route_miss = Addr.host 18 251 (* falls through to the net route *)
 
+(* Compact location-state hot paths at the E19 scales: cache lookup
+   cost must stay flat as the population grows 10^3 -> 10^6, and the
+   bulk route build is the border router's rebuild cost over the same
+   populations.  Setups are lazy — forced before the benchmark loop, so
+   a million inserts never eat a test's quota — and the probe strides
+   through the key space so successive lookups do not pin one slot. *)
+let scale_points = [(1_000, "1e3"); (100_000, "1e5"); (1_000_000, "1e6")]
+let scale_addr i = Addr.of_int (0x0A00_0000 lor i)
+
+let scale_cache n =
+  lazy
+    (let c = Mhrp.Location_cache.create ~capacity:n in
+     for i = 0 to n - 1 do
+       Mhrp.Location_cache.insert c ~mobile:(scale_addr i)
+         ~foreign_agent:(Addr.host 4 1)
+     done;
+     c)
+
+let scale_caches =
+  List.map (fun (n, tag) -> (n, tag, scale_cache n)) scale_points
+
+let cache_probe = ref 1
+
+let cache_lookup_test (n, tag, cache) =
+  Test.make ~name:(Printf.sprintf "location-cache-lookup-%s" tag)
+    (Staged.stage (fun () ->
+         cache_probe := (!cache_probe + 7919) mod n;
+         ignore
+           (Mhrp.Location_cache.find (Lazy.force cache)
+              (scale_addr !cache_probe))))
+
+let scale_routes =
+  List.map
+    (fun (n, tag) ->
+       ( tag,
+         lazy
+           (List.init n (fun i ->
+                ( Addr.Prefix.make (scale_addr i) 32,
+                  Net.Route.Via (Addr.host 0 2) ))) ))
+    scale_points
+
+let route_bulk_test (tag, pairs) =
+  Test.make ~name:(Printf.sprintf "route-bulk-insert-%s" tag)
+    (Staged.stage (fun () -> ignore (Net.Route.bulk (Lazy.force pairs))))
+
 (* Converged link-state domains for the lib/lsr hot paths, one per
    internetwork scale.  Built lazily (and forced before the benchmark
    loop starts, so setup never eats a test's quota): construct the campus
@@ -189,12 +234,16 @@ let tests =
         Exp_util.fig_send env 2.0;
         Exp_util.fig_send env 3.0;
         Exp_util.fig_run ~until:5.0 env)) ]
+  @ List.map cache_lookup_test scale_caches
+  @ List.map route_bulk_test scale_routes
   @ List.map lsa_flood_test lsr_domains
   @ List.map spf_test lsr_domains
 
 let run () =
   Exp_util.heading "MICRO" "bechamel micro-benchmarks (ns per run)";
   List.iter (fun (_, dom) -> ignore (Lazy.force dom)) lsr_domains;
+  List.iter (fun (_, _, c) -> ignore (Lazy.force c)) scale_caches;
+  List.iter (fun (_, p) -> ignore (Lazy.force p)) scale_routes;
   let instance = Instance.monotonic_clock in
   let cfg =
     Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:None ()

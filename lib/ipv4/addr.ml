@@ -8,6 +8,12 @@ let of_int n =
 
 let to_int t = t
 
+(* The packed [Int_table] key is the address itself: [t] is already a
+   non-negative tagged immediate, so packing is the identity and the
+   range check of [of_int] is exactly the key-validity check. *)
+let to_key t = t
+let of_key k = of_int k
+
 let of_octets a b c d =
   let check o = if o < 0 || o > 255 then invalid_arg "Addr.of_octets" in
   check a; check b; check c; check d;

@@ -13,6 +13,16 @@ val of_int : int -> t
 
 val to_int : t -> int
 
+val to_key : t -> int
+(** [to_key a] packs [a] into a tagged immediate int key for the compact
+    {!Int_table} maps: the 32 address bits live in the low bits of an
+    unboxed OCaml int, so a key is never allocated and never negative.
+    [of_key (to_key a) = a] for every address. *)
+
+val of_key : int -> t
+(** Inverse of {!to_key}.  Raises [Invalid_argument] if the key is not a
+    packed address (outside [\[0, 0xFFFF_FFFF\]]). *)
+
 val of_octets : int -> int -> int -> int -> t
 (** [of_octets a b c d] is [a.b.c.d].  Raises [Invalid_argument] if any
     octet is out of [\[0, 255\]]. *)
@@ -48,6 +58,11 @@ module Prefix : sig
   val make : addr -> int -> t
   (** [make a len] masks [a] to [len] bits.  Raises [Invalid_argument] if
       [len] is outside [\[0, 32\]]. *)
+
+  val mask : int -> int
+  (** [mask len] is the network mask of a [len]-bit prefix as an int
+      ([0xFFFFFF00] for /24) — for masking packed {!Addr.to_key} keys
+      without allocating. *)
 
   val of_string : string -> t
   (** Parses ["a.b.c.d/len"]. *)

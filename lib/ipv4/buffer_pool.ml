@@ -23,16 +23,22 @@ type cls = {
 type t = {
   classes : (int, cls) Hashtbl.t;
   max_per_class : int;
+  max_total_bytes : int;
+  mutable pooled_bytes : int;
   mutable hits : int;
   mutable misses : int;
   mutable releases : int;
   mutable discards : int;  (* releases bounced off a full class *)
+  mutable cap_discards : int;  (* releases bounced off the byte cap *)
 }
 
-let create ?(max_per_class = 64) () =
+let create ?(max_per_class = 64) ?(max_total_bytes = 16 * 1024 * 1024) () =
   if max_per_class < 0 then invalid_arg "Buffer_pool.create: max_per_class";
-  { classes = Hashtbl.create 8; max_per_class; hits = 0; misses = 0;
-    releases = 0; discards = 0 }
+  if max_total_bytes < 0 then
+    invalid_arg "Buffer_pool.create: max_total_bytes";
+  { classes = Hashtbl.create 8; max_per_class; max_total_bytes;
+    pooled_bytes = 0; hits = 0; misses = 0; releases = 0; discards = 0;
+    cap_discards = 0 }
 
 let class_for t len =
   match Hashtbl.find_opt t.classes len with
@@ -49,6 +55,7 @@ let take t len =
   | buf :: rest ->
     c.free <- rest;
     c.n_free <- c.n_free - 1;
+    t.pooled_bytes <- t.pooled_bytes - len;
     t.hits <- t.hits + 1;
     buf
   | [] ->
@@ -57,17 +64,26 @@ let take t len =
 
 let release t buf =
   t.releases <- t.releases + 1;
-  let c = class_for t (Bytes.length buf) in
-  if c.n_free < t.max_per_class then begin
+  let len = Bytes.length buf in
+  let c = class_for t len in
+  if c.n_free >= t.max_per_class then t.discards <- t.discards + 1
+  else if t.pooled_bytes + len > t.max_total_bytes then
+    (* the per-class bound alone is no bound at all: a burst of packets
+       at many distinct large sizes would pin max_per_class buffers in
+       every class forever.  The byte cap drops the excess for the GC. *)
+    t.cap_discards <- t.cap_discards + 1
+  else begin
     c.free <- buf :: c.free;
-    c.n_free <- c.n_free + 1
+    c.n_free <- c.n_free + 1;
+    t.pooled_bytes <- t.pooled_bytes + len
   end
-  else t.discards <- t.discards + 1
 
 let hits t = t.hits
 let misses t = t.misses
 let releases t = t.releases
 let discards t = t.discards
+let cap_discards t = t.cap_discards
+let pooled_bytes t = t.pooled_bytes
 
 let pooled t =
   Hashtbl.fold (fun _ c acc -> acc + c.n_free) t.classes 0

@@ -19,9 +19,12 @@
 
 type t
 
-val create : ?max_per_class:int -> unit -> t
+val create : ?max_per_class:int -> ?max_total_bytes:int -> unit -> t
 (** [max_per_class] (default 64) bounds how many free buffers of one
-    size are retained; excess releases are dropped for the GC. *)
+    size are retained; excess releases are dropped for the GC.
+    [max_total_bytes] (default 16 MiB) bounds the bytes pinned across
+    {e all} size classes — without it a burst of large packets at many
+    distinct sizes pins [max_per_class] buffers per class forever. *)
 
 val take : t -> int -> bytes
 (** A buffer of exactly the requested length, contents unspecified. *)
@@ -41,5 +44,12 @@ val releases : t -> int
 val discards : t -> int
 (** Releases dropped because the size class was full. *)
 
+val cap_discards : t -> int
+(** Releases dropped because pooling the buffer would exceed
+    [max_total_bytes]. *)
+
 val pooled : t -> int
 (** Free buffers currently held, across all size classes. *)
+
+val pooled_bytes : t -> int
+(** Bytes currently pinned by free buffers ([<= max_total_bytes]). *)

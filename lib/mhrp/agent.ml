@@ -22,6 +22,8 @@ type t = {
   mutable ha : Home_agent.t option;
   mutable fa : (Foreign_agent.t * int) option;  (* state, serving iface *)
   mutable mh : Mobile_host.t option;
+  mutable regional : Regional.t option;  (* Config.hierarchy *)
+  mutable regional_parent : Addr.t option;  (* FA role: my regional agent *)
   mutable app_tap : Packet.t -> unit;
   mutable update_tap : mobile:Addr.t -> foreign_agent:Addr.t -> unit;
   mutable registered_tap : Addr.t -> unit;
@@ -40,6 +42,8 @@ let address t = Node.primary_addr t.node
 let home_agent t = t.ha
 let foreign_agent t = Option.map fst t.fa
 let mobile t = t.mh
+let regional_agent t = t.regional
+let regional_parent t = t.regional_parent
 
 let on_app_receive t f = t.app_tap <- f
 let on_location_update t f = t.update_tap <- f
@@ -467,6 +471,16 @@ let mh_handle_tunneled_to_self t (pkt : Packet.t) (header : Mhrp_header.t) =
       targets;
     Node.inject_local t.node original
 
+(* Regional agent receiving a tunneled packet for a mobile host bound in
+   its region ([Config.hierarchy]): re-tunnel to the serving foreign
+   agent.  Overflow notifications report this agent's own address, not
+   the inner foreign agent — the region stays opaque, so external caches
+   survive intra-region handoffs. *)
+let regional_binding t mobile =
+  match t.regional with
+  | Some r -> Regional.find r mobile
+  | None -> None
+
 let handle_mhrp t (pkt : Packet.t) =
   match Encap.header_of pkt with
   | None -> tracef t "drop" "malformed mhrp packet"
@@ -482,7 +496,14 @@ let handle_mhrp t (pkt : Packet.t) =
         match t.ha with
         | Some ha when Home_agent.serves ha mobile ->
           ha_handle_tunneled t ha pkt header
-        | _ -> retunnel_stale t pkt header
+        | _ ->
+          match regional_binding t mobile with
+          | Some fa when not (Node.has_address t.node fa) ->
+            t.counters.Counters.regional_retunnels <-
+              t.counters.Counters.regional_retunnels + 1;
+            do_retunnel t pkt ~mobile ~new_dst:fa
+              ~report_fa:(Some (address t))
+          | _ -> retunnel_stale t pkt header
 
 (* --- Section 4.5: returned ICMP errors --- *)
 
@@ -704,6 +725,40 @@ let register_with_home_agent t mh ~foreign_agent =
         request ())
     ~give_up:(fun () -> ())
 
+(* Bind to the serving foreign agent at the regional agent
+   ([Config.hierarchy]) — the only registration an intra-region handoff
+   sends. *)
+let register_with_region t mh ~regional ~foreign_agent =
+  let request () =
+    send_control t ~dst:regional
+      (Control.Reg_region { mobile = mh.Mobile_host.home; foreign_agent })
+  in
+  request ();
+  mh.Mobile_host.rr_seq <- mh.Mobile_host.rr_seq + 1;
+  let gen = mh.Mobile_host.rr_seq in
+  arm_control_retry t
+    ~still_pending:(fun () ->
+        mh.Mobile_host.rr_seq = gen && mh.Mobile_host.rr_acked < gen)
+    ~resend:(fun () ->
+        t.counters.Counters.region_retransmissions <-
+          t.counters.Counters.region_retransmissions + 1;
+        request ())
+    ~give_up:(fun () -> ())
+
+(* Fire-and-forget withdrawal (no ack, no retry): a stale binding is
+   soft state the data-path machinery corrects, and an acked withdrawal
+   could race with — and falsely acknowledge — the registration to the
+   next region.  A no-op outside hierarchy mode: [mh.regional] is only
+   ever set by a hierarchical connect ack. *)
+let withdraw_regional t mh =
+  match mh.Mobile_host.regional with
+  | None -> ()
+  | Some regional ->
+    send_control t ~dst:regional
+      (Control.Reg_region
+         { mobile = mh.Mobile_host.home; foreign_agent = Addr.zero });
+    mh.Mobile_host.regional <- None
+
 let connect_via_foreign_agent t mh fa_addr =
   mh.Mobile_host.phase <- Mobile_host.Registering fa_addr;
   let i, lan = current_iface t in
@@ -755,6 +810,7 @@ let connect_home t mh ha_addr =
     end
   in
   burst 0;
+  withdraw_regional t mh;
   register_with_home_agent t mh ~foreign_agent:Addr.zero;
   complete_registration t mh ~foreign_agent:Addr.zero
 
@@ -854,9 +910,18 @@ let fa_handle_connect t ~mobile ~mac =
     tracef t "visitor" "%a connected (mac %a)" Addr.pp mobile Net.Mac.pp mac;
     t.counters.Counters.control_messages <-
       t.counters.Counters.control_messages + 1;
+    (* Under hierarchy, a foreign agent with a provisioned regional
+       parent tells the mobile host to register through it instead of
+       the home agent. *)
+    let ack_msg =
+      match t.regional_parent with
+      | Some regional when t.config.Config.hierarchy ->
+        Control.Fa_connect_ack_r { mobile; regional }
+      | _ -> Control.Fa_connect_ack { mobile }
+    in
     let ack =
       Packet.make ~proto:Ipv4.Proto.udp ~src:(address t) ~dst:mobile
-        (control_datagram t (Control.Fa_connect_ack { mobile }))
+        (control_datagram t ack_msg)
     in
     Node.send_ip_to_mac t.node ~iface ~dst_mac:mac ack
 
@@ -895,11 +960,75 @@ let mh_handle_connect_ack t ~mobile =
   | Some mh when Addr.equal mobile mh.Mobile_host.home -> begin
       match mh.Mobile_host.phase with
       | Mobile_host.Registering fa when not (Addr.is_zero fa) ->
+        (* a plain (non-hierarchical) foreign agent: any old regional
+           binding is now stale *)
+        withdraw_regional t mh;
         register_with_home_agent t mh ~foreign_agent:fa;
         complete_registration t mh ~foreign_agent:fa
       | _ -> ()
     end
   | _ -> ()
+
+(* Hierarchical connect ack: the home agent learns (at most once per
+   region) that the host lives behind the regional agent; every handoff
+   under the same regional agent only rebinds there.  This is the
+   aggregation that cuts long-haul control traffic per handoff (E19). *)
+let mh_handle_connect_ack_r t ~mobile ~regional =
+  match t.mh with
+  | Some mh when Addr.equal mobile mh.Mobile_host.home -> begin
+      match mh.Mobile_host.phase with
+      | Mobile_host.Registering fa when not (Addr.is_zero fa) ->
+        let same_region =
+          match mh.Mobile_host.regional with
+          | Some prev -> Addr.equal prev regional
+          | None -> false
+        in
+        if not same_region then begin
+          withdraw_regional t mh;
+          register_with_home_agent t mh ~foreign_agent:regional
+        end;
+        mh.Mobile_host.regional <- Some regional;
+        register_with_region t mh ~regional ~foreign_agent:fa;
+        complete_registration t mh ~foreign_agent:fa
+      | _ -> ()
+    end
+  | _ -> ()
+
+let mh_handle_reg_region_ack t ~mobile =
+  match t.mh with
+  | Some mh when Addr.equal mobile mh.Mobile_host.home ->
+    tracef t "registered" "regional agent confirmed";
+    mh.Mobile_host.rr_acked <- mh.Mobile_host.rr_seq
+  | _ -> ()
+
+let regional_handle_registration t ~mobile ~foreign_agent =
+  match t.regional with
+  | None -> ()
+  | Some r ->
+    if Addr.is_zero foreign_agent then begin
+      Regional.withdraw r mobile;
+      tracef t "regional" "%a withdrawn" Addr.pp mobile
+      (* no ack: see [withdraw_regional] *)
+    end
+    else begin
+      Regional.register r ~mobile ~foreign_agent;
+      t.counters.Counters.regional_registrations <-
+        t.counters.Counters.regional_registrations + 1;
+      tracef t "regional" "%a now at %a" Addr.pp mobile Addr.pp
+        foreign_agent;
+      (* the ack reaches the visiting host through the binding we just
+         wrote, exactly as the home agent's reply rides its tunnel *)
+      t.counters.Counters.control_messages <-
+        t.counters.Counters.control_messages + 1;
+      let reply =
+        Packet.make ~proto:Ipv4.Proto.udp ~src:(address t) ~dst:mobile
+          (control_datagram t (Control.Reg_region_ack { mobile }))
+      in
+      t.counters.Counters.tunnels_built <-
+        t.counters.Counters.tunnels_built + 1;
+      Node.send t.node
+        (Encap.tunnel_by_sender ~foreign_agent reply)
+    end
 
 let handle_control t (pkt : Packet.t) =
   match Ipv4.Udp.decode pkt.Packet.payload with
@@ -935,6 +1064,12 @@ let handle_control t (pkt : Packet.t) =
           send_control t ~dst:pkt.Packet.src (Control.Ha_sync_ack { mobile })
       | Control.Ha_sync_ack { mobile } ->
         t.ha_sync_ack_tap ~peer:pkt.Packet.src ~mobile
+      | Control.Fa_connect_ack_r { mobile; regional } ->
+        mh_handle_connect_ack_r t ~mobile ~regional
+      | Control.Reg_region { mobile; foreign_agent } ->
+        regional_handle_registration t ~mobile ~foreign_agent
+      | Control.Reg_region_ack { mobile } ->
+        mh_handle_reg_region_ack t ~mobile
 
 (* --- ICMP handling --- *)
 
@@ -1057,6 +1192,7 @@ let create ?(config = Config.default) ?(cache_agent = true)
       auth_nonce = 0;
       cache_agent; snoop;
       ha = None; fa = None; mh = None;
+      regional = None; regional_parent = None;
       app_tap = (fun _ -> ());
       update_tap = (fun ~mobile:_ ~foreign_agent:_ -> ());
       registered_tap = (fun _ -> ());
@@ -1080,6 +1216,8 @@ let create ?(config = Config.default) ?(cache_agent = true)
       (match t.fa with Some (fa_state, _) -> Foreign_agent.clear fa_state
                      | None -> ());
       (match t.ha with Some ha -> Home_agent.reboot ha | None -> ());
+      (* regional bindings are soft state, lost like visitor lists *)
+      (match t.regional with Some r -> Regional.clear r | None -> ());
       Location_cache.clear t.cache);
   t
 
@@ -1095,6 +1233,11 @@ let enable_foreign_agent t ~iface =
    | None -> t.fa <- Some (Foreign_agent.create (), iface)
    | Some (state, _) -> t.fa <- Some (state, iface));
   start_advert_timer t
+
+let enable_regional_agent t =
+  if t.regional = None then t.regional <- Some (Regional.create ())
+
+let set_regional_parent t regional = t.regional_parent <- Some regional
 
 let add_mobile t mobile =
   match t.ha with
@@ -1206,6 +1349,7 @@ let move_to ~topo ?own_fa_temp t lan =
               (Net.Route.Via gw)));
       mh.Mobile_host.phase <- Mobile_host.Registering temp;
       tracef t "move" "to %s as own fa %a" (Net.Lan.name lan) Addr.pp temp;
+      withdraw_regional t mh;
       register_with_home_agent t mh ~foreign_agent:temp;
       complete_registration t mh ~foreign_agent:temp
 
@@ -1218,6 +1362,7 @@ let disconnect t =
      | Some fa when not (Addr.is_zero fa) -> mh.Mobile_host.old_fa <- Some fa
      | _ -> ());
     leave_own_fa_mode t mh;
+    withdraw_regional t mh;
     (* Home agent first, then the old foreign agent (Section 3). *)
     register_with_home_agent t mh ~foreign_agent:disconnected_marker;
     notify_old_fa t mh ~new_foreign_agent:Addr.zero;

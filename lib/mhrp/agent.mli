@@ -42,6 +42,22 @@ val enable_foreign_agent : t -> iface:int -> unit
 val home_agent : t -> Home_agent.t option
 val foreign_agent : t -> Foreign_agent.t option
 
+val enable_regional_agent : t -> unit
+(** Serve as the regional agent of a hierarchy ([Config.hierarchy]):
+    maintain the region's mobile->foreign-agent binding table and
+    re-tunnel arriving packets through it.  The home agent registers
+    visiting hosts at this agent's address; intra-region handoffs only
+    rewrite bindings here. *)
+
+val set_regional_parent : t -> Ipv4.Addr.t -> unit
+(** Foreign-agent role under hierarchy: the regional agent this foreign
+    agent belongs to, handed to mobile hosts at connect time
+    ([Control.Fa_connect_ack_r]).  Provisioning the tree is outside the
+    protocol, like agent addresses themselves. *)
+
+val regional_agent : t -> Regional.t option
+val regional_parent : t -> Ipv4.Addr.t option
+
 val add_mobile : t -> Ipv4.Addr.t -> unit
 (** Home-agent role: begin serving this (initially at-home) mobile host.
     Raises [Failure] without the role. *)

@@ -20,6 +20,7 @@ type t = {
   reliable_control : bool;
   control_rto : Netsim.Time.t;
   control_retries : int;
+  hierarchy : bool;
 }
 
 let default =
@@ -39,14 +40,15 @@ let default =
     auth_nonce_capacity = 64;
     reliable_control = false;
     control_rto = Netsim.Time.of_ms 300;
-    control_retries = 5 }
+    control_retries = 5;
+    hierarchy = false }
 
 let make ?max_prev_sources ?cache_capacity ?update_min_interval
     ?update_rate_entries ?advert_interval ?advert_lifetime
     ?forwarding_pointers ?on_loop ?verify_recovered_visitors
     ?gratuitous_arp_count ?ha_persistent ?authenticate
     ?auth_timestamp_window ?auth_nonce_capacity ?reliable_control
-    ?control_rto ?control_retries () =
+    ?control_rto ?control_retries ?hierarchy () =
   let v default = Option.value ~default in
   { max_prev_sources = v default.max_prev_sources max_prev_sources;
     cache_capacity = v default.cache_capacity cache_capacity;
@@ -66,4 +68,5 @@ let make ?max_prev_sources ?cache_capacity ?update_min_interval
     auth_nonce_capacity = v default.auth_nonce_capacity auth_nonce_capacity;
     reliable_control = v default.reliable_control reliable_control;
     control_rto = v default.control_rto control_rto;
-    control_retries = v default.control_retries control_retries }
+    control_retries = v default.control_retries control_retries;
+    hierarchy = v default.hierarchy hierarchy }

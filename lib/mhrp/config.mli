@@ -74,6 +74,16 @@ type t = {
       (exponential backoff). *)
   control_retries : int;
   (** Retransmissions before giving up on a control exchange. *)
+  hierarchy : bool;
+  (** Hierarchical registration (regional foreign-agent aggregation, the
+      ROADMAP's H-MLBN-style extension).  Foreign agents provisioned with
+      a regional parent ({!Agent.set_regional_parent}) hand it to mobile
+      hosts at connect time; the home agent then records the {e regional}
+      agent as the host's location, and intra-region handoffs update only
+      the regional agent's binding table — the home agent is never
+      contacted, cutting long-haul control traffic per handoff (E19).
+      Off by default: flat mode is byte-identical to the pre-hierarchy
+      protocol. *)
 }
 
 val default : t
@@ -102,6 +112,7 @@ val make :
   ?reliable_control:bool ->
   ?control_rto:Netsim.Time.t ->
   ?control_retries:int ->
+  ?hierarchy:bool ->
   unit ->
   t
 (** [make ()] is [default]; each label overrides one field.  Prefer this

@@ -8,6 +8,9 @@ type t =
   | Fa_disconnect of { mobile : Ipv4.Addr.t; new_foreign_agent : Ipv4.Addr.t }
   | Ha_sync of { mobile : Ipv4.Addr.t; foreign_agent : Ipv4.Addr.t }
   | Ha_sync_ack of { mobile : Ipv4.Addr.t }
+  | Fa_connect_ack_r of { mobile : Ipv4.Addr.t; regional : Ipv4.Addr.t }
+  | Reg_region of { mobile : Ipv4.Addr.t; foreign_agent : Ipv4.Addr.t }
+  | Reg_region_ack of { mobile : Ipv4.Addr.t }
 
 let put_u8 buf i v = Bytes.set buf i (Char.chr (v land 0xFF))
 
@@ -79,6 +82,23 @@ let encode = function
     put_u8 buf 0 7;
     put_addr buf 1 mobile;
     buf
+  | Fa_connect_ack_r { mobile; regional } ->
+    let buf = Bytes.make 9 '\000' in
+    put_u8 buf 0 8;
+    put_addr buf 1 mobile;
+    put_addr buf 5 regional;
+    buf
+  | Reg_region { mobile; foreign_agent } ->
+    let buf = Bytes.make 9 '\000' in
+    put_u8 buf 0 9;
+    put_addr buf 1 mobile;
+    put_addr buf 5 foreign_agent;
+    buf
+  | Reg_region_ack { mobile } ->
+    let buf = Bytes.make 5 '\000' in
+    put_u8 buf 0 10;
+    put_addr buf 1 mobile;
+    buf
 
 let decode buf =
   let n = Bytes.length buf in
@@ -103,6 +123,13 @@ let decode buf =
       Some (Ha_sync { mobile = get_addr buf 1;
                       foreign_agent = get_addr buf 5 })
     | 7 -> Some (Ha_sync_ack { mobile = get_addr buf 1 })
+    | 8 when n >= 9 ->
+      Some (Fa_connect_ack_r { mobile = get_addr buf 1;
+                               regional = get_addr buf 5 })
+    | 9 when n >= 9 ->
+      Some (Reg_region { mobile = get_addr buf 1;
+                         foreign_agent = get_addr buf 5 })
+    | 10 -> Some (Reg_region_ack { mobile = get_addr buf 1 })
     | _ -> None
 
 let mobile = function
@@ -112,7 +139,10 @@ let mobile = function
   | Fa_connect_ack { mobile }
   | Fa_disconnect { mobile; _ }
   | Ha_sync { mobile; _ }
-  | Ha_sync_ack { mobile } -> mobile
+  | Ha_sync_ack { mobile }
+  | Fa_connect_ack_r { mobile; _ }
+  | Reg_region { mobile; _ }
+  | Reg_region_ack { mobile } -> mobile
 
 let pp ppf = function
   | Reg_request { mobile; foreign_agent } ->
@@ -134,3 +164,11 @@ let pp ppf = function
       Ipv4.Addr.pp foreign_agent
   | Ha_sync_ack { mobile } ->
     Format.fprintf ppf "ha-sync-ack mobile=%a" Ipv4.Addr.pp mobile
+  | Fa_connect_ack_r { mobile; regional } ->
+    Format.fprintf ppf "fa-connect-ack-r mobile=%a regional=%a" Ipv4.Addr.pp
+      mobile Ipv4.Addr.pp regional
+  | Reg_region { mobile; foreign_agent } ->
+    Format.fprintf ppf "reg-region mobile=%a fa=%a" Ipv4.Addr.pp mobile
+      Ipv4.Addr.pp foreign_agent
+  | Reg_region_ack { mobile } ->
+    Format.fprintf ppf "reg-region-ack mobile=%a" Ipv4.Addr.pp mobile

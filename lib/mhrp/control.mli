@@ -30,6 +30,19 @@ type t =
       (** Replica -> originating home agent: confirm a mirrored
           registration, enabling retransmission of lost syncs when the
           control plane runs reliably ([Config.reliable_control]). *)
+  | Fa_connect_ack_r of { mobile : Ipv4.Addr.t; regional : Ipv4.Addr.t }
+      (** Foreign agent -> mobile host, replacing {!Fa_connect_ack} under
+          [Config.hierarchy] when the agent has a regional parent: the
+          connect is accepted and registrations should go through this
+          regional agent. *)
+  | Reg_region of { mobile : Ipv4.Addr.t; foreign_agent : Ipv4.Addr.t }
+      (** Mobile host -> regional agent: bind the host to its current
+          foreign agent within the region.  A zero foreign agent
+          withdraws the binding (departure or return home).  This is the
+          only registration an intra-region handoff sends — the home
+          agent keeps pointing at the regional agent throughout. *)
+  | Reg_region_ack of { mobile : Ipv4.Addr.t }
+      (** Regional agent -> mobile host. *)
 
 val mobile : t -> Ipv4.Addr.t
 (** The mobile host the message is about — the key under which its

@@ -21,6 +21,9 @@ type t = {
   mutable connect_retransmissions : int;
   mutable sync_retransmissions : int;
   mutable retransmit_gave_up : int;
+  mutable regional_registrations : int;
+  mutable regional_retunnels : int;
+  mutable region_retransmissions : int;
 }
 
 let create () =
@@ -30,7 +33,9 @@ let create () =
     fa_disconnects = 0; intercepts = 0; icmp_errors_reversed = 0;
     recoveries = 0; control_messages = 0; auth_ok = 0; auth_fail = 0;
     replay_drop = 0; reg_retransmissions = 0; connect_retransmissions = 0;
-    sync_retransmissions = 0; retransmit_gave_up = 0 }
+    sync_retransmissions = 0; retransmit_gave_up = 0;
+    regional_registrations = 0; regional_retunnels = 0;
+    region_retransmissions = 0 }
 
 let total_overhead_messages t = t.control_messages
 
@@ -38,10 +43,12 @@ let pp ppf t =
   Format.fprintf ppf
     "tunnels=%d retunnels=%d detunnels=%d updates=%d/%d loops=%d/%d \
      trunc=%d reg=%d fa+=%d fa-=%d intercepts=%d icmp-rev=%d recov=%d \
-     ctrl=%d auth=%d/%d replay=%d rtx=%d/%d/%d gave-up=%d"
+     ctrl=%d auth=%d/%d replay=%d rtx=%d/%d/%d gave-up=%d \
+     regional=%d/%d rrtx=%d"
     t.tunnels_built t.retunnels t.detunnels t.updates_sent
     t.updates_received t.loops_detected t.loops_dissolved
     t.list_truncations t.registrations t.fa_connects t.fa_disconnects
     t.intercepts t.icmp_errors_reversed t.recoveries t.control_messages
     t.auth_ok t.auth_fail t.replay_drop t.reg_retransmissions
     t.connect_retransmissions t.sync_retransmissions t.retransmit_gave_up
+    t.regional_registrations t.regional_retunnels t.region_retransmissions

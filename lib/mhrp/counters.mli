@@ -36,6 +36,14 @@ type t = {
       (** Home-agent replica syncs re-sent. *)
   mutable retransmit_gave_up : int;
       (** Control exchanges abandoned after [Config.control_retries]. *)
+  mutable regional_registrations : int;
+      (** Regional-agent binding writes ([Config.hierarchy]) — intra-region
+          registrations absorbed without contacting the home agent. *)
+  mutable regional_retunnels : int;
+      (** Tunneled packets a regional agent re-tunneled to the serving
+          foreign agent through its binding table. *)
+  mutable region_retransmissions : int;
+      (** Regional registrations re-sent under [Config.reliable_control]. *)
 }
 
 val create : unit -> t

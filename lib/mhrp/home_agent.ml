@@ -1,36 +1,47 @@
+(* Backed by a compact int-keyed table: packed mobile address -> packed
+   foreign-agent address (zero while at home).  One binding is two
+   unboxed words; see {!Ipv4.Int_table}. *)
+
 type t = {
-  db : (Ipv4.Addr.t, Ipv4.Addr.t) Hashtbl.t;
+  db : Ipv4.Int_table.t;
   persistent : bool;
 }
 
 let create ?(persistent = true) () =
-  { db = Hashtbl.create 16; persistent }
+  { db = Ipv4.Int_table.create (); persistent }
 
-let add_mobile t mobile = Hashtbl.replace t.db mobile Ipv4.Addr.zero
-let serves t mobile = Hashtbl.mem t.db mobile
+let add_mobile t mobile =
+  Ipv4.Int_table.replace t.db (Ipv4.Addr.to_key mobile) 0
+
+let serves t mobile = Ipv4.Int_table.mem t.db (Ipv4.Addr.to_key mobile)
 
 let register t ~mobile ~foreign_agent =
   if not (serves t mobile) then
     invalid_arg "Home_agent.register: not my mobile host";
-  Hashtbl.replace t.db mobile foreign_agent
+  Ipv4.Int_table.replace t.db (Ipv4.Addr.to_key mobile)
+    (Ipv4.Addr.to_key foreign_agent)
 
-let location t mobile = Hashtbl.find_opt t.db mobile
+let location t mobile =
+  match Ipv4.Int_table.find t.db (Ipv4.Addr.to_key mobile) ~default:(-1) with
+  | -1 -> None
+  | fa -> Some (Ipv4.Addr.of_key fa)
 
 let is_away t mobile =
-  match location t mobile with
-  | Some fa -> not (Ipv4.Addr.is_zero fa)
-  | None -> false
+  Ipv4.Int_table.find t.db (Ipv4.Addr.to_key mobile) ~default:0 <> 0
 
 let away_mobiles t =
-  Hashtbl.fold
+  Ipv4.Int_table.fold
     (fun mobile fa acc ->
-       if Ipv4.Addr.is_zero fa then acc else mobile :: acc)
+       if fa = 0 then acc else Ipv4.Addr.of_key mobile :: acc)
     t.db []
   |> List.sort Ipv4.Addr.compare
 
 let mobiles t =
-  Hashtbl.fold (fun mobile _ acc -> mobile :: acc) t.db []
+  Ipv4.Int_table.fold
+    (fun mobile _ acc -> Ipv4.Addr.of_key mobile :: acc)
+    t.db []
   |> List.sort Ipv4.Addr.compare
 
-let reboot t = if not t.persistent then Hashtbl.reset t.db
-let state_bytes t = 8 * Hashtbl.length t.db
+let reboot t = if not t.persistent then Ipv4.Int_table.reset t.db
+let state_bytes t = 8 * Ipv4.Int_table.length t.db
+let footprint_bytes t = Ipv4.Int_table.footprint_bytes t.db

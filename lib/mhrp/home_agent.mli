@@ -34,3 +34,7 @@ val reboot : t -> unit
 val state_bytes : t -> int
 (** 8 bytes per record: two addresses — the paper's "amount of state ...
     is small" claim, measured in experiment E6. *)
+
+val footprint_bytes : t -> int
+(** Actual heap bytes pinned by the backing {!Ipv4.Int_table}, gated by
+    the E19 scale sweep. *)

@@ -44,3 +44,8 @@ val state_bytes : t -> int
 (** Approximate memory footprint (entries × 16 bytes: two addresses, a
     type tag and a timestamp — the Section 4.3 table entry), reported by
     the scalability experiment. *)
+
+val footprint_bytes : t -> int
+(** Actual heap bytes pinned by the backing {!Ipv4.Int_table} (flat
+    arrays plus headers) — the implementation-level counterpart of the
+    modeled {!state_bytes}, gated by the E19 scale sweep. *)

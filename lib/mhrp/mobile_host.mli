@@ -34,6 +34,15 @@ type t = {
           newer exchange supersedes it. *)
   mutable reg_acked : int;
       (** Highest generation confirmed by a registration reply. *)
+  mutable regional : Ipv4.Addr.t option;
+      (** The regional agent the host is registered through
+          ([Config.hierarchy]).  While the next handoff stays under the
+          same regional agent, the home agent is not contacted. *)
+  mutable rr_seq : int;
+      (** Generation of the newest regional registration sent
+          ([Config.reliable_control]). *)
+  mutable rr_acked : int;
+      (** Highest generation confirmed by a regional ack. *)
 }
 
 val create : home:Ipv4.Addr.t -> home_agent:Ipv4.Addr.t -> t

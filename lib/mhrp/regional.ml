@@ -1,0 +1,49 @@
+(* Backed by the same compact int-keyed table as the home-agent
+   database: packed mobile address -> packed foreign-agent address.
+   See {!Ipv4.Int_table}. *)
+
+type t = {
+  bindings : Ipv4.Int_table.t;
+  mutable registrations : int;
+  mutable withdrawals : int;
+}
+
+let create () =
+  { bindings = Ipv4.Int_table.create (); registrations = 0;
+    withdrawals = 0 }
+
+let register t ~mobile ~foreign_agent =
+  if Ipv4.Addr.is_zero foreign_agent then
+    invalid_arg "Regional.register: zero foreign agent (use withdraw)";
+  Ipv4.Int_table.replace t.bindings (Ipv4.Addr.to_key mobile)
+    (Ipv4.Addr.to_key foreign_agent);
+  t.registrations <- t.registrations + 1
+
+let withdraw t mobile =
+  let k = Ipv4.Addr.to_key mobile in
+  if Ipv4.Int_table.mem t.bindings k then begin
+    Ipv4.Int_table.remove t.bindings k;
+    t.withdrawals <- t.withdrawals + 1
+  end
+
+let find t mobile =
+  match
+    Ipv4.Int_table.find t.bindings (Ipv4.Addr.to_key mobile) ~default:(-1)
+  with
+  | -1 -> None
+  | fa -> Some (Ipv4.Addr.of_key fa)
+
+let size t = Ipv4.Int_table.length t.bindings
+
+let bindings t =
+  Ipv4.Int_table.fold
+    (fun mobile fa acc ->
+       (Ipv4.Addr.of_key mobile, Ipv4.Addr.of_key fa) :: acc)
+    t.bindings []
+  |> List.sort (fun (a, _) (b, _) -> Ipv4.Addr.compare a b)
+
+let clear t = Ipv4.Int_table.reset t.bindings
+let registrations t = t.registrations
+let withdrawals t = t.withdrawals
+let state_bytes t = 8 * Ipv4.Int_table.length t.bindings
+let footprint_bytes t = Ipv4.Int_table.footprint_bytes t.bindings

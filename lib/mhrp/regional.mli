@@ -1,0 +1,46 @@
+(** Regional-agent binding table ([Config.hierarchy]).
+
+    Under hierarchical registration — regional foreign-agent aggregation
+    in the spirit of the ROADMAP's H-MLBN item — the home agent records a
+    mobile host as visiting its {e regional} agent, and this table holds
+    the second hop: which foreign agent inside the region currently
+    serves the host.  Intra-region handoffs rewrite only this binding;
+    the home agent and every external location cache keep pointing at
+    the regional agent, so a region's mobile population costs the rest
+    of the internetwork one entry and zero control messages per local
+    handoff.  Pure state; {!Agent} drives it. *)
+
+type t
+
+val create : unit -> t
+
+val register : t -> mobile:Ipv4.Addr.t -> foreign_agent:Ipv4.Addr.t -> unit
+(** Bind the mobile host to a foreign agent inside the region.  Raises
+    [Invalid_argument] on a zero foreign agent — that means
+    {!withdraw}. *)
+
+val withdraw : t -> Ipv4.Addr.t -> unit
+(** Drop the binding (host left the region or returned home). *)
+
+val find : t -> Ipv4.Addr.t -> Ipv4.Addr.t option
+val size : t -> int
+
+val clear : t -> unit
+(** Drop every binding (reboot: the table is soft state, rebuilt by
+    re-registrations), keeping the counters. *)
+
+val bindings : t -> (Ipv4.Addr.t * Ipv4.Addr.t) list
+(** (mobile, foreign agent), sorted by mobile address. *)
+
+val registrations : t -> int
+(** Bindings written (intra-region registrations absorbed here instead
+    of reaching the home agent — E19's aggregation metric). *)
+
+val withdrawals : t -> int
+
+val state_bytes : t -> int
+(** Modeled 8 bytes per binding (two addresses), mirroring
+    {!Home_agent.state_bytes}. *)
+
+val footprint_bytes : t -> int
+(** Actual heap bytes pinned by the backing {!Ipv4.Int_table}. *)

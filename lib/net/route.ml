@@ -10,10 +10,18 @@ type entry = {
 (* Entries sorted by descending prefix length, so lookup is the first
    match.  The persistent list keeps snapshots cheap (moving hosts), but
    host-specific /32 routes grow with the mobile population, so [lookup]
-   consults a compiled form: an exact-match hashtable over the /32
-   entries (which, being longest, always win) falling back to the sorted
-   sub-32 list.  The compiled form is built lazily on the first lookup
-   after a change — one O(n) pass, no dearer than the single list scan it
+   consults a compiled form: compact int-keyed tables (two unboxed words
+   per route instead of a boxed entry behind a generic [Hashtbl] bucket)
+   — one exact-match table over the /32 entries (which, being longest,
+   always win), then one table per remaining distinct prefix length,
+   probed in descending-length order with the masked address as key.
+   Prefixes of equal length are disjoint or equal (and equal ones are
+   deduplicated by [add]/[bulk]), so each per-length probe has at most
+   one possible match and the first hit is the longest-prefix match.
+   Table values index a small array of deduplicated boxed targets: a
+   region's worth of /32s pointing at one gateway shares a single boxed
+   [Via].  The compiled form is built lazily on the first lookup after a
+   change — one O(n) pass, no dearer than the single list scan it
    replaces — and cached on the (immutable) table value. *)
 type t = {
   entries : entry list;
@@ -21,8 +29,11 @@ type t = {
 }
 
 and compiled = {
-  hosts : (Ipv4.Addr.t, target) Hashtbl.t;  (* the /32 entries *)
-  rest : entry list;  (* length < 32, still descending *)
+  hosts : Ipv4.Int_table.t;  (* packed addr -> index into [targets] *)
+  lens : int array;  (* distinct lengths < 32, descending *)
+  len_tbls : Ipv4.Int_table.t array;  (* masked packed addr -> index *)
+  masks : int array;  (* Prefix.mask lens.(i), precomputed *)
+  targets : target array;  (* deduplicated *)
 }
 
 let empty = { entries = []; compiled = None }
@@ -86,31 +97,80 @@ let compile t =
   match t.compiled with
   | Some c -> c
   | None ->
-    let host_entries, rest =
-      List.partition (fun e -> e.prefix.Ipv4.Addr.Prefix.len = 32) t.entries
+    let target_idx : (target, int) Hashtbl.t = Hashtbl.create 16 in
+    let rev_targets = ref [] and n_targets = ref 0 in
+    let idx_of tg =
+      match Hashtbl.find_opt target_idx tg with
+      | Some i -> i
+      | None ->
+        let i = !n_targets in
+        incr n_targets;
+        Hashtbl.add target_idx tg i;
+        rev_targets := tg :: !rev_targets;
+        i
     in
-    let hosts = Hashtbl.create (max 8 (List.length host_entries)) in
+    let hosts = Ipv4.Int_table.create () in
+    (* entries are descending by length, so each sub-32 length forms a
+       contiguous run; collect one table per run (ascending at the head
+       while prepending, reversed to descending below). *)
+    let rev_len_tbls = ref [] in
     List.iter
-      (fun e -> Hashtbl.replace hosts e.prefix.Ipv4.Addr.Prefix.base e.target)
-      host_entries;
-    let c = { hosts; rest } in
+      (fun e ->
+         let len = e.prefix.Ipv4.Addr.Prefix.len in
+         let key = Ipv4.Addr.to_key e.prefix.Ipv4.Addr.Prefix.base in
+         let idx = idx_of e.target in
+         if len = 32 then Ipv4.Int_table.replace hosts key idx
+         else
+           let tbl =
+             match !rev_len_tbls with
+             | (l, tbl) :: _ when l = len -> tbl
+             | _ ->
+               let tbl = Ipv4.Int_table.create () in
+               rev_len_tbls := (len, tbl) :: !rev_len_tbls;
+               tbl
+           in
+           Ipv4.Int_table.replace tbl key idx)
+      t.entries;
+    let by_len = List.rev !rev_len_tbls in
+    let lens = Array.of_list (List.map fst by_len) in
+    let c =
+      { hosts; lens;
+        len_tbls = Array.of_list (List.map snd by_len);
+        masks = Array.map Ipv4.Addr.Prefix.mask lens;
+        targets = Array.of_list (List.rev !rev_targets) }
+    in
     t.compiled <- Some c;
     c
 
 let lookup t addr =
   let c = compile t in
-  match Hashtbl.find_opt c.hosts addr with
-  | Some target -> Some target
-  | None ->
-    let rec go = function
-      | [] -> None
-      | e :: rest ->
-        if Ipv4.Addr.Prefix.mem addr e.prefix then Some e.target else go rest
+  let key = Ipv4.Addr.to_key addr in
+  match Ipv4.Int_table.find c.hosts key ~default:(-1) with
+  | -1 ->
+    let n = Array.length c.lens in
+    let rec go i =
+      if i >= n then None
+      else
+        match
+          Ipv4.Int_table.find c.len_tbls.(i) (key land c.masks.(i))
+            ~default:(-1)
+        with
+        | -1 -> go (i + 1)
+        | idx -> Some c.targets.(idx)
     in
-    go c.rest
+    go 0
+  | idx -> Some c.targets.(idx)
 
 let entries t = t.entries
 let size t = List.length t.entries
+
+let compiled_footprint_bytes t =
+  let c = compile t in
+  Array.fold_left
+    (fun acc tbl -> acc + Ipv4.Int_table.footprint_bytes tbl)
+    (Ipv4.Int_table.footprint_bytes c.hosts
+     + ((Array.length c.targets + 1) * 8))
+    c.len_tbls
 
 let pp_target ppf = function
   | Direct i -> Format.fprintf ppf "direct(if%d)" i

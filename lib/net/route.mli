@@ -40,4 +40,12 @@ val entries : t -> entry list
 (** Longest prefix first. *)
 
 val size : t -> int
+
+val compiled_footprint_bytes : t -> int
+(** Heap bytes pinned by the compiled lookup structures (the compact
+    int-keyed tables plus the deduplicated target array; forces
+    compilation) — the E19 scale sweep's per-router state accounting.
+    With prefix-aggregated routes, a region's mobile hosts collapse to
+    one entry here regardless of population. *)
+
 val pp : Format.formatter -> t -> unit

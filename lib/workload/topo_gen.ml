@@ -232,6 +232,122 @@ let campuses_plain ?(seed = 42) ?(backbone_prefix_len = 24)
     cp_cells = cells; cp_homes = homes; cp_mobiles = mobiles;
     cp_senders = senders }
 
+type region = {
+  rg_topo : Topology.t;
+  rg_backbone : Lan.t;
+  rg_regionals : Agent.t array;
+  rg_fas : Agent.t array array;
+  rg_cells : Lan.t array array;
+  rg_homes : Lan.t array;
+  rg_mobiles : Agent.t array;
+  rg_senders : Agent.t array;
+}
+
+(* Two-level hierarchy for E19: each region is one regional router (home
+   agent for the region's own mobiles, regional agent for its visitors)
+   behind which [cells] wireless cells hang, each with its own
+   foreign-agent router.  The regional routers meet on the backbone.
+   Foreign agents are provisioned with their regional parent whether or
+   not [config] enables hierarchy — the connect ack only advertises it
+   when [Config.hierarchy] is set, so the same wiring serves both
+   modes. *)
+let regions ?(config = Mhrp.Config.default) ?(seed = 42) ~regions ~cells
+    ~mobiles_per_region ~correspondents () =
+  if regions <= 0 || cells <= 0 || mobiles_per_region < 0
+     || correspondents < 0
+  then invalid_arg "Topo_gen.regions";
+  let topo = Topology.create ~seed () in
+  let backbone = Topology.add_lan topo ~net:0 "backbone" in
+  let span = cells + 2 in
+  let homes =
+    Array.init regions (fun r ->
+        Topology.add_lan topo ~net:(1 + (r * span))
+          (Printf.sprintf "home%d" r))
+  in
+  let rnets =
+    Array.init regions (fun r ->
+        Topology.add_lan topo ~net:(2 + (r * span))
+          (Printf.sprintf "rnet%d" r))
+  in
+  let cell_lans =
+    Array.init regions (fun r ->
+        Array.init cells (fun c ->
+            Topology.add_lan topo
+              ~net:(3 + (r * span) + c)
+              ~latency:(Netsim.Time.of_ms 2)
+              (Printf.sprintf "cell%d_%d" r c)))
+  in
+  let regional_nodes =
+    Array.init regions (fun r ->
+        Topology.add_router topo
+          (Printf.sprintf "RR%d" r)
+          [(backbone, 10 + r); (rnets.(r), 1); (homes.(r), 1)])
+  in
+  let fa_nodes =
+    Array.init regions (fun r ->
+        Array.init cells (fun c ->
+            Topology.add_router topo
+              (Printf.sprintf "F%d_%d" r c)
+              [(rnets.(r), 10 + c); (cell_lans.(r).(c), 1)]))
+  in
+  let mobile_nodes =
+    Array.init (regions * mobiles_per_region) (fun k ->
+        let r = k / mobiles_per_region and j = k mod mobiles_per_region in
+        Topology.add_host topo
+          (Printf.sprintf "M%d_%d" r j)
+          homes.(r) (10 + j))
+  in
+  let sender_nodes =
+    Array.init correspondents (fun k ->
+        let r = k mod regions in
+        Topology.add_host topo (Printf.sprintf "S%d" k) homes.(r)
+          (200 + (k / regions)))
+  in
+  Topology.compute_routes topo;
+  let regionals =
+    Array.map
+      (fun n ->
+         let a = Agent.create ~config ~snoop:true n in
+         Agent.enable_home_agent a;
+         Agent.enable_regional_agent a;
+         a)
+      regional_nodes
+  in
+  let fas =
+    Array.mapi
+      (fun r row ->
+         Array.mapi
+           (fun c n ->
+              let a = Agent.create ~config ~snoop:true n in
+              Agent.enable_foreign_agent a
+                ~iface:(fa_iface_for a cell_lans.(r).(c));
+              Agent.set_regional_parent a (Agent.address regionals.(r));
+              a)
+           row)
+      fa_nodes
+  in
+  Array.iteri
+    (fun k mn ->
+       Agent.add_mobile regionals.(k / mobiles_per_region)
+         (Node.primary_addr mn))
+    mobile_nodes;
+  let mobiles =
+    Array.mapi
+      (fun k mn ->
+         let r = k / mobiles_per_region in
+         let a = Agent.create ~config mn in
+         Agent.make_mobile a
+           ~home_agent:(Ipv4.Addr.Prefix.host (Lan.prefix homes.(r)) 1);
+         a)
+      mobile_nodes
+  in
+  let senders =
+    Array.map (fun n -> Agent.create ~config n) sender_nodes
+  in
+  { rg_topo = topo; rg_backbone = backbone; rg_regionals = regionals;
+    rg_fas = fas; rg_cells = cell_lans; rg_homes = homes;
+    rg_mobiles = mobiles; rg_senders = senders }
+
 type chain = {
   ch_topo : Topology.t;
   ch_routers : Agent.t array;

@@ -101,6 +101,30 @@ val campuses_plain :
     construction-cost benchmarks, or experiments that add nodes before
     the one route computation. *)
 
+(** A two-level regional hierarchy (E19): [regions] regional routers on
+    a backbone, each a home agent for its own [mobiles_per_region] mobile
+    hosts and a regional agent for visitors, with [cells] wireless cells
+    per region behind dedicated foreign-agent routers.  Every foreign
+    agent is provisioned with its regional parent; whether the connect
+    handshake advertises it is decided by [Config.hierarchy], so one
+    wiring serves both flat and hierarchical runs. *)
+type region = {
+  rg_topo : Net.Topology.t;
+  rg_backbone : Net.Lan.t;
+  rg_regionals : Mhrp.Agent.t array;
+      (** regional router of region r: home + regional agent *)
+  rg_fas : Mhrp.Agent.t array array;  (** [rg_fas.(r).(c)]: cell FA *)
+  rg_cells : Net.Lan.t array array;
+  rg_homes : Net.Lan.t array;
+  rg_mobiles : Mhrp.Agent.t array;
+      (** region r's mobiles at indices [r * mobiles_per_region ..] *)
+  rg_senders : Mhrp.Agent.t array;
+}
+
+val regions :
+  ?config:Mhrp.Config.t -> ?seed:int -> regions:int -> cells:int ->
+  mobiles_per_region:int -> correspondents:int -> unit -> region
+
 (** A chain of [n] routers r0 - r1 - ... - r(n-1), each with a stub LAN,
     used to build long tunnels and cache-agent loops. *)
 type chain = {

@@ -76,7 +76,11 @@ let corpus =
         ( "ctl-fa-disconnect",
           Mhrp.Control.Fa_disconnect { mobile = m; new_foreign_agent = fa2 } );
         ("ctl-ha-sync", Mhrp.Control.Ha_sync { mobile = m; foreign_agent = fa });
-        ("ctl-ha-sync-ack", Mhrp.Control.Ha_sync_ack { mobile = m }) ]
+        ("ctl-ha-sync-ack", Mhrp.Control.Ha_sync_ack { mobile = m });
+        ( "ctl-fa-connect-ack-r",
+          Mhrp.Control.Fa_connect_ack_r { mobile = m; regional = ha } );
+        ("ctl-reg-region", Mhrp.Control.Reg_region { mobile = m; foreign_agent = fa });
+        ("ctl-reg-region-ack", Mhrp.Control.Reg_region_ack { mobile = m }) ]
   @ List.map
       (fun (name, msg) -> (name, Ipv4.Icmp.encode msg))
       [ ( "icmp-echo-request",

@@ -1,0 +1,242 @@
+(* Tests for the compact int-keyed state backing (PR 8): the
+   [Ipv4.Int_table] store, packed [Addr] keys, the re-compiled
+   [Net.Route] lookup structures, and the [Buffer_pool] byte cap. *)
+
+module Addr = Ipv4.Addr
+module Int_table = Ipv4.Int_table
+module Route = Net.Route
+
+let check = Alcotest.check
+let qtest = QCheck_alcotest.to_alcotest
+
+let arb_addr =
+  QCheck.map
+    (fun n -> Addr.of_int (n land 0xFFFF_FFFF))
+    QCheck.(int_bound 0x3FFFFFFF)
+
+(* --- packed Addr keys --- *)
+
+let addr_key_tests =
+  [ qtest
+      (QCheck.Test.make ~name:"packed key roundtrip (of_key . to_key = id)"
+         ~count:1000 arb_addr (fun a ->
+           Addr.to_key a >= 0 && Addr.equal a (Addr.of_key (Addr.to_key a))));
+    Alcotest.test_case "of_key rejects non-keys" `Quick (fun () ->
+        Alcotest.check_raises "negative"
+          (Invalid_argument "Addr.of_int: out of range") (fun () ->
+            ignore (Addr.of_key (-1)));
+        Alcotest.check_raises "too wide"
+          (Invalid_argument "Addr.of_int: out of range") (fun () ->
+            ignore (Addr.of_key 0x1_0000_0000))) ]
+
+(* --- Int_table vs a reference Hashtbl model --- *)
+
+(* A random operation sequence applied to both the compact table and a
+   reference [Hashtbl]; all observations must agree.  Keys are drawn
+   from a small space so inserts, overwrites and removes all collide
+   frequently and the backward-shift deletion repair gets exercised. *)
+let table_agrees_with_model ops =
+  let t = Int_table.create () in
+  let m : (int, int) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (op, k, v) ->
+       match op mod 3 with
+       | 0 | 1 ->
+         Int_table.replace t k v;
+         Hashtbl.replace m k v
+       | _ ->
+         Int_table.remove t k;
+         Hashtbl.remove m k)
+    ops;
+  let sorted_bindings fold t =
+    fold (fun k v acc -> (k, v) :: acc) t []
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  in
+  Int_table.length t = Hashtbl.length m
+  && sorted_bindings Int_table.fold t
+     = sorted_bindings (fun f t acc -> Hashtbl.fold f t acc) m
+  && List.for_all
+       (fun k ->
+          Int_table.find_opt t k = Hashtbl.find_opt m k
+          && Int_table.mem t k = Hashtbl.mem m k
+          && Int_table.find t k ~default:(-1)
+             = Option.value (Hashtbl.find_opt m k) ~default:(-1))
+       (List.init 64 (fun i -> i))
+
+let int_table_tests =
+  [ qtest
+      (QCheck.Test.make ~name:"int_table agrees with Hashtbl model"
+         ~count:300
+         QCheck.(small_list (triple small_nat (int_bound 63) small_nat))
+         table_agrees_with_model);
+    Alcotest.test_case "grows through many inserts" `Quick (fun () ->
+        let t = Int_table.create () in
+        for i = 0 to 9_999 do
+          Int_table.replace t (i * 7) i
+        done;
+        check Alcotest.int "length" 10_000 (Int_table.length t);
+        for i = 0 to 9_999 do
+          if Int_table.find t (i * 7) ~default:(-1) <> i then
+            Alcotest.failf "lost key %d" (i * 7)
+        done;
+        check Alcotest.bool "footprint sane" true
+          (Int_table.footprint_bytes t >= 10_000 * 16));
+    Alcotest.test_case "negative keys rejected / absent" `Quick (fun () ->
+        let t = Int_table.create () in
+        Alcotest.check_raises "replace"
+          (Invalid_argument "Int_table.replace: negative key") (fun () ->
+            Int_table.replace t (-5) 1);
+        check Alcotest.bool "mem" false (Int_table.mem t (-5));
+        check (Alcotest.option Alcotest.int) "find_opt" None
+          (Int_table.find_opt t (-5)));
+    Alcotest.test_case "reset keeps capacity, drops bindings" `Quick
+      (fun () ->
+         let t = Int_table.create () in
+         for i = 0 to 999 do
+           Int_table.replace t i i
+         done;
+         let cap = Int_table.capacity t in
+         Int_table.reset t;
+         check Alcotest.int "empty" 0 (Int_table.length t);
+         check Alcotest.int "capacity kept" cap (Int_table.capacity t);
+         check (Alcotest.option Alcotest.int) "gone" None
+           (Int_table.find_opt t 3)) ]
+
+(* --- compiled Route lookups vs the entry-list reference --- *)
+
+let target_equal (a : Route.target) b = a = b
+
+(* first match over the descending entry list: the semantics the
+   compiled per-length tables must reproduce *)
+let ref_lookup table addr =
+  let rec go = function
+    | [] -> None
+    | (e : Route.entry) :: rest ->
+      if Addr.Prefix.mem addr e.prefix then Some e.target else go rest
+  in
+  go (Route.entries table)
+
+(* Random mix of /32 host routes, aggregates of random length, and a
+   default route; compiled lookup must equal the list scan for hosts
+   inside, near, and far from every prefix. *)
+let compiled_equals_reference (pairs, probes) =
+  let pairs =
+    List.map
+      (fun (net_id, len, gw) ->
+         let len = 8 + (len mod 25) in
+         (* /8../32 *)
+         let p = Addr.Prefix.network_of (Addr.host (net_id mod 600) 1) len in
+         (p, Route.Via (Addr.host (gw mod 600) 254)))
+      pairs
+  in
+  let table = Route.bulk ((Addr.Prefix.make Addr.zero 0, Route.Direct 0) :: pairs) in
+  List.for_all
+    (fun (net_id, host_id) ->
+       let a = Addr.host (net_id mod 600) (host_id mod 256) in
+       match Route.lookup table a, ref_lookup table a with
+       | Some x, Some y -> target_equal x y
+       | None, None -> true
+       | _ -> false)
+    probes
+
+(* One region prefix vs one /32 per host must route identically for
+   every host of the region — the aggregation the E19 topology relies
+   on to collapse a region's mobile hosts to one entry. *)
+let aggregate_equals_host_routes (net_id, gw_net) =
+  let net_id = net_id mod 600 and gw_net = gw_net mod 600 in
+  let gw = Route.Via (Addr.host gw_net 254) in
+  let prefix = Addr.net net_id in
+  let aggregated = Route.bulk [(prefix, gw)] in
+  let per_host =
+    Route.bulk
+      (List.init 254 (fun i ->
+           (Addr.Prefix.make (Addr.Prefix.host prefix (i + 1)) 32, gw)))
+  in
+  List.for_all
+    (fun i ->
+       let a = Addr.Prefix.host prefix (i + 1) in
+       match Route.lookup aggregated a, Route.lookup per_host a with
+       | Some x, Some y -> target_equal x y
+       | _ -> false)
+    (List.init 254 (fun i -> i))
+  (* hosts outside the region must miss both tables *)
+  && Route.lookup aggregated (Addr.host ((net_id + 1) mod 600) 9)
+     = Route.lookup per_host (Addr.host ((net_id + 1) mod 600) 9)
+
+let route_tests =
+  [ qtest
+      (QCheck.Test.make
+         ~name:"compiled lookup = descending first-match reference"
+         ~count:200
+         QCheck.(
+           pair
+             (small_list (triple small_nat small_nat small_nat))
+             (small_list (pair small_nat small_nat)))
+         compiled_equals_reference);
+    qtest
+      (QCheck.Test.make
+         ~name:"prefix-aggregated lookup = per-/32 lookup" ~count:100
+         QCheck.(pair small_nat small_nat)
+         aggregate_equals_host_routes);
+    Alcotest.test_case "aggregate is one compiled entry" `Quick (fun () ->
+        let gw = Route.Via (Addr.host 9 254) in
+        let aggregated = Route.bulk [(Addr.net 3, gw)] in
+        let per_host =
+          Route.bulk
+            (List.init 254 (fun i ->
+                 (Addr.Prefix.make (Addr.host 3 (i + 1)) 32, gw)))
+        in
+        check Alcotest.int "entries" 1 (Route.size aggregated);
+        check Alcotest.bool "compiled footprint collapses" true
+          (Route.compiled_footprint_bytes aggregated * 10
+           < Route.compiled_footprint_bytes per_host)) ]
+
+(* --- Buffer_pool byte cap --- *)
+
+let pool_tests =
+  [ Alcotest.test_case "byte cap bounds a burst of large buffers" `Quick
+      (fun () ->
+         let pool =
+           Ipv4.Buffer_pool.create ~max_per_class:64
+             ~max_total_bytes:100_000 ()
+         in
+         (* 200 distinct sizes * 4 KiB each: the per-class bound alone
+            would happily pin ~800 KiB forever *)
+         for size = 4_000 to 4_199 do
+           Ipv4.Buffer_pool.release pool (Bytes.create size)
+         done;
+         check Alcotest.bool "pinned bytes capped" true
+           (Ipv4.Buffer_pool.pooled_bytes pool <= 100_000);
+         check Alcotest.bool "excess discarded" true
+           (Ipv4.Buffer_pool.cap_discards pool > 0);
+         check Alcotest.int "class cap untouched" 0
+           (Ipv4.Buffer_pool.discards pool);
+         (* capped pool still serves: take one back out, release again *)
+         let b = Ipv4.Buffer_pool.take pool 4_000 in
+         check Alcotest.int "len" 4_000 (Bytes.length b);
+         Ipv4.Buffer_pool.release pool b;
+         check Alcotest.bool "still capped" true
+           (Ipv4.Buffer_pool.pooled_bytes pool <= 100_000));
+    Alcotest.test_case "take returns pooled bytes to budget" `Quick
+      (fun () ->
+         let pool =
+           Ipv4.Buffer_pool.create ~max_total_bytes:8_192 ()
+         in
+         Ipv4.Buffer_pool.release pool (Bytes.create 8_000);
+         check Alcotest.int "pinned" 8_000
+           (Ipv4.Buffer_pool.pooled_bytes pool);
+         ignore (Ipv4.Buffer_pool.take pool 8_000);
+         check Alcotest.int "unpinned" 0
+           (Ipv4.Buffer_pool.pooled_bytes pool);
+         (* budget freed by take is available again *)
+         Ipv4.Buffer_pool.release pool (Bytes.create 8_000);
+         check Alcotest.int "re-pinned" 8_000
+           (Ipv4.Buffer_pool.pooled_bytes pool);
+         check Alcotest.int "no cap discards" 0
+           (Ipv4.Buffer_pool.cap_discards pool)) ]
+
+let suite =
+  [ ("compact-addr-keys", addr_key_tests);
+    ("compact-int-table", int_table_tests);
+    ("compact-route", route_tests);
+    ("compact-buffer-pool", pool_tests) ]

@@ -1,0 +1,131 @@
+(* Integration tests of hierarchical registration ([Config.hierarchy])
+   on the two-level regions topology: the home agent records the
+   regional agent, intra-region handoffs are absorbed by the regional
+   binding table, and data flows through the regional re-tunnel. *)
+
+module Time = Netsim.Time
+module Addr = Ipv4.Addr
+module Lan = Net.Lan
+module Topology = Net.Topology
+module Agent = Mhrp.Agent
+module TG = Workload.Topo_gen
+
+let check = Alcotest.check
+let addr_testable = Alcotest.testable Addr.pp Addr.equal
+let hier_config = Mhrp.Config.make ~hierarchy:true ()
+
+let setup ?(config = hier_config) () =
+  TG.regions ~config ~regions:2 ~cells:2 ~mobiles_per_region:1
+    ~correspondents:1 ()
+
+(* M0 is homed in region 0 (home agent RR0) and visits region 1, whose
+   regional agent is RR1. *)
+let m0 rg = rg.TG.rg_mobiles.(0)
+let home rg = rg.TG.rg_regionals.(0)
+let regional rg = rg.TG.rg_regionals.(1)
+let cell rg r c = rg.TG.rg_cells.(r).(c)
+let fa_addr rg r c = Addr.Prefix.host (Lan.prefix (cell rg r c)) 1
+
+let move rg sec lan =
+  Workload.Mobility.move_at rg.TG.rg_topo (m0 rg) ~at:(Time.of_sec sec) lan
+
+let run ?(until = 10.0) rg =
+  Topology.run ~until:(Time.of_sec until) rg.TG.rg_topo
+
+let ha_location rg =
+  match Agent.home_agent (home rg) with
+  | Some h -> Mhrp.Home_agent.location h (Agent.address (m0 rg))
+  | None -> Alcotest.fail "RR0 should be a home agent"
+
+let regional_state rg =
+  match Agent.regional_agent (regional rg) with
+  | Some ra -> ra
+  | None -> Alcotest.fail "RR1 should be a regional agent"
+
+let regional_binding rg =
+  Mhrp.Regional.find (regional_state rg) (Agent.address (m0 rg))
+
+let ha_registrations rg =
+  (Agent.counters (home rg)).Mhrp.Counters.registrations
+
+let tests =
+  [ Alcotest.test_case "inter-region move registers the regional agent"
+      `Quick (fun () ->
+          let rg = setup () in
+          move rg 1.0 (cell rg 1 0);
+          run rg;
+          check (Alcotest.option addr_testable)
+            "home agent points at the regional agent"
+            (Some (Agent.address (regional rg)))
+            (ha_location rg);
+          check (Alcotest.option addr_testable)
+            "regional binding points at the serving FA"
+            (Some (fa_addr rg 1 0))
+            (regional_binding rg));
+    Alcotest.test_case "intra-region handoff never reaches the home agent"
+      `Quick (fun () ->
+          let rg = setup () in
+          move rg 1.0 (cell rg 1 0);
+          move rg 3.0 (cell rg 1 1);
+          run rg;
+          check Alcotest.int "one home registration for both moves" 1
+            (ha_registrations rg);
+          check (Alcotest.option addr_testable)
+            "home agent still points at the regional agent"
+            (Some (Agent.address (regional rg)))
+            (ha_location rg);
+          check (Alcotest.option addr_testable)
+            "regional binding rewritten to the new FA"
+            (Some (fa_addr rg 1 1))
+            (regional_binding rg);
+          check Alcotest.int "two regional registrations" 2
+            (Mhrp.Regional.registrations (regional_state rg)));
+    Alcotest.test_case "data delivers through the regional re-tunnel"
+      `Quick (fun () ->
+          let rg = setup () in
+          let metrics = Workload.Metrics.create rg.TG.rg_topo in
+          let traffic =
+            Workload.Traffic.create metrics (Topology.engine rg.TG.rg_topo)
+          in
+          Workload.Metrics.watch_receiver metrics (m0 rg);
+          let dst = Agent.address (m0 rg) in
+          move rg 1.0 (cell rg 1 0);
+          Workload.Traffic.at traffic (Time.of_sec 2.0) (fun () ->
+              Workload.Traffic.send_udp traffic ~src:rg.TG.rg_senders.(0)
+                ~dst ());
+          run rg;
+          let r = List.nth (Workload.Metrics.records metrics) 0 in
+          check Alcotest.bool "delivered" true
+            (r.Workload.Metrics.delivered_at <> None);
+          check Alcotest.bool "regional agent re-tunneled it" true
+            ((Agent.counters (regional rg)).Mhrp.Counters.regional_retunnels
+             >= 1));
+    Alcotest.test_case "returning home withdraws the regional binding"
+      `Quick (fun () ->
+          let rg = setup () in
+          move rg 1.0 (cell rg 1 0);
+          move rg 3.0 rg.TG.rg_homes.(0);
+          run rg;
+          (match Agent.home_agent (home rg) with
+           | Some h ->
+             check Alcotest.bool "back home" false
+               (Mhrp.Home_agent.is_away h (Agent.address (m0 rg)))
+           | None -> Alcotest.fail "RR0 should be a home agent");
+          check Alcotest.int "no regional bindings left" 0
+            (Mhrp.Regional.size (regional_state rg));
+          check Alcotest.int "one withdrawal counted" 1
+            (Mhrp.Regional.withdrawals (regional_state rg)));
+    Alcotest.test_case "flat mode ignores the provisioned hierarchy"
+      `Quick (fun () ->
+          let rg = setup ~config:Mhrp.Config.default () in
+          move rg 1.0 (cell rg 1 0);
+          run rg;
+          check (Alcotest.option addr_testable)
+            "home agent points straight at the FA"
+            (Some (fa_addr rg 1 0))
+            (ha_location rg);
+          check Alcotest.int "regional table untouched" 0
+            (Mhrp.Regional.size (regional_state rg)));
+  ]
+
+let suite = [("hierarchy", tests)]

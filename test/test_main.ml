@@ -20,5 +20,7 @@ let () =
          Test_fault.suite;
          Test_lsr.suite;
          Test_obs.suite;
+         Test_compact.suite;
+         Test_hierarchy.suite;
          Test_parallel.suite;
          Test_fastpath.suite ])
