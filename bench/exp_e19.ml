@@ -258,8 +258,9 @@ let run_scale n =
           in
           let regionals = Array.init nr (fun _ -> Mhrp.Regional.create ()) in
           for i = 0 to n - 1 do
-            Mhrp.Regional.register regionals.(g_of i)
-              ~mobile:(host_addr i) ~foreign_agent:(fa_addr (g_of i))
+            ignore
+              (Mhrp.Regional.register regionals.(g_of i)
+                 ~mobile:(host_addr i) ~foreign_agent:(fa_addr (g_of i)) ())
           done;
           ( Net.Route.compiled_footprint_bytes route,
             Array.fold_left

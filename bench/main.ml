@@ -47,6 +47,7 @@ let experiments : Experiment.t list =
     Exp_lsr.experiment;
     Exp_alloc.experiment;
     Exp_e19.experiment;
+    Exp_e20.experiment;
     Micro.experiment ]
 
 let all_ids = List.map (fun e -> e.Experiment.id) experiments

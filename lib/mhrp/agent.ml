@@ -24,6 +24,19 @@ type t = {
   mutable mh : Mobile_host.t option;
   mutable regional : Regional.t option;  (* Config.hierarchy *)
   mutable regional_parent : Addr.t option;  (* FA role: my regional agent *)
+  mutable regional_backup_parent : Addr.t option;
+      (* FA role: standby regional agent advertised at connect time *)
+  mutable region_sync_peer : Addr.t option;
+      (* regional role: backup to mirror binding writes to *)
+  mutable region_peer_captured : bool;
+      (* regional role: we captured an unresponsive peer's address *)
+  rsync_seq : (int, int) Hashtbl.t;
+      (* packed mobile -> newest Region_sync generation sent *)
+  rsync_acked : (int, int) Hashtbl.t;
+      (* packed mobile -> highest generation the backup confirmed *)
+  fa_miss_probes : (int, unit) Hashtbl.t;
+      (* packed mobile -> visitor-miss ARP probe in flight *)
+  mutable regional_sweep_timer : bool;
   mutable app_tap : Packet.t -> unit;
   mutable update_tap : mobile:Addr.t -> foreign_agent:Addr.t -> unit;
   mutable registered_tap : Addr.t -> unit;
@@ -148,6 +161,16 @@ let ha_claims t dst =
   | Some fa -> not (Addr.is_zero fa)
   | None -> false
 
+(* A regional agent that captured its crashed mirror peer's address
+   answers for it until the peer is heard from again. *)
+let region_peer_claims t dst =
+  t.region_peer_captured
+  && (match t.region_sync_peer with
+      | Some peer -> Addr.equal peer dst
+      | None -> false)
+
+let claims t dst = ha_claims t dst || region_peer_claims t dst
+
 (* --- location updates (Section 4.3) --- *)
 
 let send_location_update t ~dst ~mobile ~foreign_agent =
@@ -223,6 +246,28 @@ let arm_control_retry t ~still_pending ~resend ~give_up =
     arm ~delay:t.config.Config.control_rto
       ~retries_left:t.config.Config.control_retries
   end
+
+(* --- hierarchy soft-state parameters ([Config.regional_lifetime]) --- *)
+
+(* The lifetime a registration advertises on the wire (u16 seconds; 0 =
+   hard state). *)
+let regional_lifetime_s t =
+  let lt = t.config.Config.regional_lifetime in
+  if Time.to_us lt = 0 then 0
+  else max 1 (int_of_float (ceil (Time.to_sec lt)))
+
+(* How often a registered mobile refreshes its regional binding:
+   [Config.regional_refresh], or a third of the lifetime (the
+   3-refreshes-per-lifetime convention of agent advertisements). *)
+let regional_refresh_interval t =
+  let r = t.config.Config.regional_refresh in
+  if Time.to_us r > 0 then r
+  else Time.of_us (max 1 (Time.to_us t.config.Config.regional_lifetime / 3))
+
+let regional_expiry t ~lifetime_s =
+  if lifetime_s > 0 then
+    Some (Time.add (now t) (Time.of_sec (float_of_int lifetime_s)))
+  else None
 
 (* --- cache-aware application sending (Sections 4.1, 6.2) --- *)
 
@@ -331,8 +376,14 @@ let do_retunnel t (pkt : Packet.t) ~mobile ~new_dst ~report_fa =
       t.counters.Counters.loops_detected + 1;
     tracef t "loop" "detected, %d members" (List.length members);
     (* We are a member of the loop ourselves: drop our own stale entry
-       along with everyone else's. *)
+       along with everyone else's — including a regional binding; a loop
+       through the regional agent means its binding is as stale as any
+       cache entry, and keeping it would rebuild the same loop for every
+       subsequent packet. *)
     Location_cache.delete t.cache mobile;
+    (match t.regional with
+     | Some r -> Regional.withdraw r mobile
+     | None -> ());
     List.iter
       (fun dst ->
          send_location_update t ~dst ~mobile ~foreign_agent:Addr.zero)
@@ -368,8 +419,23 @@ let retunnel_stale t (pkt : Packet.t) (header : Mhrp_header.t) =
 let deliver_to_visitor t fa_state fa_iface (pkt : Packet.t) =
   (* Report the address the tunnel actually ended at: the foreign agent's
      own address, or the temporary address of a host serving as its own
-     foreign agent. *)
-  let endpoint = pkt.Packet.dst in
+     foreign agent.  Under hierarchical registration with an explicit
+     refresh interval configured — the failure-recovery deployment
+     profile — a foreign agent advertises its regional parent instead,
+     so correspondent caches keep pointing at the region's stable entry
+     point: intra-region handoffs stay invisible to them, a regional
+     failover or mirror-peer takeover keeps them valid, and an
+     inter-region handoff can be chased through the old regional
+     agent's forwarding pointer.  On the slow lifetime/3 fallback
+     cadence that entry point is too loosely maintained to pin caches
+     to, so the foreign agent keeps reporting itself. *)
+  let endpoint =
+    match t.regional_parent with
+    | Some regional
+      when t.config.Config.hierarchy
+           && Time.to_us t.config.Config.regional_refresh > 0 -> regional
+    | _ -> pkt.Packet.dst
+  in
   match Encap.detunnel pkt with
   | None -> ()
   | Some (original, header) ->
@@ -481,6 +547,76 @@ let regional_binding t mobile =
   | Some r -> Regional.find r mobile
   | None -> None
 
+(* A live inter-region forwarding pointer ([Config.regional_grace]): the
+   mobile left this region but its old regional agent chases in-flight
+   packets to the new one for a grace period. *)
+let regional_forward t mobile =
+  match t.regional with
+  | None -> None
+  | Some r ->
+    (match Regional.forward r ~now:(now t) mobile with
+     | Some target when not (Node.has_address t.node target) -> Some target
+     | _ -> None)
+
+(* Hierarchical counterpart of the Section 5.2 reboot recovery: a foreign
+   agent handed a tunneled packet for a mobile host missing from its
+   visitor list (a reboot lost the list, or a lost withdrawal left the
+   regional binding stale) probes the cell.  An answer means the host is
+   still here — re-add it, the regional binding was right after all.  No
+   answer means the binding is stale: report a visitor-list miss so the
+   regional parent drops it ([Control.Fa_visitor_miss]) — the bounce the
+   flat path gets from the home agent's ICMP location updates, which
+   never reaches a regional binding.  Skipped while a forwarding-pointer
+   cache entry still says where the host went: that entry re-tunnels the
+   packet correctly, and the probe would only add control traffic. *)
+let fa_probe_missing_visitor t ~mobile =
+  match t.fa, t.regional_parent with
+  | Some (fa_state, fa_iface), Some regional
+    when t.config.Config.hierarchy
+      && (not (Foreign_agent.mem fa_state mobile))
+      && (not (Node.has_address t.node mobile))
+      && (not t.cache_agent || Location_cache.find t.cache mobile = None) ->
+    let km = Addr.to_key mobile in
+    if not (Hashtbl.mem t.fa_miss_probes km) then begin
+      Hashtbl.replace t.fa_miss_probes km ();
+      Node.arp_probe t.node ~iface:fa_iface mobile;
+      ignore
+        (Engine.schedule_after (engine t) ~delay:(Time.of_ms 50) (fun () ->
+             Hashtbl.remove t.fa_miss_probes km;
+             if Node.is_up t.node then
+               match Node.arp_cache_lookup t.node mobile with
+               | Some mac ->
+                 if not (Foreign_agent.mem fa_state mobile) then begin
+                   Foreign_agent.add fa_state
+                     { Foreign_agent.mobile; mac = Some mac;
+                       iface = fa_iface };
+                   t.counters.Counters.recoveries <-
+                     t.counters.Counters.recoveries + 1;
+                   tracef t "fa-recovery" "re-added visitor %a after probe"
+                     Addr.pp mobile
+                 end
+               | None ->
+                 (* report the address the mobiles register — the one
+                    advertised on the serving interface, which is what
+                    the regional binding records *)
+                 let fa_self =
+                   match
+                     List.find_opt
+                       (fun (i, _, _) -> i = fa_iface)
+                       (Node.ifaces t.node)
+                   with
+                   | Some (_, _, Some a) -> a
+                   | _ -> address t
+                 in
+                 tracef t "fa-recovery"
+                   "%a did not answer probe: reporting miss to %a" Addr.pp
+                   mobile Addr.pp regional;
+                 send_control t ~dst:regional
+                   (Control.Fa_visitor_miss
+                      { mobile; foreign_agent = fa_self })))
+    end
+  | _ -> ()
+
 let handle_mhrp t (pkt : Packet.t) =
   match Encap.header_of pkt with
   | None -> tracef t "drop" "malformed mhrp packet"
@@ -503,7 +639,21 @@ let handle_mhrp t (pkt : Packet.t) =
               t.counters.Counters.regional_retunnels + 1;
             do_retunnel t pkt ~mobile ~new_dst:fa
               ~report_fa:(Some (address t))
-          | _ -> retunnel_stale t pkt header
+          | _ ->
+            match regional_forward t mobile with
+            | Some target ->
+              (* inter-region handoff grace period: chase the mobile to
+                 its new regional agent, and report that agent so stale
+                 caches rebind to the new region *)
+              t.counters.Counters.regional_forwards <-
+                t.counters.Counters.regional_forwards + 1;
+              tracef t "regional" "forwarding %a to new region %a" Addr.pp
+                mobile Addr.pp target;
+              do_retunnel t pkt ~mobile ~new_dst:target
+                ~report_fa:(Some target)
+            | None ->
+              fa_probe_missing_visitor t ~mobile;
+              retunnel_stale t pkt header
 
 (* --- Section 4.5: returned ICMP errors --- *)
 
@@ -727,11 +877,14 @@ let register_with_home_agent t mh ~foreign_agent =
 
 (* Bind to the serving foreign agent at the regional agent
    ([Config.hierarchy]) — the only registration an intra-region handoff
-   sends. *)
-let register_with_region t mh ~regional ~foreign_agent =
+   sends.  Exhausting the retransmissions ([Config.reliable_control])
+   declares the regional agent dead and fails over. *)
+let rec register_with_region t mh ~regional ~foreign_agent =
+  let lifetime_s = regional_lifetime_s t in
   let request () =
     send_control t ~dst:regional
-      (Control.Reg_region { mobile = mh.Mobile_host.home; foreign_agent })
+      (Control.Reg_region
+         { mobile = mh.Mobile_host.home; foreign_agent; lifetime_s })
   in
   request ();
   mh.Mobile_host.rr_seq <- mh.Mobile_host.rr_seq + 1;
@@ -743,20 +896,68 @@ let register_with_region t mh ~regional ~foreign_agent =
         t.counters.Counters.region_retransmissions <-
           t.counters.Counters.region_retransmissions + 1;
         request ())
-    ~give_up:(fun () -> ())
+    ~give_up:(fun () -> region_failover t mh ~failed:regional)
+
+(* Regional-agent crash recovery: the retransmission loop gave up, so the
+   regional agent is presumed down.  Re-anchor at the advertised backup
+   when one exists (the home agent must be repointed — external tunnels
+   land on the regional agent, and the crashed one blackholes them), else
+   fall back to a direct, flat registration with the current foreign
+   agent; the next hierarchical connect ack restores aggregation. *)
+and region_failover t mh ~failed =
+  let still_current =
+    match mh.Mobile_host.regional with
+    | Some r -> Addr.equal r failed
+    | None -> false
+  in
+  if still_current then begin
+    t.counters.Counters.region_failovers <-
+      t.counters.Counters.region_failovers + 1;
+    match mh.Mobile_host.phase with
+    | (Mobile_host.Registered fa | Mobile_host.Registering fa)
+      when not (Addr.is_zero fa) -> begin
+        match mh.Mobile_host.regional_backup with
+        | Some backup when not (Addr.equal backup failed) ->
+          tracef t "region-failover" "%a unresponsive: backup %a takes over"
+            Addr.pp failed Addr.pp backup;
+          mh.Mobile_host.regional <- Some backup;
+          register_with_home_agent t mh ~foreign_agent:backup;
+          register_with_region t mh ~regional:backup ~foreign_agent:fa
+        | _ ->
+          tracef t "region-failover"
+            "%a unresponsive: registering directly with home agent" Addr.pp
+            failed;
+          mh.Mobile_host.regional <- None;
+          register_with_home_agent t mh ~foreign_agent:fa
+      end
+    | _ -> mh.Mobile_host.regional <- None
+  end
 
 (* Fire-and-forget withdrawal (no ack, no retry): a stale binding is
-   soft state the data-path machinery corrects, and an acked withdrawal
-   could race with — and falsely acknowledge — the registration to the
-   next region.  A no-op outside hierarchy mode: [mh.regional] is only
-   ever set by a hierarchical connect ack. *)
-let withdraw_regional t mh =
+   soft state the data-path machinery — and now its lifetime — corrects,
+   and an acked withdrawal could race with — and falsely acknowledge —
+   the registration to the next region.  On an inter-region handoff
+   ([new_regional]) with a grace period configured, the withdrawal
+   becomes a [Region_forward]: the old regional agent keeps a forwarding
+   pointer so in-flight packets are re-tunneled instead of dropped.  A
+   no-op outside hierarchy mode: [mh.regional] is only ever set by a
+   hierarchical connect ack. *)
+let withdraw_regional ?new_regional t mh =
   match mh.Mobile_host.regional with
   | None -> ()
   | Some regional ->
-    send_control t ~dst:regional
-      (Control.Reg_region
-         { mobile = mh.Mobile_host.home; foreign_agent = Addr.zero });
+    (match new_regional with
+     | Some next
+       when Time.to_us t.config.Config.regional_grace > 0
+         && not (Addr.equal next regional) ->
+       send_control t ~dst:regional
+         (Control.Region_forward
+            { mobile = mh.Mobile_host.home; new_regional = next })
+     | _ ->
+       send_control t ~dst:regional
+         (Control.Reg_region
+            { mobile = mh.Mobile_host.home; foreign_agent = Addr.zero;
+              lifetime_s = 0 }));
     mh.Mobile_host.regional <- None
 
 let connect_via_foreign_agent t mh fa_addr =
@@ -916,7 +1117,10 @@ let fa_handle_connect t ~mobile ~mac =
     let ack_msg =
       match t.regional_parent with
       | Some regional when t.config.Config.hierarchy ->
-        Control.Fa_connect_ack_r { mobile; regional }
+        Control.Fa_connect_ack_r
+          { mobile; regional;
+            backup =
+              Option.value t.regional_backup_parent ~default:Addr.zero }
       | _ -> Control.Fa_connect_ack { mobile }
     in
     let ack =
@@ -973,7 +1177,7 @@ let mh_handle_connect_ack t ~mobile =
    region) that the host lives behind the regional agent; every handoff
    under the same regional agent only rebinds there.  This is the
    aggregation that cuts long-haul control traffic per handoff (E19). *)
-let mh_handle_connect_ack_r t ~mobile ~regional =
+let mh_handle_connect_ack_r t ~mobile ~regional ~backup =
   match t.mh with
   | Some mh when Addr.equal mobile mh.Mobile_host.home -> begin
       match mh.Mobile_host.phase with
@@ -984,10 +1188,14 @@ let mh_handle_connect_ack_r t ~mobile ~regional =
           | None -> false
         in
         if not same_region then begin
-          withdraw_regional t mh;
+          (* leaving a region: trade the withdrawal for a grace-period
+             forwarding pointer when one is configured *)
+          withdraw_regional ~new_regional:regional t mh;
           register_with_home_agent t mh ~foreign_agent:regional
         end;
         mh.Mobile_host.regional <- Some regional;
+        mh.Mobile_host.regional_backup <-
+          (if Addr.is_zero backup then None else Some backup);
         register_with_region t mh ~regional ~foreign_agent:fa;
         complete_registration t mh ~foreign_agent:fa
       | _ -> ()
@@ -1001,21 +1209,108 @@ let mh_handle_reg_region_ack t ~mobile =
     mh.Mobile_host.rr_acked <- mh.Mobile_host.rr_seq
   | _ -> ()
 
-let regional_handle_registration t ~mobile ~foreign_agent =
+(* The mirror peer exhausted every binding-sync retransmission: it is
+   down.  Capture its regional address on the shared LANs — the
+   Section 2 gratuitous-ARP manoeuvre — so correspondents whose caches
+   still tunnel into the region through the dead agent reach this
+   node's mirrored binding table instead; the proxy-ARP hook answers
+   later queries.  Released the moment the peer is heard from again
+   (its own post-reboot syncs, or an ack to ours). *)
+let region_peer_takeover t =
+  match t.region_sync_peer with
+  | Some peer when not t.region_peer_captured ->
+    t.region_peer_captured <- true;
+    t.counters.Counters.region_takeovers <-
+      t.counters.Counters.region_takeovers + 1;
+    tracef t "regional" "peer %a unresponsive: capturing its address"
+      Addr.pp peer;
+    List.iter
+      (fun (i, lan, _) ->
+         if Ipv4.Addr.Prefix.mem peer (Net.Lan.prefix lan) then begin
+           let rec burst k =
+             if k < t.config.Config.gratuitous_arp_count then begin
+               Node.gratuitous_arp t.node ~iface:i peer;
+               ignore
+                 (Engine.schedule_after (engine t) ~delay:(Time.of_ms 100)
+                    (fun () -> burst (k + 1)))
+             end
+           in
+           burst 0
+         end)
+      (Node.ifaces t.node)
+  | _ -> ()
+
+let region_peer_release t ~peer =
+  if t.region_peer_captured
+     && (match t.region_sync_peer with
+         | Some p -> Addr.equal p peer
+         | None -> false)
+  then begin
+    t.region_peer_captured <- false;
+    tracef t "regional" "peer %a is back: releasing its address" Addr.pp
+      peer
+  end
+
+(* Mirror a binding write to the configured backup regional agent so it
+   can take over the region on a crash, retransmitted under
+   [Config.reliable_control] until the backup confirms (the same
+   generation-counter discipline as the mobile's own exchanges). *)
+let sync_region_binding t ~mobile ~foreign_agent ~lifetime_s =
+  match t.region_sync_peer with
+  | None -> ()
+  | Some peer ->
+    let km = Addr.to_key mobile in
+    let gen =
+      (match Hashtbl.find_opt t.rsync_seq km with Some g -> g | None -> 0)
+      + 1
+    in
+    Hashtbl.replace t.rsync_seq km gen;
+    let msg = Control.Region_sync { mobile; foreign_agent; lifetime_s } in
+    send_control t ~dst:peer msg;
+    (* A newer generation superseding this one must NOT cancel the retry
+       chain: any ack covers every earlier generation, so only an ack
+       (or a reboot resetting the tables) counts as the peer answering.
+       Otherwise a refresh cadence shorter than the full retry schedule
+       would re-arm forever and the peer's death would never surface. *)
+    arm_control_retry t
+      ~still_pending:(fun () ->
+          Hashtbl.mem t.rsync_seq km
+          && (match Hashtbl.find_opt t.rsync_acked km with
+              | Some a -> a < gen
+              | None -> true))
+      ~resend:(fun () ->
+          t.counters.Counters.region_sync_retransmissions <-
+            t.counters.Counters.region_sync_retransmissions + 1;
+          send_control t ~dst:peer msg)
+      ~give_up:(fun () -> region_peer_takeover t)
+
+let regional_handle_registration t ~mobile ~foreign_agent ~lifetime_s =
   match t.regional with
   | None -> ()
   | Some r ->
     if Addr.is_zero foreign_agent then begin
       Regional.withdraw r mobile;
-      tracef t "regional" "%a withdrawn" Addr.pp mobile
+      tracef t "regional" "%a withdrawn" Addr.pp mobile;
       (* no ack: see [withdraw_regional] *)
+      sync_region_binding t ~mobile ~foreign_agent:Addr.zero ~lifetime_s:0
     end
     else begin
-      Regional.register r ~mobile ~foreign_agent;
-      t.counters.Counters.regional_registrations <-
-        t.counters.Counters.regional_registrations + 1;
-      tracef t "regional" "%a now at %a" Addr.pp mobile Addr.pp
-        foreign_agent;
+      (match
+         Regional.register r ?expires_at:(regional_expiry t ~lifetime_s)
+           ~mobile ~foreign_agent ()
+       with
+       | `Fresh ->
+         t.counters.Counters.regional_registrations <-
+           t.counters.Counters.regional_registrations + 1;
+         tracef t "regional" "%a now at %a" Addr.pp mobile Addr.pp
+           foreign_agent
+       | `Refresh ->
+         (* pure keep-alive: the binding is unchanged, only its lifetime
+            re-arms — not a registration, or refreshes would inflate the
+            E19 aggregation counters *)
+         tracef t "regional" "%a refreshed at %a" Addr.pp mobile Addr.pp
+           foreign_agent);
+      sync_region_binding t ~mobile ~foreign_agent ~lifetime_s;
       (* the ack reaches the visiting host through the binding we just
          wrote, exactly as the home agent's reply rides its tunnel *)
       t.counters.Counters.control_messages <-
@@ -1028,6 +1323,64 @@ let regional_handle_registration t ~mobile ~foreign_agent =
         t.counters.Counters.tunnels_built + 1;
       Node.send t.node
         (Encap.tunnel_by_sender ~foreign_agent reply)
+    end
+
+(* Backup regional agent: apply a mirrored binding without re-propagating
+   (cf. [Ha_sync]), confirming under a reliable control plane so the
+   primary stops retransmitting. *)
+let regional_handle_sync t ~src ~mobile ~foreign_agent ~lifetime_s =
+  region_peer_release t ~peer:src;
+  match t.regional with
+  | None -> ()
+  | Some r ->
+    if Addr.is_zero foreign_agent then Regional.withdraw r mobile
+    else begin
+      ignore
+        (Regional.register r ?expires_at:(regional_expiry t ~lifetime_s)
+           ~mobile ~foreign_agent ());
+      tracef t "regional" "synced %a -> %a" Addr.pp mobile Addr.pp
+        foreign_agent
+    end;
+    if t.config.Config.reliable_control then
+      send_control t ~dst:src (Control.Region_sync_ack { mobile })
+
+let regional_handle_sync_ack t ~src ~mobile =
+  region_peer_release t ~peer:src;
+  let km = Addr.to_key mobile in
+  match Hashtbl.find_opt t.rsync_seq km with
+  | Some gen -> Hashtbl.replace t.rsync_acked km gen
+  | None -> ()
+
+(* The hierarchical invalidation bounce: the serving foreign agent says
+   it does not know this visitor (and the cell did not answer a probe),
+   so the binding is stale — but only if it still points there; a racing
+   re-registration to a different foreign agent must win. *)
+let regional_handle_visitor_miss t ~mobile ~foreign_agent =
+  match t.regional with
+  | None -> ()
+  | Some r ->
+    if Regional.invalidate r ~mobile ~foreign_agent then begin
+      t.counters.Counters.regional_invalidations <-
+        t.counters.Counters.regional_invalidations + 1;
+      tracef t "regional" "%a invalidated: %a reports no such visitor"
+        Addr.pp mobile Addr.pp foreign_agent
+    end
+
+(* Inter-region handoff: replace the departing mobile's binding with a
+   grace-period forwarding pointer toward its new regional agent. *)
+let regional_handle_forward t ~mobile ~new_regional =
+  match t.regional with
+  | None -> ()
+  | Some r ->
+    Regional.withdraw r mobile;
+    sync_region_binding t ~mobile ~foreign_agent:Addr.zero ~lifetime_s:0;
+    let grace = t.config.Config.regional_grace in
+    if Time.to_us grace > 0 && not (Node.has_address t.node new_regional)
+    then begin
+      Regional.set_forward r ~mobile ~new_regional
+        ~expires_at:(Time.add (now t) grace);
+      tracef t "regional" "%a left region: forwarding to %a for %a" Addr.pp
+        mobile Addr.pp new_regional Time.pp grace
     end
 
 let handle_control t (pkt : Packet.t) =
@@ -1064,12 +1417,21 @@ let handle_control t (pkt : Packet.t) =
           send_control t ~dst:pkt.Packet.src (Control.Ha_sync_ack { mobile })
       | Control.Ha_sync_ack { mobile } ->
         t.ha_sync_ack_tap ~peer:pkt.Packet.src ~mobile
-      | Control.Fa_connect_ack_r { mobile; regional } ->
-        mh_handle_connect_ack_r t ~mobile ~regional
-      | Control.Reg_region { mobile; foreign_agent } ->
-        regional_handle_registration t ~mobile ~foreign_agent
+      | Control.Fa_connect_ack_r { mobile; regional; backup } ->
+        mh_handle_connect_ack_r t ~mobile ~regional ~backup
+      | Control.Reg_region { mobile; foreign_agent; lifetime_s } ->
+        regional_handle_registration t ~mobile ~foreign_agent ~lifetime_s
       | Control.Reg_region_ack { mobile } ->
         mh_handle_reg_region_ack t ~mobile
+      | Control.Fa_visitor_miss { mobile; foreign_agent } ->
+        regional_handle_visitor_miss t ~mobile ~foreign_agent
+      | Control.Region_sync { mobile; foreign_agent; lifetime_s } ->
+        regional_handle_sync t ~src:pkt.Packet.src ~mobile ~foreign_agent
+          ~lifetime_s
+      | Control.Region_sync_ack { mobile } ->
+        regional_handle_sync_ack t ~src:pkt.Packet.src ~mobile
+      | Control.Region_forward { mobile; new_regional } ->
+        regional_handle_forward t ~mobile ~new_regional
 
 (* --- ICMP handling --- *)
 
@@ -1193,6 +1555,10 @@ let create ?(config = Config.default) ?(cache_agent = true)
       cache_agent; snoop;
       ha = None; fa = None; mh = None;
       regional = None; regional_parent = None;
+      regional_backup_parent = None; region_sync_peer = None;
+      region_peer_captured = false;
+      rsync_seq = Hashtbl.create 4; rsync_acked = Hashtbl.create 4;
+      fa_miss_probes = Hashtbl.create 4; regional_sweep_timer = false;
       app_tap = (fun _ -> ());
       update_tap = (fun ~mobile:_ ~foreign_agent:_ -> ());
       registered_tap = (fun _ -> ());
@@ -1209,8 +1575,8 @@ let create ?(config = Config.default) ?(cache_agent = true)
       dispatch t handle_udp pkt);
   Node.set_proto_handler node Ipv4.Proto.tcp (fun _ pkt ->
       dispatch t (fun t pkt -> t.app_tap pkt) pkt);
-  Node.set_accept_ip node (fun _ pkt -> ha_claims t pkt.Packet.dst);
-  Node.set_arp_proxy node (fun addr -> ha_claims t addr);
+  Node.set_accept_ip node (fun _ pkt -> claims t pkt.Packet.dst);
+  Node.set_arp_proxy node (fun addr -> claims t addr);
   Node.set_rewrite_forward node (fun _ pkt -> rewrite_forward t pkt);
   Node.on_reboot node (fun _ ->
       (match t.fa with Some (fa_state, _) -> Foreign_agent.clear fa_state
@@ -1218,7 +1584,32 @@ let create ?(config = Config.default) ?(cache_agent = true)
       (match t.ha with Some ha -> Home_agent.reboot ha | None -> ());
       (* regional bindings are soft state, lost like visitor lists *)
       (match t.regional with Some r -> Regional.clear r | None -> ());
-      Location_cache.clear t.cache);
+      t.region_peer_captured <- false;
+      Hashtbl.reset t.rsync_seq;
+      Hashtbl.reset t.rsync_acked;
+      Hashtbl.reset t.fa_miss_probes;
+      Location_cache.clear t.cache;
+      (* A mirrored regional agent reclaims its own address: the peer
+         may have captured it with gratuitous ARP while this node was
+         down (the same burst, in reverse, repairs neighbour caches) *)
+      (match t.regional, t.region_sync_peer with
+       | Some _, Some _ ->
+         List.iter
+           (fun (i, _, addr) ->
+              match addr with
+              | Some a ->
+                let rec burst k =
+                  if k < t.config.Config.gratuitous_arp_count then begin
+                    Node.gratuitous_arp t.node ~iface:i a;
+                    ignore
+                      (Engine.schedule_after (engine t)
+                         ~delay:(Time.of_ms 100) (fun () -> burst (k + 1)))
+                  end
+                in
+                burst 0
+              | None -> ())
+           (Node.ifaces t.node)
+       | _ -> ()));
   t
 
 let enable_home_agent t =
@@ -1234,10 +1625,40 @@ let enable_foreign_agent t ~iface =
    | Some (state, _) -> t.fa <- Some (state, iface));
   start_advert_timer t
 
-let enable_regional_agent t =
-  if t.regional = None then t.regional <- Some (Regional.create ())
+let enable_regional_agent ?backup t =
+  if t.regional = None then t.regional <- Some (Regional.create ());
+  (match backup with
+   | Some peer -> t.region_sync_peer <- Some peer
+   | None -> ());
+  (* Soft-state sweep: evict bindings whose lifetime ran out unrefreshed.
+     Swept at a quarter lifetime so an expired binding lingers at most
+     25% past its advertised lifetime; armed only when lifetimes are in
+     play, so pre-failover configurations run a timer-free table. *)
+  if t.config.Config.hierarchy
+     && Time.to_us t.config.Config.regional_lifetime > 0
+     && not t.regional_sweep_timer
+  then begin
+    t.regional_sweep_timer <- true;
+    let interval =
+      Time.of_us (max 1 (Time.to_us t.config.Config.regional_lifetime / 4))
+    in
+    Engine.every (engine t) ~interval (fun () ->
+        if Node.is_up t.node then
+          match t.regional with
+          | Some r ->
+            List.iter
+              (fun (mobile, fa) ->
+                 t.counters.Counters.regional_expirations <-
+                   t.counters.Counters.regional_expirations + 1;
+                 tracef t "regional" "%a expired (was at %a)" Addr.pp
+                   mobile Addr.pp fa)
+              (Regional.expire r ~now:(now t))
+          | None -> ())
+  end
 
-let set_regional_parent t regional = t.regional_parent <- Some regional
+let set_regional_parent ?backup t regional =
+  t.regional_parent <- Some regional;
+  t.regional_backup_parent <- backup
 
 let add_mobile t mobile =
   match t.ha with
@@ -1280,7 +1701,43 @@ let make_mobile t ~home_agent =
              end
            | Mobile_host.Searching | Mobile_host.Registering _
            | Mobile_host.Disconnected -> ())
-        | None -> ())
+        | None -> ());
+  (* Regional soft-state refresh ([Config.regional_lifetime]): re-send
+     the binding at a fraction of its lifetime so it never expires while
+     the host is alive.  The refresh doubles as a liveness probe — under
+     a reliable control plane an unacked exchange is left to its
+     retransmission loop (whose exhaustion triggers failover) rather
+     than being superseded by the next refresh, which would reset the
+     loop forever and mask the dead agent. *)
+  if t.config.Config.hierarchy
+     && (Time.to_us t.config.Config.regional_refresh > 0
+         || Time.to_us t.config.Config.regional_lifetime > 0)
+  then
+    Engine.every (engine t) ~interval:(regional_refresh_interval t)
+      (fun () ->
+         if Node.is_up t.node then
+           match t.mh with
+           | Some mh -> begin
+               match mh.Mobile_host.regional, mh.Mobile_host.phase with
+               | Some regional, Mobile_host.Registered fa
+                 when (not (Addr.is_zero fa))
+                   && ((not t.config.Config.reliable_control)
+                       || mh.Mobile_host.rr_acked >= mh.Mobile_host.rr_seq)
+                 ->
+                 register_with_region t mh ~regional ~foreign_agent:fa
+               | None, Mobile_host.Registered fa
+                 when (not (Addr.is_zero fa))
+                   && mh.Mobile_host.reg_acked < mh.Mobile_host.reg_seq ->
+                 (* Post-failover direct registration that the home agent
+                    never confirmed — the whole region may have been
+                    unreachable while its transit router was down.  Keep
+                    re-sending at the refresh cadence (each attempt
+                    supersedes the previous retry loop) until the home
+                    agent answers, or delivery is never restored. *)
+                 register_with_home_agent t mh ~foreign_agent:fa
+               | _ -> ()
+             end
+           | None -> ())
 
 (* --- movement (Section 3) --- *)
 

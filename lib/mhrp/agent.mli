@@ -42,18 +42,25 @@ val enable_foreign_agent : t -> iface:int -> unit
 val home_agent : t -> Home_agent.t option
 val foreign_agent : t -> Foreign_agent.t option
 
-val enable_regional_agent : t -> unit
+val enable_regional_agent : ?backup:Ipv4.Addr.t -> t -> unit
 (** Serve as the regional agent of a hierarchy ([Config.hierarchy]):
     maintain the region's mobile->foreign-agent binding table and
     re-tunnel arriving packets through it.  The home agent registers
     visiting hosts at this agent's address; intra-region handoffs only
-    rewrite bindings here. *)
+    rewrite bindings here.  With a positive [Config.regional_lifetime], a
+    periodic sweep evicts bindings whose soft-state lifetime ran out
+    unrefreshed.  [backup] names a standby regional agent to mirror every
+    binding write to ([Control.Region_sync], retransmitted under
+    [Config.reliable_control]) so it can take the region over on a
+    crash. *)
 
-val set_regional_parent : t -> Ipv4.Addr.t -> unit
+val set_regional_parent : ?backup:Ipv4.Addr.t -> t -> Ipv4.Addr.t -> unit
 (** Foreign-agent role under hierarchy: the regional agent this foreign
     agent belongs to, handed to mobile hosts at connect time
-    ([Control.Fa_connect_ack_r]).  Provisioning the tree is outside the
-    protocol, like agent addresses themselves. *)
+    ([Control.Fa_connect_ack_r]) along with the region's standby agent
+    [backup] when one is provisioned — the failover target mobiles use
+    when the primary stops acknowledging.  Provisioning the tree is
+    outside the protocol, like agent addresses themselves. *)
 
 val regional_agent : t -> Regional.t option
 val regional_parent : t -> Ipv4.Addr.t option

@@ -21,6 +21,9 @@ type t = {
   control_rto : Netsim.Time.t;
   control_retries : int;
   hierarchy : bool;
+  regional_lifetime : Netsim.Time.t;
+  regional_refresh : Netsim.Time.t;
+  regional_grace : Netsim.Time.t;
 }
 
 let default =
@@ -41,14 +44,18 @@ let default =
     reliable_control = false;
     control_rto = Netsim.Time.of_ms 300;
     control_retries = 5;
-    hierarchy = false }
+    hierarchy = false;
+    regional_lifetime = Netsim.Time.of_sec 300.0;
+    regional_refresh = Netsim.Time.zero;
+    regional_grace = Netsim.Time.of_sec 2.0 }
 
 let make ?max_prev_sources ?cache_capacity ?update_min_interval
     ?update_rate_entries ?advert_interval ?advert_lifetime
     ?forwarding_pointers ?on_loop ?verify_recovered_visitors
     ?gratuitous_arp_count ?ha_persistent ?authenticate
     ?auth_timestamp_window ?auth_nonce_capacity ?reliable_control
-    ?control_rto ?control_retries ?hierarchy () =
+    ?control_rto ?control_retries ?hierarchy ?regional_lifetime
+    ?regional_refresh ?regional_grace () =
   let v default = Option.value ~default in
   { max_prev_sources = v default.max_prev_sources max_prev_sources;
     cache_capacity = v default.cache_capacity cache_capacity;
@@ -69,4 +76,7 @@ let make ?max_prev_sources ?cache_capacity ?update_min_interval
     reliable_control = v default.reliable_control reliable_control;
     control_rto = v default.control_rto control_rto;
     control_retries = v default.control_retries control_retries;
-    hierarchy = v default.hierarchy hierarchy }
+    hierarchy = v default.hierarchy hierarchy;
+    regional_lifetime = v default.regional_lifetime regional_lifetime;
+    regional_refresh = v default.regional_refresh regional_refresh;
+    regional_grace = v default.regional_grace regional_grace }

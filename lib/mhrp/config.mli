@@ -84,6 +84,31 @@ type t = {
       contacted, cutting long-haul control traffic per handoff (E19).
       Off by default: flat mode is byte-identical to the pre-hierarchy
       protocol. *)
+  regional_lifetime : Netsim.Time.t;
+  (** Soft-state lifetime of a regional binding.  [Reg_region] carries it
+      on the wire (u16 seconds); the regional agent evicts bindings not
+      refreshed within it, so lost withdrawals and crashed foreign agents
+      self-heal instead of blackholing.  [Netsim.Time.zero] disables
+      expiry (bindings are hard state, the pre-failover behaviour).
+      Default 300 s — far beyond existing experiment horizons so enabling
+      the knob does not perturb gated counters. *)
+  regional_refresh : Netsim.Time.t;
+  (** How often a registered mobile re-sends [Reg_region] to keep its
+      binding alive.  [Netsim.Time.zero] (the default) derives a third of
+      [regional_lifetime], mirroring the 3-adverts-per-lifetime
+      convention.  The refresh doubles as a liveness probe: a refresh that
+      exhausts its retransmissions triggers regional-agent failover.  An
+      explicit interval also selects the failure-recovery profile: foreign
+      agents then report their regional parent (not themselves) in
+      delivery location updates, pinning correspondent caches to the
+      region's stable entry point so failover, mirror-peer takeover and
+      grace-pointer chasing stay invisible to senders (E20). *)
+  regional_grace : Netsim.Time.t;
+  (** Lifetime of the forwarding pointer an old regional agent keeps after
+      an inter-region handoff ([Region_forward]): tunneled packets that
+      race the home agent's update are re-tunneled to the new regional
+      agent instead of dropped.  [Netsim.Time.zero] disables pointers —
+      the mobile withdraws its old binding outright. *)
 }
 
 val default : t
@@ -113,6 +138,9 @@ val make :
   ?control_rto:Netsim.Time.t ->
   ?control_retries:int ->
   ?hierarchy:bool ->
+  ?regional_lifetime:Netsim.Time.t ->
+  ?regional_refresh:Netsim.Time.t ->
+  ?regional_grace:Netsim.Time.t ->
   unit ->
   t
 (** [make ()] is [default]; each label overrides one field.  Prefer this

@@ -8,9 +8,22 @@ type t =
   | Fa_disconnect of { mobile : Ipv4.Addr.t; new_foreign_agent : Ipv4.Addr.t }
   | Ha_sync of { mobile : Ipv4.Addr.t; foreign_agent : Ipv4.Addr.t }
   | Ha_sync_ack of { mobile : Ipv4.Addr.t }
-  | Fa_connect_ack_r of { mobile : Ipv4.Addr.t; regional : Ipv4.Addr.t }
-  | Reg_region of { mobile : Ipv4.Addr.t; foreign_agent : Ipv4.Addr.t }
+  | Fa_connect_ack_r of
+      { mobile : Ipv4.Addr.t;
+        regional : Ipv4.Addr.t;
+        backup : Ipv4.Addr.t }
+  | Reg_region of
+      { mobile : Ipv4.Addr.t;
+        foreign_agent : Ipv4.Addr.t;
+        lifetime_s : int }
   | Reg_region_ack of { mobile : Ipv4.Addr.t }
+  | Fa_visitor_miss of { mobile : Ipv4.Addr.t; foreign_agent : Ipv4.Addr.t }
+  | Region_sync of
+      { mobile : Ipv4.Addr.t;
+        foreign_agent : Ipv4.Addr.t;
+        lifetime_s : int }
+  | Region_sync_ack of { mobile : Ipv4.Addr.t }
+  | Region_forward of { mobile : Ipv4.Addr.t; new_regional : Ipv4.Addr.t }
 
 let put_u8 buf i v = Bytes.set buf i (Char.chr (v land 0xFF))
 
@@ -82,22 +95,50 @@ let encode = function
     put_u8 buf 0 7;
     put_addr buf 1 mobile;
     buf
-  | Fa_connect_ack_r { mobile; regional } ->
-    let buf = Bytes.make 9 '\000' in
+  | Fa_connect_ack_r { mobile; regional; backup } ->
+    let buf = Bytes.make 13 '\000' in
     put_u8 buf 0 8;
     put_addr buf 1 mobile;
     put_addr buf 5 regional;
+    put_addr buf 9 backup;
     buf
-  | Reg_region { mobile; foreign_agent } ->
-    let buf = Bytes.make 9 '\000' in
+  | Reg_region { mobile; foreign_agent; lifetime_s } ->
+    let buf = Bytes.make 11 '\000' in
     put_u8 buf 0 9;
     put_addr buf 1 mobile;
     put_addr buf 5 foreign_agent;
+    put_u8 buf 9 (lifetime_s lsr 8);
+    put_u8 buf 10 lifetime_s;
     buf
   | Reg_region_ack { mobile } ->
     let buf = Bytes.make 5 '\000' in
     put_u8 buf 0 10;
     put_addr buf 1 mobile;
+    buf
+  | Fa_visitor_miss { mobile; foreign_agent } ->
+    let buf = Bytes.make 9 '\000' in
+    put_u8 buf 0 11;
+    put_addr buf 1 mobile;
+    put_addr buf 5 foreign_agent;
+    buf
+  | Region_sync { mobile; foreign_agent; lifetime_s } ->
+    let buf = Bytes.make 11 '\000' in
+    put_u8 buf 0 12;
+    put_addr buf 1 mobile;
+    put_addr buf 5 foreign_agent;
+    put_u8 buf 9 (lifetime_s lsr 8);
+    put_u8 buf 10 lifetime_s;
+    buf
+  | Region_sync_ack { mobile } ->
+    let buf = Bytes.make 5 '\000' in
+    put_u8 buf 0 13;
+    put_addr buf 1 mobile;
+    buf
+  | Region_forward { mobile; new_regional } ->
+    let buf = Bytes.make 9 '\000' in
+    put_u8 buf 0 14;
+    put_addr buf 1 mobile;
+    put_addr buf 5 new_regional;
     buf
 
 let decode buf =
@@ -123,13 +164,26 @@ let decode buf =
       Some (Ha_sync { mobile = get_addr buf 1;
                       foreign_agent = get_addr buf 5 })
     | 7 -> Some (Ha_sync_ack { mobile = get_addr buf 1 })
-    | 8 when n >= 9 ->
+    | 8 when n >= 13 ->
       Some (Fa_connect_ack_r { mobile = get_addr buf 1;
-                               regional = get_addr buf 5 })
-    | 9 when n >= 9 ->
+                               regional = get_addr buf 5;
+                               backup = get_addr buf 9 })
+    | 9 when n >= 11 ->
       Some (Reg_region { mobile = get_addr buf 1;
-                         foreign_agent = get_addr buf 5 })
+                         foreign_agent = get_addr buf 5;
+                         lifetime_s = (get_u8 buf 9 lsl 8) lor get_u8 buf 10 })
     | 10 -> Some (Reg_region_ack { mobile = get_addr buf 1 })
+    | 11 when n >= 9 ->
+      Some (Fa_visitor_miss { mobile = get_addr buf 1;
+                              foreign_agent = get_addr buf 5 })
+    | 12 when n >= 11 ->
+      Some (Region_sync { mobile = get_addr buf 1;
+                          foreign_agent = get_addr buf 5;
+                          lifetime_s = (get_u8 buf 9 lsl 8) lor get_u8 buf 10 })
+    | 13 -> Some (Region_sync_ack { mobile = get_addr buf 1 })
+    | 14 when n >= 9 ->
+      Some (Region_forward { mobile = get_addr buf 1;
+                             new_regional = get_addr buf 5 })
     | _ -> None
 
 let mobile = function
@@ -142,7 +196,11 @@ let mobile = function
   | Ha_sync_ack { mobile }
   | Fa_connect_ack_r { mobile; _ }
   | Reg_region { mobile; _ }
-  | Reg_region_ack { mobile } -> mobile
+  | Reg_region_ack { mobile }
+  | Fa_visitor_miss { mobile; _ }
+  | Region_sync { mobile; _ }
+  | Region_sync_ack { mobile }
+  | Region_forward { mobile; _ } -> mobile
 
 let pp ppf = function
   | Reg_request { mobile; foreign_agent } ->
@@ -164,11 +222,22 @@ let pp ppf = function
       Ipv4.Addr.pp foreign_agent
   | Ha_sync_ack { mobile } ->
     Format.fprintf ppf "ha-sync-ack mobile=%a" Ipv4.Addr.pp mobile
-  | Fa_connect_ack_r { mobile; regional } ->
-    Format.fprintf ppf "fa-connect-ack-r mobile=%a regional=%a" Ipv4.Addr.pp
-      mobile Ipv4.Addr.pp regional
-  | Reg_region { mobile; foreign_agent } ->
-    Format.fprintf ppf "reg-region mobile=%a fa=%a" Ipv4.Addr.pp mobile
-      Ipv4.Addr.pp foreign_agent
+  | Fa_connect_ack_r { mobile; regional; backup } ->
+    Format.fprintf ppf "fa-connect-ack-r mobile=%a regional=%a backup=%a"
+      Ipv4.Addr.pp mobile Ipv4.Addr.pp regional Ipv4.Addr.pp backup
+  | Reg_region { mobile; foreign_agent; lifetime_s } ->
+    Format.fprintf ppf "reg-region mobile=%a fa=%a lifetime=%ds" Ipv4.Addr.pp
+      mobile Ipv4.Addr.pp foreign_agent lifetime_s
   | Reg_region_ack { mobile } ->
     Format.fprintf ppf "reg-region-ack mobile=%a" Ipv4.Addr.pp mobile
+  | Fa_visitor_miss { mobile; foreign_agent } ->
+    Format.fprintf ppf "fa-visitor-miss mobile=%a fa=%a" Ipv4.Addr.pp mobile
+      Ipv4.Addr.pp foreign_agent
+  | Region_sync { mobile; foreign_agent; lifetime_s } ->
+    Format.fprintf ppf "region-sync mobile=%a fa=%a lifetime=%ds" Ipv4.Addr.pp
+      mobile Ipv4.Addr.pp foreign_agent lifetime_s
+  | Region_sync_ack { mobile } ->
+    Format.fprintf ppf "region-sync-ack mobile=%a" Ipv4.Addr.pp mobile
+  | Region_forward { mobile; new_regional } ->
+    Format.fprintf ppf "region-forward mobile=%a new-regional=%a" Ipv4.Addr.pp
+      mobile Ipv4.Addr.pp new_regional

@@ -30,19 +30,51 @@ type t =
       (** Replica -> originating home agent: confirm a mirrored
           registration, enabling retransmission of lost syncs when the
           control plane runs reliably ([Config.reliable_control]). *)
-  | Fa_connect_ack_r of { mobile : Ipv4.Addr.t; regional : Ipv4.Addr.t }
+  | Fa_connect_ack_r of
+      { mobile : Ipv4.Addr.t;
+        regional : Ipv4.Addr.t;
+        backup : Ipv4.Addr.t }
       (** Foreign agent -> mobile host, replacing {!Fa_connect_ack} under
           [Config.hierarchy] when the agent has a regional parent: the
           connect is accepted and registrations should go through this
-          regional agent. *)
-  | Reg_region of { mobile : Ipv4.Addr.t; foreign_agent : Ipv4.Addr.t }
+          regional agent.  [backup] is the standby regional agent the
+          mobile should fail over to when the primary stops acking
+          ([Ipv4.Addr.zero] when the region has none). *)
+  | Reg_region of
+      { mobile : Ipv4.Addr.t;
+        foreign_agent : Ipv4.Addr.t;
+        lifetime_s : int }
       (** Mobile host -> regional agent: bind the host to its current
           foreign agent within the region.  A zero foreign agent
           withdraws the binding (departure or return home).  This is the
           only registration an intra-region handoff sends — the home
-          agent keeps pointing at the regional agent throughout. *)
+          agent keeps pointing at the regional agent throughout.
+          [lifetime_s] is the soft-state lifetime in seconds (u16 on the
+          wire; 0 means the binding never expires) after which the
+          regional agent evicts the binding unless refreshed. *)
   | Reg_region_ack of { mobile : Ipv4.Addr.t }
       (** Regional agent -> mobile host. *)
+  | Fa_visitor_miss of { mobile : Ipv4.Addr.t; foreign_agent : Ipv4.Addr.t }
+      (** Foreign agent -> regional agent: a tunneled packet arrived for a
+          mobile that is not on the visitor list and does not answer an
+          ARP probe on the cell.  The regional agent drops its binding if
+          it still points at this foreign agent — the hierarchical
+          counterpart of the flat path's ICMP bounce invalidation. *)
+  | Region_sync of
+      { mobile : Ipv4.Addr.t;
+        foreign_agent : Ipv4.Addr.t;
+        lifetime_s : int }
+      (** Primary regional agent -> backup: mirror a binding so the backup
+          can take over on a crash.  A zero foreign agent mirrors a
+          withdrawal.  Retransmitted under [Config.reliable_control] until
+          {!Region_sync_ack} arrives. *)
+  | Region_sync_ack of { mobile : Ipv4.Addr.t }
+      (** Backup -> primary regional agent. *)
+  | Region_forward of { mobile : Ipv4.Addr.t; new_regional : Ipv4.Addr.t }
+      (** Mobile host -> old regional agent on an inter-region handoff:
+          instead of withdrawing outright, leave a grace-period forwarding
+          pointer ([Config.regional_grace]) so in-flight packets are
+          re-tunneled to the new region instead of dropped. *)
 
 val mobile : t -> Ipv4.Addr.t
 (** The mobile host the message is about — the key under which its

@@ -24,6 +24,12 @@ type t = {
   mutable regional_registrations : int;
   mutable regional_retunnels : int;
   mutable region_retransmissions : int;
+  mutable regional_forwards : int;
+  mutable regional_invalidations : int;
+  mutable regional_expirations : int;
+  mutable region_failovers : int;
+  mutable region_sync_retransmissions : int;
+  mutable region_takeovers : int;
 }
 
 let create () =
@@ -35,7 +41,10 @@ let create () =
     replay_drop = 0; reg_retransmissions = 0; connect_retransmissions = 0;
     sync_retransmissions = 0; retransmit_gave_up = 0;
     regional_registrations = 0; regional_retunnels = 0;
-    region_retransmissions = 0 }
+    region_retransmissions = 0; regional_forwards = 0;
+    regional_invalidations = 0; regional_expirations = 0;
+    region_failovers = 0; region_sync_retransmissions = 0;
+    region_takeovers = 0 }
 
 let total_overhead_messages t = t.control_messages
 
@@ -44,7 +53,8 @@ let pp ppf t =
     "tunnels=%d retunnels=%d detunnels=%d updates=%d/%d loops=%d/%d \
      trunc=%d reg=%d fa+=%d fa-=%d intercepts=%d icmp-rev=%d recov=%d \
      ctrl=%d auth=%d/%d replay=%d rtx=%d/%d/%d gave-up=%d \
-     regional=%d/%d rrtx=%d"
+     regional=%d/%d rrtx=%d rfwd=%d rinv=%d rexp=%d rfail=%d rsrtx=%d \
+     rtake=%d"
     t.tunnels_built t.retunnels t.detunnels t.updates_sent
     t.updates_received t.loops_detected t.loops_dissolved
     t.list_truncations t.registrations t.fa_connects t.fa_disconnects
@@ -52,3 +62,5 @@ let pp ppf t =
     t.auth_ok t.auth_fail t.replay_drop t.reg_retransmissions
     t.connect_retransmissions t.sync_retransmissions t.retransmit_gave_up
     t.regional_registrations t.regional_retunnels t.region_retransmissions
+    t.regional_forwards t.regional_invalidations t.regional_expirations
+    t.region_failovers t.region_sync_retransmissions t.region_takeovers

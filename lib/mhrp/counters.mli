@@ -44,6 +44,28 @@ type t = {
           foreign agent through its binding table. *)
   mutable region_retransmissions : int;
       (** Regional registrations re-sent under [Config.reliable_control]. *)
+  mutable regional_forwards : int;
+      (** Tunneled packets a regional agent re-tunneled along an
+          inter-region forwarding pointer during the handoff grace
+          period. *)
+  mutable regional_invalidations : int;
+      (** Regional bindings dropped on a foreign agent's visitor-list-miss
+          bounce (the hierarchical counterpart of the flat path's ICMP
+          invalidation). *)
+  mutable regional_expirations : int;
+      (** Regional bindings evicted because their soft-state lifetime ran
+          out unrefreshed ([Config.regional_lifetime]). *)
+  mutable region_failovers : int;
+      (** Times a mobile host abandoned an unresponsive regional agent —
+          switching to the advertised backup, or falling back to direct
+          home-agent registration when the region has none. *)
+  mutable region_sync_retransmissions : int;
+      (** Primary-to-backup binding mirrors re-sent under
+          [Config.reliable_control]. *)
+  mutable region_takeovers : int;
+      (** Times this regional agent captured its unresponsive mirror
+          peer's address (gratuitous ARP + proxy) so traffic tunneled at
+          the dead peer reaches the mirrored binding table. *)
 }
 
 val create : unit -> t

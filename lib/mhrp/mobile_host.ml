@@ -18,6 +18,7 @@ type t = {
   mutable reg_seq : int;
   mutable reg_acked : int;
   mutable regional : Ipv4.Addr.t option;
+  mutable regional_backup : Ipv4.Addr.t option;
   mutable rr_seq : int;
   mutable rr_acked : int;
 }
@@ -26,7 +27,8 @@ let create ~home ~home_agent =
   { home; home_agent; phase = At_home; old_fa = None; own_fa_temp = None;
     moves = 0; registrations_completed = 0;
     last_advert = Netsim.Time.zero; implicit_disconnects = 0;
-    reg_seq = 0; reg_acked = 0; regional = None; rr_seq = 0; rr_acked = 0 }
+    reg_seq = 0; reg_acked = 0; regional = None; regional_backup = None;
+    rr_seq = 0; rr_acked = 0 }
 
 let current_fa t =
   match t.phase with

@@ -38,6 +38,10 @@ type t = {
       (** The regional agent the host is registered through
           ([Config.hierarchy]).  While the next handoff stays under the
           same regional agent, the home agent is not contacted. *)
+  mutable regional_backup : Ipv4.Addr.t option;
+      (** The standby regional agent advertised at connect time
+          ([Fa_connect_ack_r]); the failover target when the primary stops
+          acknowledging regional registrations. *)
   mutable rr_seq : int;
       (** Generation of the newest regional registration sent
           ([Config.reliable_control]). *)

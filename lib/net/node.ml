@@ -411,7 +411,12 @@ let gratuitous_arp t ~iface:i ip =
   tracef t "arp-tx" "gratuitous %a" Arp.pp a;
   Lan.send s.lan (Frame.arp ~src:s.mac ~dst:Mac.broadcast a)
 
-let arp_probe t ~iface:i target = send_arp_request t i target
+(* Drop any cached entry first: a probe asks whether the target is on
+   the LAN *now*, and a stale cached answer would make the verification
+   vacuous. *)
+let arp_probe t ~iface:i target =
+  Hashtbl.remove t.arp_cache target;
+  send_arp_request t i target
 
 let arp_cache_lookup t a = arp_fresh t a
 let arp_cache_size t = Hashtbl.length t.arp_cache

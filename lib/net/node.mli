@@ -163,9 +163,11 @@ val arp_cache_lookup : t -> Ipv4.Addr.t -> Mac.t option
 val arp_cache_size : t -> int
 
 val arp_probe : t -> iface:int -> Ipv4.Addr.t -> unit
-(** Broadcast an ARP request without queueing a packet behind it.  A
-    rebooted foreign agent verifies a visiting host's presence this way
-    (Section 5.2); check {!arp_cache_lookup} after a round-trip. *)
+(** Broadcast an ARP request without queueing a packet behind it,
+    dropping any cached entry for the target first so the answer (or
+    its absence) reflects the LAN {e now}.  A rebooted foreign agent
+    verifies a visiting host's presence this way (Section 5.2); check
+    {!arp_cache_lookup} after a round-trip. *)
 
 (** {1 Failure injection} *)
 

@@ -236,6 +236,7 @@ type region = {
   rg_topo : Topology.t;
   rg_backbone : Lan.t;
   rg_regionals : Agent.t array;
+  rg_backups : Agent.t array;
   rg_fas : Agent.t array array;
   rg_cells : Lan.t array array;
   rg_homes : Lan.t array;
@@ -251,8 +252,8 @@ type region = {
    not [config] enables hierarchy — the connect ack only advertises it
    when [Config.hierarchy] is set, so the same wiring serves both
    modes. *)
-let regions ?(config = Mhrp.Config.default) ?(seed = 42) ~regions ~cells
-    ~mobiles_per_region ~correspondents () =
+let regions ?(config = Mhrp.Config.default) ?(seed = 42) ?(backups = false)
+    ~regions ~cells ~mobiles_per_region ~correspondents () =
   if regions <= 0 || cells <= 0 || mobiles_per_region < 0
      || correspondents < 0
   then invalid_arg "Topo_gen.regions";
@@ -283,6 +284,14 @@ let regions ?(config = Mhrp.Config.default) ?(seed = 42) ~regions ~cells
           (Printf.sprintf "RR%d" r)
           [(backbone, 10 + r); (rnets.(r), 1); (homes.(r), 1)])
   in
+  let backup_nodes =
+    if not backups then [||]
+    else
+      Array.init regions (fun r ->
+          Topology.add_router topo
+            (Printf.sprintf "RB%d" r)
+            [(backbone, 100 + r); (rnets.(r), 2)])
+  in
   let fa_nodes =
     Array.init regions (fun r ->
         Array.init cells (fun c ->
@@ -304,15 +313,32 @@ let regions ?(config = Mhrp.Config.default) ?(seed = 42) ~regions ~cells
           (200 + (k / regions)))
   in
   Topology.compute_routes topo;
-  let regionals =
+  let backup_agents =
     Array.map
       (fun n ->
          let a = Agent.create ~config ~snoop:true n in
+         a)
+      backup_nodes
+  in
+  let regionals =
+    Array.mapi
+      (fun r n ->
+         let a = Agent.create ~config ~snoop:true n in
          Agent.enable_home_agent a;
-         Agent.enable_regional_agent a;
+         (if backups then
+            Agent.enable_regional_agent
+              ~backup:(Agent.address backup_agents.(r)) a
+          else Agent.enable_regional_agent a);
          a)
       regional_nodes
   in
+  (* The standby mirrors back to the primary, so a recovered primary
+     learns bindings written during the takeover. *)
+  Array.iteri
+    (fun r a ->
+       Agent.enable_regional_agent
+         ~backup:(Agent.address regionals.(r)) a)
+    backup_agents;
   let fas =
     Array.mapi
       (fun r row ->
@@ -321,7 +347,12 @@ let regions ?(config = Mhrp.Config.default) ?(seed = 42) ~regions ~cells
               let a = Agent.create ~config ~snoop:true n in
               Agent.enable_foreign_agent a
                 ~iface:(fa_iface_for a cell_lans.(r).(c));
-              Agent.set_regional_parent a (Agent.address regionals.(r));
+              (if backups then
+                 Agent.set_regional_parent
+                   ~backup:(Agent.address backup_agents.(r))
+                   a (Agent.address regionals.(r))
+               else
+                 Agent.set_regional_parent a (Agent.address regionals.(r)));
               a)
            row)
       fa_nodes
@@ -345,8 +376,8 @@ let regions ?(config = Mhrp.Config.default) ?(seed = 42) ~regions ~cells
     Array.map (fun n -> Agent.create ~config n) sender_nodes
   in
   { rg_topo = topo; rg_backbone = backbone; rg_regionals = regionals;
-    rg_fas = fas; rg_cells = cell_lans; rg_homes = homes;
-    rg_mobiles = mobiles; rg_senders = senders }
+    rg_backups = backup_agents; rg_fas = fas; rg_cells = cell_lans;
+    rg_homes = homes; rg_mobiles = mobiles; rg_senders = senders }
 
 type chain = {
   ch_topo : Topology.t;

@@ -113,6 +113,11 @@ type region = {
   rg_backbone : Net.Lan.t;
   rg_regionals : Mhrp.Agent.t array;
       (** regional router of region r: home + regional agent *)
+  rg_backups : Mhrp.Agent.t array;
+      (** standby regional agent of region r ([backups:true]), empty
+          otherwise.  Primary and standby mirror bindings to each other
+          ([Control.Region_sync]); foreign agents advertise the standby
+          at connect time as the mobiles' failover target. *)
   rg_fas : Mhrp.Agent.t array array;  (** [rg_fas.(r).(c)]: cell FA *)
   rg_cells : Net.Lan.t array array;
   rg_homes : Net.Lan.t array;
@@ -122,8 +127,9 @@ type region = {
 }
 
 val regions :
-  ?config:Mhrp.Config.t -> ?seed:int -> regions:int -> cells:int ->
-  mobiles_per_region:int -> correspondents:int -> unit -> region
+  ?config:Mhrp.Config.t -> ?seed:int -> ?backups:bool -> regions:int ->
+  cells:int -> mobiles_per_region:int -> correspondents:int -> unit ->
+  region
 
 (** A chain of [n] routers r0 - r1 - ... - r(n-1), each with a stub LAN,
     used to build long tunnels and cache-agent loops. *)

@@ -78,9 +78,17 @@ let corpus =
         ("ctl-ha-sync", Mhrp.Control.Ha_sync { mobile = m; foreign_agent = fa });
         ("ctl-ha-sync-ack", Mhrp.Control.Ha_sync_ack { mobile = m });
         ( "ctl-fa-connect-ack-r",
-          Mhrp.Control.Fa_connect_ack_r { mobile = m; regional = ha } );
-        ("ctl-reg-region", Mhrp.Control.Reg_region { mobile = m; foreign_agent = fa });
-        ("ctl-reg-region-ack", Mhrp.Control.Reg_region_ack { mobile = m }) ]
+          Mhrp.Control.Fa_connect_ack_r { mobile = m; regional = ha; backup = fa2 } );
+        ( "ctl-reg-region",
+          Mhrp.Control.Reg_region { mobile = m; foreign_agent = fa; lifetime_s = 300 } );
+        ("ctl-reg-region-ack", Mhrp.Control.Reg_region_ack { mobile = m });
+        ( "ctl-fa-visitor-miss",
+          Mhrp.Control.Fa_visitor_miss { mobile = m; foreign_agent = fa } );
+        ( "ctl-region-sync",
+          Mhrp.Control.Region_sync { mobile = m; foreign_agent = fa; lifetime_s = 300 } );
+        ("ctl-region-sync-ack", Mhrp.Control.Region_sync_ack { mobile = m });
+        ( "ctl-region-forward",
+          Mhrp.Control.Region_forward { mobile = m; new_regional = fa2 } ) ]
   @ List.map
       (fun (name, msg) -> (name, Ipv4.Icmp.encode msg))
       [ ( "icmp-echo-request",
