@@ -1,7 +1,7 @@
 (* ALLOC: allocation and throughput of the zero-copy forwarding fast
    path (DESIGN.md Section 11).
 
-   Three measurements, all deterministic enough to gate:
+   Four measurements, all deterministic enough to gate:
 
    - the per-hop header operation in isolation: the classical
      decode -> decr_ttl -> encode round-trip against the view path's
@@ -21,7 +21,11 @@
 
    - the pool-backed wire-level encap/decap against the record-based
      transformations, including byte-for-byte equivalence flags and the
-     pool's deterministic hit/miss accounting. *)
+     pool's deterministic hit/miss accounting.
+
+   - the transport layer: TCP segment encode/decode word counts and the
+     full socket send path (queue, segment, deliver, ack) per 256-byte
+     send on a quiet topology, with an exact zero-retransmission gate. *)
 
 module Time = Netsim.Time
 module Addr = Ipv4.Addr
@@ -289,12 +293,100 @@ let part_encap () =
       [ "pool (single blit)"; Exp_util.f1 pool_w;
         if enc_ok && dec_ok then "yes" else "NO" ] ]
 
+(* --- part 4: transport segment codec and socket send path --------- *)
+
+let tcp_ops = 20_000
+let sock_sends = 400
+
+let tcp_segment =
+  Ipv4.Tcp_lite.make ~seq:0x1234_5678 ~ack:0x0fed_cba9
+    ~flags:[Ipv4.Tcp_lite.Psh; Ipv4.Tcp_lite.Ack] ~window:4096
+    ~src_port:49152 ~dst_port:80 (Bytes.create 512)
+
+let tcp_wire = Ipv4.Tcp_lite.encode tcp_segment
+
+let part_transport () =
+  (* the segment codec in isolation: every socket byte crosses encode
+     once and decode once, so both word counts gate the send path's
+     fixed per-segment cost *)
+  let (), enc_alloc =
+    Obs.Alloc.measure (fun () ->
+        for _ = 1 to tcp_ops do
+          ignore (Ipv4.Tcp_lite.encode tcp_segment)
+        done)
+  in
+  let (), dec_alloc =
+    Obs.Alloc.measure (fun () ->
+        for _ = 1 to tcp_ops do
+          match Ipv4.Tcp_lite.decode tcp_wire with
+          | Some _ -> ()
+          | None -> failwith "tcp decode: None"
+        done)
+  in
+  let enc_w = (Obs.Alloc.per enc_alloc tcp_ops).Obs.Alloc.minor_words in
+  let dec_w = (Obs.Alloc.per dec_alloc tcp_ops).Obs.Alloc.minor_words in
+  Exp_util.rec_f ~exp ~labels:[("op", "encode")] ~tol:(Obs.Metric.Pct 30.0)
+    "tcp_minor_words_per_op" enc_w;
+  Exp_util.rec_f ~exp ~labels:[("op", "decode")] ~tol:(Obs.Metric.Pct 30.0)
+    "tcp_minor_words_per_op" dec_w;
+  (* the full socket send path on a quiet Figure 1 topology: one
+     established connection, each op queues 256 stream bytes and runs the
+     engine until the ack returns — segmentation, IP encode, two ARP-warm
+     hops, receive reassembly, ack processing and timer churn included.
+     Retransmissions must be exactly zero: an idle-path RTO misfire would
+     silently double the cost. *)
+  let f =
+    Workload.Topo_gen.figure1 ()
+  in
+  Netsim.Trace.set_enabled (Topology.trace f.Workload.Topo_gen.topo) false;
+  let topo = f.Workload.Topo_gen.topo in
+  let server = Transport.Stack.create f.Workload.Topo_gen.m in
+  let client = Transport.Stack.create f.Workload.Topo_gen.s in
+  let received = ref 0 in
+  ignore
+    (Transport.Socket.listen server ~port:7 (fun sock ->
+         Transport.Socket.recv_cb sock (fun b ->
+             received := !received + Bytes.length b)));
+  let sock =
+    Transport.Socket.connect client
+      ~dst:(Mhrp.Agent.address f.Workload.Topo_gen.m) ~dst_port:7 ()
+  in
+  Topology.run ~until:(Time.of_sec 1.0) topo;
+  assert (Transport.Socket.is_established sock);
+  let chunk = Bytes.create 256 in
+  let send_op () =
+    Transport.Socket.send sock chunk;
+    Topology.run ~until:(Time.add (Topology.now topo) (Time.of_ms 50)) topo
+  in
+  send_op ();  (* warm the path before measuring *)
+  let (), sock_alloc =
+    Obs.Alloc.measure (fun () -> for _ = 1 to sock_sends do send_op () done)
+  in
+  let sock_w = (Obs.Alloc.per sock_alloc sock_sends).Obs.Alloc.minor_words in
+  let rtx =
+    (Transport.Stack.counters client).Transport.Counters.retransmissions
+  in
+  Exp_util.rec_f ~exp ~tol:(Obs.Metric.Pct 30.0)
+    "sock_send_minor_words_per_op" sock_w;
+  Exp_util.rec_i ~exp "sock_send_retransmissions" rtx;
+  Exp_util.rec_i ~exp "sock_send_bytes_delivered" !received;
+  Exp_util.table
+    ~columns:["transport op"; "minor w/op"]
+    [ [ "tcp encode (512B, Psh|Ack)"; Exp_util.f1 enc_w ];
+      [ "tcp decode (512B, Psh|Ack)"; Exp_util.f1 dec_w ];
+      [ "socket send 256B (round trip)"; Exp_util.f1 sock_w ] ];
+  Exp_util.note
+    "socket send path: %.0f minor words per 256B send-and-ack round trip, \
+     %d retransmissions (gate: exactly 0)"
+    sock_w rtx
+
 let run () =
   Exp_util.heading "ALLOC"
     "zero-copy fast path: allocations, throughput, pool behaviour";
   part_header ();
   part_chain ();
-  part_encap ()
+  part_encap ();
+  part_transport ()
 
 let experiment =
   Exp_util.Experiment.make ~id:"alloc"

@@ -48,6 +48,7 @@ let experiments : Experiment.t list =
     Exp_alloc.experiment;
     Exp_e19.experiment;
     Exp_e20.experiment;
+    Exp_e21.experiment;
     Micro.experiment ]
 
 let all_ids = List.map (fun e -> e.Experiment.id) experiments

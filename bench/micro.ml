@@ -27,6 +27,13 @@ let tunneled =
   Mhrp.Encap.tunnel_by_agent ~agent:(Addr.host 2 1)
     ~foreign_agent:(Addr.host 4 1) sample_packet
 
+let tcp_segment =
+  Ipv4.Tcp_lite.make ~seq:0x1234_5678 ~ack:0x0fed_cba9
+    ~flags:[Ipv4.Tcp_lite.Psh; Ipv4.Tcp_lite.Ack] ~window:4096
+    ~src_port:49152 ~dst_port:80 (Bytes.create 512)
+
+let tcp_wire = Ipv4.Tcp_lite.encode tcp_segment
+
 let cache =
   let c = Mhrp.Location_cache.create ~capacity:64 in
   for k = 1 to 64 do
@@ -177,6 +184,14 @@ let tests =
          end);
         decr fwd_view_budget;
         Packet.View.decr_ttl v));
+    (* the transport fixed cost: every socket byte crosses these twice
+       (sender encode, receiver decode); 512B is the default MSS *)
+    Test.make ~name:"tcp-segment-encode" (Staged.stage (fun () ->
+        ignore (Ipv4.Tcp_lite.encode tcp_segment)));
+    Test.make ~name:"tcp-segment-decode" (Staged.stage (fun () ->
+        match Ipv4.Tcp_lite.decode tcp_wire with
+        | Some _ -> ()
+        | None -> failwith "tcp-segment-decode"));
     Test.make ~name:"mhrp-header-encode" (Staged.stage (fun () ->
         ignore (Mhrp.Mhrp_header.encode mhrp_header Bytes.empty)));
     Test.make ~name:"mhrp-header-decode" (Staged.stage (fun () ->

@@ -69,20 +69,26 @@ let encode t =
   buf
 
 let decode buf =
-  if Bytes.length buf < header_length then
-    invalid_arg "Tcp_lite.decode: too short";
-  let data_off = (get_u8 buf 12 lsr 4) * 4 in
-  if data_off < header_length || data_off > Bytes.length buf then
-    invalid_arg "Tcp_lite.decode: bad data offset";
-  if not (Checksum.valid ~off:0 ~len:(Bytes.length buf) buf) then
-    invalid_arg "Tcp_lite.decode: bad checksum";
-  { src_port = get_u16 buf 0;
-    dst_port = get_u16 buf 2;
-    seq = get_u32 buf 4;
-    ack = get_u32 buf 8;
-    flags = flags_of_int (get_u8 buf 13);
-    window = get_u16 buf 14;
-    data = Bytes.sub buf data_off (Bytes.length buf - data_off) }
+  if Bytes.length buf < header_length then None
+  else
+    let data_off = (get_u8 buf 12 lsr 4) * 4 in
+    if data_off < header_length || data_off > Bytes.length buf then None
+    else if not (Checksum.valid ~off:0 ~len:(Bytes.length buf) buf) then
+      None
+    else
+      Some
+        { src_port = get_u16 buf 0;
+          dst_port = get_u16 buf 2;
+          seq = get_u32 buf 4;
+          ack = get_u32 buf 8;
+          flags = flags_of_int (get_u8 buf 13);
+          window = get_u16 buf 14;
+          data = Bytes.sub buf data_off (Bytes.length buf - data_off) }
+
+let decode_exn buf =
+  match decode buf with
+  | Some t -> t
+  | None -> invalid_arg "Tcp_lite.decode_exn: malformed segment"
 
 let has_flag t f = List.mem f t.flags
 

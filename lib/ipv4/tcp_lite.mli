@@ -1,7 +1,7 @@
 (** A minimal TCP segment codec (RFC 793 header, no options).
 
-    The simulator does not model TCP's state machine — the paper's protocol
-    operates strictly below transport — but workloads send realistic
+    The connection state machine lives above, in [Transport.Socket]; this
+    module is the pure wire codec it rides on.  Workloads send realistic
     20-byte-header segments so that packet sizes and the MHRP rule of
     "insert between IP header and transport header" (Figure 2) are exercised
     against real transport bytes. *)
@@ -26,6 +26,16 @@ val make :
   src_port:int -> dst_port:int -> bytes -> t
 
 val encode : t -> bytes
-val decode : bytes -> t
+
+val decode : bytes -> t option
+(** Total over hostile bytes: [None] on truncation, a data offset pointing
+    outside the buffer, or a checksum mismatch — never an exception.  The
+    stack feeds every TCP payload that reaches a node through this, so a
+    corrupted segment must degrade to a drop, not a crash. *)
+
+val decode_exn : bytes -> t
+(** [decode], raising [Invalid_argument] on malformed input — for tests
+    and corpus generators where malformed means a bug. *)
+
 val has_flag : t -> flag -> bool
 val pp : Format.formatter -> t -> unit

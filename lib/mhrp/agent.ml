@@ -323,9 +323,30 @@ let send_unreachable t (offending : Packet.t) =
 
 (* --- tunneling operations --- *)
 
+let regional_binding t mobile =
+  match t.regional with
+  | Some r -> Regional.find r mobile
+  | None -> None
+
+(* A live inter-region forwarding pointer ([Config.regional_grace]): the
+   mobile left this region but its old regional agent chases in-flight
+   packets to the new one for a grace period. *)
+let regional_forward t mobile =
+  match t.regional with
+  | None -> None
+  | Some r ->
+    (match Regional.forward r ~now:(now t) mobile with
+     | Some target when not (Node.has_address t.node target) -> Some target
+     | _ -> None)
+
 (* Initial interception of a plain packet for an away mobile host
    (Sections 2, 6.1): tunnel to its current foreign agent and tell the
-   sender where it is. *)
+   sender where it is.  When the home agent doubles as the mobile's
+   regional agent (the host is visiting a cell of its own home region),
+   the recorded location is one of our own addresses: tunnel straight to
+   the regional binding's foreign agent instead — a tunnel to ourselves
+   would come back with us already among the tunnel heads and dissolve
+   as a one-hop loop. *)
 let ha_intercept t (pkt : Packet.t) =
   let mobile = pkt.Packet.dst in
   t.counters.Counters.intercepts <- t.counters.Counters.intercepts + 1;
@@ -334,13 +355,33 @@ let ha_intercept t (pkt : Packet.t) =
     tracef t "intercept" "%a is disconnected" Addr.pp mobile;
     send_unreachable t pkt
   | Some fa when not (Addr.is_zero fa) ->
-    t.counters.Counters.tunnels_built <-
-      t.counters.Counters.tunnels_built + 1;
-    tracef t "tunnel" "intercepted for %a, to fa %a" Addr.pp mobile Addr.pp
-      fa;
-    Node.forward_now t.node
-      (Encap.tunnel_by_agent ~agent:(address t) ~foreign_agent:fa pkt);
-    send_location_update t ~dst:pkt.Packet.src ~mobile ~foreign_agent:fa
+    let target, report =
+      if not (Node.has_address t.node fa) then (Some fa, fa)
+      else
+        match regional_binding t mobile with
+        | Some fa' -> (Some fa', fa)
+        | None ->
+          (match regional_forward t mobile with
+           | Some target -> (Some target, target)
+           | None -> (None, fa))
+    in
+    (match target with
+     | Some target ->
+       t.counters.Counters.tunnels_built <-
+         t.counters.Counters.tunnels_built + 1;
+       tracef t "tunnel" "intercepted for %a, to fa %a" Addr.pp mobile
+         Addr.pp target;
+       Node.forward_now t.node
+         (Encap.tunnel_by_agent ~agent:(address t) ~foreign_agent:target
+            pkt);
+       send_location_update t ~dst:pkt.Packet.src ~mobile
+         ~foreign_agent:report
+     | None ->
+       (* our own regional binding expired with the location entry still
+          naming us: the host is gone *)
+       tracef t "intercept" "%a: own regional binding expired" Addr.pp
+         mobile;
+       send_unreachable t pkt)
   | Some _ ->
     (* At home after all (stale ARP in some neighbour): pass it on to the
        home LAN. *)
@@ -542,22 +583,6 @@ let mh_handle_tunneled_to_self t (pkt : Packet.t) (header : Mhrp_header.t) =
    agent.  Overflow notifications report this agent's own address, not
    the inner foreign agent — the region stays opaque, so external caches
    survive intra-region handoffs. *)
-let regional_binding t mobile =
-  match t.regional with
-  | Some r -> Regional.find r mobile
-  | None -> None
-
-(* A live inter-region forwarding pointer ([Config.regional_grace]): the
-   mobile left this region but its old regional agent chases in-flight
-   packets to the new one for a grace period. *)
-let regional_forward t mobile =
-  match t.regional with
-  | None -> None
-  | Some r ->
-    (match Regional.forward r ~now:(now t) mobile with
-     | Some target when not (Node.has_address t.node target) -> Some target
-     | _ -> None)
-
 (* Hierarchical counterpart of the Section 5.2 reboot recovery: a foreign
    agent handed a tunneled packet for a mobile host missing from its
    visitor list (a reboot lost the list, or a lost withdrawal left the
@@ -617,6 +642,65 @@ let fa_probe_missing_visitor t ~mobile =
     end
   | _ -> ()
 
+(* Dispatch a tunneled packet through our regional role: retunnel to the
+   bound foreign agent, chase an inter-region forwarding pointer, or
+   [fallback].  Shared by the pure-regional node and the combined
+   home-and-regional node, whose home-agent location entry names one of
+   its own addresses. *)
+let regional_dispatch t (pkt : Packet.t) (header : Mhrp_header.t) ~fallback
+  =
+  let mobile = header.Mhrp_header.mobile in
+  match regional_binding t mobile with
+  | Some fa when not (Node.has_address t.node fa) ->
+    t.counters.Counters.regional_retunnels <-
+      t.counters.Counters.regional_retunnels + 1;
+    do_retunnel t pkt ~mobile ~new_dst:fa ~report_fa:(Some (address t))
+  | _ ->
+    match regional_forward t mobile with
+    | Some target ->
+      (* inter-region handoff grace period: chase the mobile to its new
+         regional agent, and report that agent so stale caches rebind to
+         the new region *)
+      t.counters.Counters.regional_forwards <-
+        t.counters.Counters.regional_forwards + 1;
+      tracef t "regional" "forwarding %a to new region %a" Addr.pp mobile
+        Addr.pp target;
+      do_retunnel t pkt ~mobile ~new_dst:target ~report_fa:(Some target)
+    | None -> fallback ()
+
+(* A tunnel this node built to one of its own addresses, looped straight
+   back by the network layer: the home agent and the regional agent are
+   the same node, and some home-agent path (a registration reply, an
+   intercept racing the regional binding write) tunneled to the recorded
+   location — us.  Strip our own encapsulation and send the inner packet
+   through the regional binding; running it through the normal dispatch
+   instead would read our own address among the tunnel heads as a
+   one-hop loop and dissolve the binding. *)
+let handle_self_tunnel t (pkt : Packet.t) (header : Mhrp_header.t) =
+  let mobile = header.Mhrp_header.mobile in
+  match Encap.detunnel pkt with
+  | None -> tracef t "drop" "malformed self-tunnel"
+  | Some (original, _) ->
+    t.counters.Counters.detunnels <- t.counters.Counters.detunnels + 1;
+    let target =
+      match regional_binding t mobile with
+      | Some fa when not (Node.has_address t.node fa) -> Some fa
+      | _ -> regional_forward t mobile
+    in
+    (match target with
+     | Some fa ->
+       t.counters.Counters.tunnels_built <-
+         t.counters.Counters.tunnels_built + 1;
+       tracef t "tunnel" "self-tunnel for %a on to fa %a" Addr.pp mobile
+         Addr.pp fa;
+       Node.forward_now t.node
+         (Encap.tunnel_by_agent ~agent:(address t) ~foreign_agent:fa
+            original)
+     | None ->
+       tracef t "drop" "self-tunnel for %a: no regional binding" Addr.pp
+         mobile;
+       send_unreachable t original)
+
 let handle_mhrp t (pkt : Packet.t) =
   match Encap.header_of pkt with
   | None -> tracef t "drop" "malformed mhrp packet"
@@ -625,35 +709,33 @@ let handle_mhrp t (pkt : Packet.t) =
     match t.fa with
     | Some (fa_state, fa_iface) when Foreign_agent.mem fa_state mobile ->
       deliver_to_visitor t fa_state fa_iface pkt
+    | _ when Node.has_address t.node pkt.Packet.src ->
+      handle_self_tunnel t pkt header
     | _ ->
       if Node.has_address t.node mobile then
         mh_handle_tunneled_to_self t pkt header
       else
         match t.ha with
         | Some ha when Home_agent.serves ha mobile ->
-          ha_handle_tunneled t ha pkt header
+          let location_is_self =
+            match Home_agent.location ha mobile with
+            | Some loc ->
+              (not (Addr.is_zero loc)) && Node.has_address t.node loc
+            | None -> false
+          in
+          if location_is_self then
+            (* the mobile is visiting its own home region and we are
+               both its home and regional agent: serve the regional
+               role — the home-agent path would bounce the packet at
+               ourselves as a loop *)
+            regional_dispatch t pkt header
+              ~fallback:(fun () -> ha_handle_tunneled t ha pkt header)
+          else ha_handle_tunneled t ha pkt header
         | _ ->
-          match regional_binding t mobile with
-          | Some fa when not (Node.has_address t.node fa) ->
-            t.counters.Counters.regional_retunnels <-
-              t.counters.Counters.regional_retunnels + 1;
-            do_retunnel t pkt ~mobile ~new_dst:fa
-              ~report_fa:(Some (address t))
-          | _ ->
-            match regional_forward t mobile with
-            | Some target ->
-              (* inter-region handoff grace period: chase the mobile to
-                 its new regional agent, and report that agent so stale
-                 caches rebind to the new region *)
-              t.counters.Counters.regional_forwards <-
-                t.counters.Counters.regional_forwards + 1;
-              tracef t "regional" "forwarding %a to new region %a" Addr.pp
-                mobile Addr.pp target;
-              do_retunnel t pkt ~mobile ~new_dst:target
-                ~report_fa:(Some target)
-            | None ->
-              fa_probe_missing_visitor t ~mobile;
-              retunnel_stale t pkt header
+          regional_dispatch t pkt header
+            ~fallback:(fun () ->
+                fa_probe_missing_visitor t ~mobile;
+                retunnel_stale t pkt header)
 
 (* --- Section 4.5: returned ICMP errors --- *)
 

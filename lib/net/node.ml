@@ -242,6 +242,15 @@ let send_arp_request t i target_ip =
   tracef t "arp-tx" "%a" Arp.pp a;
   Lan.send s.lan (Frame.arp ~src:s.mac ~dst:Mac.broadcast a)
 
+(* Weak-host loopback: a packet addressed to one of our own addresses is
+   delivered locally, never put on the wire (a router tunneling to its
+   own address — the home agent doubling as its region's regional agent —
+   would otherwise ARP for itself and blackhole the packet).  Tied to
+   [deliver_local] below, which is mutually recursive with this send
+   group through [forward_now]. *)
+let deliver_local_ref : (t -> Ipv4.Packet.t -> unit) ref =
+  ref (fun _ _ -> assert false)
+
 (* ICMP error generation, used by forwarding failures.  Never generated in
    response to another ICMP error (RFC 1122) or to a broadcast. *)
 let rec frame_out t i ~dst_mac pkt =
@@ -350,6 +359,10 @@ and arm_arp_timer t i next_hop =
 
 and route_and_send t pkt =
   if not t.up then ()
+  else if has_address t pkt.Ipv4.Packet.dst then begin
+    tracef t "loopback" "%a" Ipv4.Packet.pp pkt;
+    !deliver_local_ref t pkt
+  end
   else
     match Route.lookup t.table pkt.Ipv4.Packet.dst with
     | None ->
@@ -536,6 +549,7 @@ and deliver_local_whole t (pkt : Ipv4.Packet.t) =
       if pkt.Ipv4.Packet.proto = Ipv4.Proto.icmp then builtin_icmp t pkt
       else drop t "no-proto-handler" pkt
 
+let () = deliver_local_ref := deliver_local
 let inject_local t pkt = if t.up then deliver_local t pkt
 
 let forward t (pkt : Ipv4.Packet.t) =

@@ -1,0 +1,531 @@
+module Tcp = Ipv4.Tcp_lite
+module Time = Netsim.Time
+module Engine = Netsim.Engine
+
+let adv_window = 0xFFFF
+let default_mss = 512
+let default_window = 4096
+let default_rto = Time.of_ms 300
+let default_rto_max = Time.of_sec 5.0
+let default_max_retries = 12
+
+(* How long a fully-torn-down endpoint lingers to re-ack a lost final
+   segment before its demux entry is released. *)
+let time_wait_delay = Time.of_ms 1000
+
+type state =
+  | Syn_sent
+  | Syn_received
+  | Established
+  | Fin_wait_1
+  | Fin_wait_2
+  | Close_wait
+  | Closing
+  | Last_ack
+  | Time_wait
+  | Closed
+
+let state_name = function
+  | Syn_sent -> "syn-sent"
+  | Syn_received -> "syn-received"
+  | Established -> "established"
+  | Fin_wait_1 -> "fin-wait-1"
+  | Fin_wait_2 -> "fin-wait-2"
+  | Close_wait -> "close-wait"
+  | Closing -> "closing"
+  | Last_ack -> "last-ack"
+  | Time_wait -> "time-wait"
+  | Closed -> "closed"
+
+type t = {
+  stack : Stack.t;
+  engine : Engine.t;
+  local_port : int;
+  remote : Ipv4.Addr.t;
+  remote_port : int;
+  mss : int;
+  swnd : int;  (* our in-flight cap, bytes *)
+  rto_init : Time.t;
+  rto_max : Time.t;
+  max_retries : int;
+  counters : Counters.t;
+  mutable state : state;
+  (* Send side.  The stream is a Buffer that is never trimmed: the byte
+     with sequence number [s] lives at index [s - (iss + 1)], so
+     retransmission needs no separate queue.  Transfers are bounded well
+     below the per-connection ISS stride, so this stays modest. *)
+  iss : int;
+  sendbuf : Buffer.t;
+  mutable snd_una : int;
+  mutable snd_nxt : int;
+  mutable peer_wnd : int;
+  mutable fin_queued : bool;
+  mutable fin_sent : bool;
+  mutable drain_mark : int;
+  (* Receive side: a cumulative-ack cursor plus a seq-sorted
+     out-of-order list drained when the gap fills. *)
+  mutable irs : int;
+  mutable rcv_nxt : int;
+  mutable ooo : (int * bytes) list;
+  mutable peer_fin_seq : int option;
+  mutable peer_fin_done : bool;
+  (* One retransmission timer per connection, exponential backoff. *)
+  mutable timer : Netsim.Event_queue.handle option;
+  mutable rto_cur : Time.t;
+  mutable retries : int;
+  mutable established_cb : (unit -> unit) option;
+  mutable recv : (bytes -> unit) option;
+  mutable drained_cb : (unit -> unit) option;
+  mutable peer_close_cb : (unit -> unit) option;
+  mutable error_cb : (string -> unit) option;
+  mutable closed_cb : (unit -> unit) option;
+}
+
+let make_sock stack ~local_port ~remote ~remote_port ~iss ~mss ~window ~rto
+    ~rto_max ~max_retries ~state =
+  { stack;
+    engine = Stack.engine stack;
+    local_port;
+    remote;
+    remote_port;
+    mss;
+    swnd = window;
+    rto_init = rto;
+    rto_max;
+    max_retries;
+    counters = Counters.create ();
+    state;
+    iss;
+    sendbuf = Buffer.create 256;
+    snd_una = iss;
+    snd_nxt = iss;
+    peer_wnd = adv_window;
+    fin_queued = false;
+    fin_sent = false;
+    drain_mark = iss + 1;
+    irs = 0;
+    rcv_nxt = 0;
+    ooo = [];
+    peer_fin_seq = None;
+    peer_fin_done = false;
+    timer = None;
+    rto_cur = rto;
+    retries = 0;
+    established_cb = None;
+    recv = None;
+    drained_cb = None;
+    peer_close_cb = None;
+    error_cb = None;
+    closed_cb = None }
+
+(* Every count lands both on the connection and on its stack's
+   aggregate. *)
+let bump t f =
+  f t.counters;
+  f (Stack.counters t.stack)
+
+let data_end t = t.iss + 1 + Buffer.length t.sendbuf
+
+let emit t ?(data = Bytes.empty) ?(retransmit = false) ~flags ~seq () =
+  let ack = if List.mem Tcp.Ack flags then t.rcv_nxt else 0 in
+  let seg =
+    Tcp.make ~seq ~ack ~flags ~window:adv_window ~src_port:t.local_port
+      ~dst_port:t.remote_port data
+  in
+  bump t (fun c -> c.Counters.segs_sent <- c.Counters.segs_sent + 1);
+  let len = Bytes.length data in
+  if len > 0 then begin
+    bump t (fun c ->
+        c.Counters.data_segs_sent <- c.Counters.data_segs_sent + 1);
+    bump t (fun c ->
+        c.Counters.data_bytes_sent <- c.Counters.data_bytes_sent + len)
+  end;
+  if retransmit then
+    bump t (fun c ->
+        c.Counters.retransmissions <- c.Counters.retransmissions + 1);
+  Stack.transmit_tcp t.stack ~dst:t.remote seg
+
+let send_ack t = emit t ~flags:[ Tcp.Ack ] ~seq:t.snd_nxt ()
+
+let cancel_timer t =
+  match t.timer with
+  | Some h ->
+    ignore (Engine.cancel t.engine h);
+    t.timer <- None
+  | None -> ()
+
+let unregister t =
+  Stack.unregister_conn t.stack ~local_port:t.local_port ~remote:t.remote
+    ~remote_port:t.remote_port
+
+let become_closed t =
+  if t.state <> Closed then begin
+    t.state <- Closed;
+    cancel_timer t;
+    unregister t;
+    match t.closed_cb with Some f -> f () | None -> ()
+  end
+
+let fail t reason =
+  if t.state <> Closed then begin
+    bump t (fun c -> c.Counters.conns_failed <- c.Counters.conns_failed + 1);
+    cancel_timer t;
+    t.state <- Closed;
+    unregister t;
+    (match t.error_cb with Some f -> f reason | None -> ());
+    match t.closed_cb with Some f -> f () | None -> ()
+  end
+
+let enter_time_wait t =
+  if t.state <> Time_wait && t.state <> Closed then begin
+    bump t (fun c -> c.Counters.conns_closed <- c.Counters.conns_closed + 1);
+    t.state <- Time_wait;
+    cancel_timer t;
+    ignore
+      (Engine.schedule_after t.engine ~delay:time_wait_delay (fun () ->
+           become_closed t))
+  end
+
+let timer_allowed t =
+  match t.state with Closed | Time_wait -> false | _ -> true
+
+let rec try_send t =
+  (match t.state with
+  | Established | Close_wait ->
+    let wnd = min t.swnd (max t.peer_wnd t.mss) in
+    let limit = t.snd_una + wnd in
+    let de = data_end t in
+    while t.snd_nxt < de && t.snd_nxt < limit do
+      let off = t.snd_nxt - (t.iss + 1) in
+      let len = min t.mss (min (de - t.snd_nxt) (limit - t.snd_nxt)) in
+      let chunk = Bytes.of_string (Buffer.sub t.sendbuf off len) in
+      emit t ~data:chunk ~flags:[ Tcp.Psh; Tcp.Ack ] ~seq:t.snd_nxt ();
+      t.snd_nxt <- t.snd_nxt + len
+    done;
+    if t.fin_queued && (not t.fin_sent) && t.snd_nxt = de then begin
+      emit t ~flags:[ Tcp.Fin; Tcp.Ack ] ~seq:t.snd_nxt ();
+      t.fin_sent <- true;
+      t.snd_nxt <- t.snd_nxt + 1;
+      t.state <- (match t.state with Close_wait -> Last_ack | _ -> Fin_wait_1)
+    end
+  | _ -> ());
+  arm_timer t
+
+and arm_timer t =
+  if t.timer = None && t.snd_una < t.snd_nxt && timer_allowed t then
+    t.timer <-
+      Some
+        (Engine.schedule_after t.engine ~delay:t.rto_cur (fun () ->
+             t.timer <- None;
+             on_timer t))
+
+and on_timer t =
+  if t.snd_una < t.snd_nxt && timer_allowed t then
+    if t.retries >= t.max_retries then fail t "retransmission limit reached"
+    else begin
+      t.retries <- t.retries + 1;
+      t.rto_cur <- min (t.rto_cur * 2) t.rto_max;
+      resend t;
+      arm_timer t
+    end
+
+and resend t =
+  match t.state with
+  | Syn_sent -> emit t ~retransmit:true ~flags:[ Tcp.Syn ] ~seq:t.iss ()
+  | Syn_received ->
+    emit t ~retransmit:true ~flags:[ Tcp.Syn; Tcp.Ack ] ~seq:t.iss ()
+  | _ ->
+    (* Go-back-N: replay the whole outstanding window from [snd_una].
+       After a hand-off blackout this refills the pipe in one RTO
+       instead of trickling one segment per timeout. *)
+    let wnd = min t.swnd (max t.peer_wnd t.mss) in
+    let stop = min t.snd_nxt (t.snd_una + wnd) in
+    let de = data_end t in
+    let seq = ref t.snd_una in
+    while !seq < stop do
+      if !seq < de then begin
+        let off = !seq - (t.iss + 1) in
+        let len = min t.mss (min (de - !seq) (stop - !seq)) in
+        let chunk = Bytes.of_string (Buffer.sub t.sendbuf off len) in
+        emit t ~retransmit:true ~data:chunk ~flags:[ Tcp.Psh; Tcp.Ack ]
+          ~seq:!seq ();
+        seq := !seq + len
+      end
+      else begin
+        emit t ~retransmit:true ~flags:[ Tcp.Fin; Tcp.Ack ] ~seq:!seq ();
+        seq := !seq + 1
+      end
+    done
+
+let establish t =
+  t.state <- Established;
+  bump t (fun c ->
+      c.Counters.conns_established <- c.Counters.conns_established + 1);
+  (match t.established_cb with Some f -> f () | None -> ());
+  try_send t
+
+let handle_ack t (seg : Tcp.t) =
+  if Tcp.has_flag seg Tcp.Ack then begin
+    t.peer_wnd <- seg.Tcp.window;
+    if Bytes.length seg.Tcp.data = 0 && not (Tcp.has_flag seg Tcp.Syn) then
+      bump t (fun c ->
+          c.Counters.acks_received <- c.Counters.acks_received + 1);
+    let ack = seg.Tcp.ack in
+    if ack > t.snd_una && ack <= t.snd_nxt then begin
+      t.snd_una <- ack;
+      t.retries <- 0;
+      t.rto_cur <- t.rto_init;
+      cancel_timer t;
+      if t.state = Syn_received && t.snd_una > t.iss then establish t;
+      let de = data_end t in
+      if t.fin_sent && t.snd_una = de + 1 then
+        (match t.state with
+        | Fin_wait_1 -> t.state <- Fin_wait_2
+        | Closing -> enter_time_wait t
+        | Last_ack ->
+          bump t (fun c ->
+              c.Counters.conns_closed <- c.Counters.conns_closed + 1);
+          become_closed t
+        | _ -> ());
+      if t.snd_una = de && t.drain_mark < de then begin
+        t.drain_mark <- de;
+        match t.drained_cb with Some f -> f () | None -> ()
+      end;
+      try_send t
+    end
+  end
+
+let deliver t data =
+  bump t (fun c ->
+      c.Counters.data_bytes_received <-
+        c.Counters.data_bytes_received + Bytes.length data);
+  match t.recv with Some f -> f data | None -> ()
+
+let insert_ooo t seq data =
+  if List.mem_assoc seq t.ooo then
+    bump t (fun c -> c.Counters.duplicates <- c.Counters.duplicates + 1)
+  else begin
+    bump t (fun c -> c.Counters.out_of_order <- c.Counters.out_of_order + 1);
+    t.ooo <-
+      List.sort (fun (a, _) (b, _) -> compare a b) ((seq, data) :: t.ooo)
+  end
+
+let rec drain_ooo t =
+  match t.ooo with
+  | (s, d) :: rest when s <= t.rcv_nxt ->
+    let len = Bytes.length d in
+    if s + len > t.rcv_nxt then begin
+      let skip = t.rcv_nxt - s in
+      deliver t (Bytes.sub d skip (len - skip));
+      t.rcv_nxt <- s + len
+    end;
+    t.ooo <- rest;
+    drain_ooo t
+  | _ -> ()
+
+let consume_fin t =
+  t.rcv_nxt <- t.rcv_nxt + 1;
+  t.peer_fin_done <- true;
+  (match t.peer_close_cb with Some f -> f () | None -> ());
+  match t.state with
+  | Established -> t.state <- Close_wait
+  | Fin_wait_1 -> t.state <- Closing
+  | Fin_wait_2 -> enter_time_wait t
+  | _ -> ()
+
+let handle_data t (seg : Tcp.t) =
+  let len = Bytes.length seg.Tcp.data in
+  let has_fin = Tcp.has_flag seg Tcp.Fin in
+  let has_syn = Tcp.has_flag seg Tcp.Syn in
+  (* A pure ack needs no reply (acking acks never converges); anything
+     occupying sequence space — data, FIN, a replayed SYN — gets the
+     cumulative ack back, duplicates included. *)
+  if len > 0 || has_fin || has_syn then begin
+    if has_fin && not t.peer_fin_done then
+      t.peer_fin_seq <- Some (seg.Tcp.seq + len);
+    (if len > 0 then
+       let seg_end = seg.Tcp.seq + len in
+       if seg_end <= t.rcv_nxt then
+         bump t (fun c -> c.Counters.duplicates <- c.Counters.duplicates + 1)
+       else if seg.Tcp.seq > t.rcv_nxt then
+         insert_ooo t seg.Tcp.seq seg.Tcp.data
+       else begin
+         let skip = t.rcv_nxt - seg.Tcp.seq in
+         deliver t (Bytes.sub seg.Tcp.data skip (len - skip));
+         t.rcv_nxt <- seg_end;
+         drain_ooo t
+       end);
+    (match t.peer_fin_seq with
+    | Some s when s = t.rcv_nxt && not t.peer_fin_done -> consume_fin t
+    | _ -> ());
+    if t.state <> Closed then send_ack t
+  end
+
+let rx t ~src:_ (seg : Tcp.t) =
+  if t.state <> Closed then begin
+    bump t (fun c ->
+        c.Counters.segs_received <- c.Counters.segs_received + 1);
+    if Tcp.has_flag seg Tcp.Rst then begin
+      bump t (fun c ->
+          c.Counters.resets_received <- c.Counters.resets_received + 1);
+      fail t "connection reset by peer"
+    end
+    else
+      match t.state with
+      | Syn_sent ->
+        if
+          Tcp.has_flag seg Tcp.Syn
+          && Tcp.has_flag seg Tcp.Ack
+          && seg.Tcp.ack = t.iss + 1
+        then begin
+          t.irs <- seg.Tcp.seq;
+          t.rcv_nxt <- seg.Tcp.seq + 1;
+          t.peer_wnd <- seg.Tcp.window;
+          t.snd_una <- seg.Tcp.ack;
+          t.retries <- 0;
+          t.rto_cur <- t.rto_init;
+          cancel_timer t;
+          send_ack t;
+          establish t
+        end
+      | Syn_received when Tcp.has_flag seg Tcp.Syn ->
+        (* our SYN|ACK was lost; the peer replayed its SYN *)
+        bump t (fun c ->
+            c.Counters.duplicates <- c.Counters.duplicates + 1);
+        emit t ~retransmit:true ~flags:[ Tcp.Syn; Tcp.Ack ] ~seq:t.iss ();
+        arm_timer t
+      | _ ->
+        handle_ack t seg;
+        if t.state <> Closed then handle_data t seg
+  end
+
+let connect stack ?src_port ?(mss = default_mss) ?(window = default_window)
+    ?(rto = default_rto) ?(rto_max = default_rto_max)
+    ?(max_retries = default_max_retries) ~dst ~dst_port () =
+  let local_port =
+    match src_port with
+    | Some p -> p
+    | None -> Stack.fresh_ephemeral_port stack
+  in
+  let t =
+    make_sock stack ~local_port ~remote:dst ~remote_port:dst_port
+      ~iss:(Stack.fresh_iss stack) ~mss ~window ~rto ~rto_max ~max_retries
+      ~state:Syn_sent
+  in
+  Stack.register_conn stack ~local_port ~remote:dst ~remote_port:dst_port
+    (rx t);
+  bump t (fun c -> c.Counters.conns_opened <- c.Counters.conns_opened + 1);
+  emit t ~flags:[ Tcp.Syn ] ~seq:t.iss ();
+  t.snd_nxt <- t.iss + 1;
+  arm_timer t;
+  t
+
+type listener = {
+  l_stack : Stack.t;
+  l_port : int;
+  mutable l_open : bool;
+}
+
+let listen stack ~port ?(mss = default_mss) ?(window = default_window)
+    ?(rto = default_rto) ?(rto_max = default_rto_max)
+    ?(max_retries = default_max_retries) accept_cb =
+  let l = { l_stack = stack; l_port = port; l_open = true } in
+  Stack.register_listener stack ~port (fun ~src seg ->
+      if Tcp.has_flag seg Tcp.Rst then ()
+      else if Tcp.has_flag seg Tcp.Syn && not (Tcp.has_flag seg Tcp.Ack) then begin
+        let t =
+          make_sock stack ~local_port:port ~remote:src
+            ~remote_port:seg.Tcp.src_port ~iss:(Stack.fresh_iss stack) ~mss
+            ~window ~rto ~rto_max ~max_retries ~state:Syn_received
+        in
+        t.irs <- seg.Tcp.seq;
+        t.rcv_nxt <- seg.Tcp.seq + 1;
+        t.peer_wnd <- seg.Tcp.window;
+        Stack.register_conn stack ~local_port:port ~remote:src
+          ~remote_port:seg.Tcp.src_port (rx t);
+        bump t (fun c ->
+            c.Counters.conns_accepted <- c.Counters.conns_accepted + 1);
+        bump t (fun c ->
+            c.Counters.segs_received <- c.Counters.segs_received + 1);
+        (* the application installs its callbacks now, before any data *)
+        accept_cb t;
+        emit t ~flags:[ Tcp.Syn; Tcp.Ack ] ~seq:t.iss ();
+        t.snd_nxt <- t.iss + 1;
+        arm_timer t
+      end
+      else Stack.send_rst_for stack ~src seg);
+  l
+
+let close_listener l =
+  if l.l_open then begin
+    l.l_open <- false;
+    Stack.unregister_listener l.l_stack ~port:l.l_port
+  end
+
+let send t data =
+  (match t.state with
+  | Closed -> invalid_arg "Transport.Socket.send: connection is closed"
+  | _ when t.fin_queued ->
+    invalid_arg "Transport.Socket.send: close already requested"
+  | _ -> ());
+  Buffer.add_bytes t.sendbuf data;
+  match t.state with Established | Close_wait -> try_send t | _ -> ()
+
+let close t =
+  match t.state with
+  | Closed | Time_wait -> ()
+  | _ when t.fin_queued -> ()
+  | Syn_sent ->
+    (* nothing the peer has acted on yet: quietly drop *)
+    cancel_timer t;
+    t.state <- Closed;
+    unregister t
+  | _ ->
+    t.fin_queued <- true;
+    try_send t
+
+let abort t =
+  match t.state with
+  | Closed -> ()
+  | _ ->
+    bump t (fun c -> c.Counters.resets_sent <- c.Counters.resets_sent + 1);
+    emit t ~flags:[ Tcp.Rst ] ~seq:t.snd_nxt ();
+    cancel_timer t;
+    t.state <- Closed;
+    unregister t;
+    (match t.closed_cb with Some f -> f () | None -> ())
+
+let recv_cb t f = t.recv <- Some f
+let on_established t f = t.established_cb <- Some f
+let on_drained t f = t.drained_cb <- Some f
+let on_peer_close t f = t.peer_close_cb <- Some f
+let on_error t f = t.error_cb <- Some f
+let on_closed t f = t.closed_cb <- Some f
+let counters t = t.counters
+let state t = state_name t.state
+let is_established t = t.state = Established
+let is_closed t = t.state = Closed
+let local_port t = t.local_port
+let remote t = t.remote
+let remote_port t = t.remote_port
+let stack t = t.stack
+let bytes_queued t = data_end t - t.snd_una
+(* unacknowledged stream bytes, FIN excluded *)
+
+module Dgram = struct
+  type nonrec t = {
+    d_stack : Stack.t;
+    d_port : int;
+    d_tap : (Ipv4.Packet.t -> unit) option;
+  }
+
+  let create ?tap stack ~port = { d_stack = stack; d_port = port; d_tap = tap }
+
+  let sendto t ?id ~dst ~dst_port data =
+    let udp = Ipv4.Udp.make ~src_port:t.d_port ~dst_port data in
+    Stack.transmit_udp t.d_stack ?id ?tap:t.d_tap ~dst udp
+
+  let on_recv t f =
+    Stack.register_udp t.d_stack ~port:t.d_port (fun ~src udp ->
+        f ~src ~src_port:udp.Ipv4.Udp.src_port udp.Ipv4.Udp.data)
+end

@@ -1,0 +1,121 @@
+(** Connection-oriented transport over MHRP: the socket API.
+
+    This is the single application-facing interface of the transport
+    layer.  Applications [listen], [connect], [send] byte streams and
+    receive them through [recv_cb]; underneath, each socket runs a
+    three-way handshake, sliding-window transfer with cumulative acks,
+    go-back-N retransmission on an exponentially-backed-off RTO timer,
+    and an orderly FIN teardown — all over {!Ipv4.Tcp_lite} segments
+    carried by {!Mhrp.Agent.send}, so connections survive hand-offs
+    transparently.
+
+    No application-level code should construct raw TCP segments;
+    {!Stack}'s low-level hooks exist only for this module.
+
+    Everything is driven by the node's {!Netsim.Engine}, with no global
+    state: simulations built on sockets are bit-identical under
+    [--jobs N]. *)
+
+type t
+
+(** {1 Opening connections} *)
+
+type listener
+
+val listen :
+  Stack.t -> port:int -> ?mss:int -> ?window:int -> ?rto:Netsim.Time.t ->
+  ?rto_max:Netsim.Time.t -> ?max_retries:int -> (t -> unit) -> listener
+(** [listen stack ~port accept] accepts connections on [port].  [accept]
+    runs when the SYN arrives — before the SYN|ACK is sent and before
+    any data can exist — so callbacks installed there never miss bytes.
+    Raises [Invalid_argument] if the port already has a listener. *)
+
+val close_listener : listener -> unit
+(** Stop accepting; established connections are unaffected. *)
+
+val connect :
+  Stack.t -> ?src_port:int -> ?mss:int -> ?window:int -> ?rto:Netsim.Time.t ->
+  ?rto_max:Netsim.Time.t -> ?max_retries:int -> dst:Ipv4.Addr.t ->
+  dst_port:int -> unit -> t
+(** Active open: sends the SYN immediately and returns the socket in the
+    syn-sent state.  [send] may be called right away — bytes queue and
+    flush once established.  Defaults: an ephemeral [src_port],
+    [mss] 512 bytes, [window] 4096 bytes in flight, [rto] 300 ms doubling
+    up to [rto_max] 5 s, giving up after [max_retries] 12 consecutive
+    unacknowledged timeouts. *)
+
+(** {1 The stream} *)
+
+val send : t -> bytes -> unit
+(** Append to the send stream.  Transmits up to the window immediately
+    when established, queues otherwise.  Raises [Invalid_argument] after
+    [close]. *)
+
+val recv_cb : t -> (bytes -> unit) -> unit
+(** [recv_cb t f] calls [f] with each in-order chunk of the peer's
+    stream, exactly once per byte, in order — out-of-order segments are
+    buffered and delivered when the gap fills. *)
+
+val close : t -> unit
+(** Orderly shutdown: a FIN is sent once all queued data has been
+    transmitted; the connection finishes tearing down as acks and the
+    peer's FIN arrive.  Idempotent. *)
+
+val abort : t -> unit
+(** Send a RST and drop the connection immediately. *)
+
+(** {1 Events} *)
+
+val on_established : t -> (unit -> unit) -> unit
+val on_drained : t -> (unit -> unit) -> unit
+(** Every byte queued so far has been acknowledged. *)
+
+val on_peer_close : t -> (unit -> unit) -> unit
+(** The peer's FIN arrived: no more data will be delivered. *)
+
+val on_error : t -> (string -> unit) -> unit
+(** Reset by peer, or retransmission limit reached; the socket is closed
+    when this fires. *)
+
+val on_closed : t -> (unit -> unit) -> unit
+
+(** {1 Introspection} *)
+
+val counters : t -> Counters.t
+(** This connection's counters; the stack aggregates them too. *)
+
+val state : t -> string
+val is_established : t -> bool
+val is_closed : t -> bool
+val local_port : t -> int
+val remote : t -> Ipv4.Addr.t
+val remote_port : t -> int
+val stack : t -> Stack.t
+
+val bytes_queued : t -> int
+(** Stream bytes not yet acknowledged (queued or in flight). *)
+
+(** {1 Datagrams}
+
+    The unreliable little sibling, for workloads that want tracked
+    one-shot packets (constant-bit-rate generators, probes). *)
+
+module Dgram : sig
+  type t
+
+  val create : ?tap:(Ipv4.Packet.t -> unit) -> Stack.t -> port:int -> t
+  (** A datagram endpoint bound to [port] for sending; [tap] observes
+      each outgoing packet (e.g. {!Workload.Metrics.note_send}).
+      Creating one claims nothing — a send-only endpoint leaves the
+      agent's receive tap alone. *)
+
+  val sendto : t -> ?id:int -> dst:Ipv4.Addr.t -> dst_port:int -> bytes -> unit
+  (** One UDP datagram.  [id] pins the IP identification (workload
+      generators track their own id sequences); default is the stack's
+      fresh-id counter. *)
+
+  val on_recv :
+    t -> (src:Ipv4.Addr.t -> src_port:int -> bytes -> unit) -> unit
+  (** Bind the port for receiving (this installs the stack's receive
+      tap).  Raises [Invalid_argument] if the port is already bound. *)
+end

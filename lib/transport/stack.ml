@@ -1,0 +1,160 @@
+module Tcp = Ipv4.Tcp_lite
+module Packet = Ipv4.Packet
+module Addr = Ipv4.Addr
+
+type tcp_rx = src:Addr.t -> Tcp.t -> unit
+type udp_rx = src:Addr.t -> Ipv4.Udp.t -> unit
+
+type t = {
+  agent : Mhrp.Agent.t;
+  engine : Netsim.Engine.t;
+  conns : (int * int * int, tcp_rx) Hashtbl.t;
+  (* (local port, packed remote addr, remote port) -> connection *)
+  listeners : (int, tcp_rx) Hashtbl.t;
+  udp_ports : (int, udp_rx) Hashtbl.t;
+  counters : Counters.t;
+  mutable ip_id : int;
+  mutable iss : int;
+  mutable ephemeral : int;
+  mutable tap_installed : bool;
+}
+
+let create agent =
+  { agent;
+    engine = Net.Node.engine (Mhrp.Agent.node agent);
+    conns = Hashtbl.create 16;
+    listeners = Hashtbl.create 4;
+    udp_ports = Hashtbl.create 4;
+    counters = Counters.create ();
+    ip_id = 0;
+    iss = 1000;
+    ephemeral = 49152;
+    tap_installed = false }
+
+let agent t = t.agent
+let engine t = t.engine
+let address t = Mhrp.Agent.address t.agent
+let counters t = t.counters
+
+(* 16-bit IP identification, wrapping but skipping 0 (the "no
+   fragmentation context" value).  One counter per stack: every
+   transmission — retransmissions included — gets a fresh ID, because
+   reassembly keys fragments by (src, id, proto) and two in-flight
+   transmissions sharing an ID could mis-reassemble. *)
+let fresh_ip_id t =
+  t.ip_id <- (if t.ip_id >= 0xFFFF then 1 else t.ip_id + 1);
+  t.ip_id
+
+(* Initial send sequence numbers, one stride per connection: transfers
+   stay far below the stride, so sequence spaces of a node's connections
+   never collide and plain integer comparison is safe. *)
+let fresh_iss t =
+  let v = t.iss in
+  t.iss <- t.iss + 1_000_000;
+  v
+
+let fresh_ephemeral_port t =
+  let p = t.ephemeral in
+  t.ephemeral <- (if p >= 0xFFFF then 49152 else p + 1);
+  p
+
+let transmit_tcp t ~dst seg =
+  let pkt =
+    Packet.make ~id:(fresh_ip_id t) ~proto:Ipv4.Proto.tcp ~src:(address t)
+      ~dst (Tcp.encode seg)
+  in
+  Mhrp.Agent.send t.agent pkt
+
+let transmit_udp t ?id ?tap ~dst udp =
+  let id = match id with Some id -> id | None -> fresh_ip_id t in
+  let pkt =
+    Packet.make ~id ~proto:Ipv4.Proto.udp ~src:(address t) ~dst
+      (Ipv4.Udp.encode udp)
+  in
+  (match tap with Some f -> f pkt | None -> ());
+  Mhrp.Agent.send t.agent pkt
+
+(* A deliberately RFC-shaped reset for a segment that reached no
+   connection and no listener: acknowledge exactly what arrived so the
+   peer can match it, and never reset a reset. *)
+let send_rst_for t ~src (seg : Tcp.t) =
+  if not (Tcp.has_flag seg Tcp.Rst) then begin
+    let reply =
+      if Tcp.has_flag seg Tcp.Ack then
+        Tcp.make ~seq:seg.Tcp.ack ~flags:[Tcp.Rst]
+          ~src_port:seg.Tcp.dst_port ~dst_port:seg.Tcp.src_port Bytes.empty
+      else
+        let advance =
+          Bytes.length seg.Tcp.data
+          + (if Tcp.has_flag seg Tcp.Syn then 1 else 0)
+          + if Tcp.has_flag seg Tcp.Fin then 1 else 0
+        in
+        Tcp.make ~seq:0 ~ack:(seg.Tcp.seq + advance)
+          ~flags:[Tcp.Rst; Tcp.Ack] ~src_port:seg.Tcp.dst_port
+          ~dst_port:seg.Tcp.src_port Bytes.empty
+    in
+    t.counters.Counters.resets_sent <-
+      t.counters.Counters.resets_sent + 1;
+    t.counters.Counters.segs_sent <- t.counters.Counters.segs_sent + 1;
+    transmit_tcp t ~dst:src reply
+  end
+
+let dispatch_tcp t ~src (seg : Tcp.t) =
+  let key = (seg.Tcp.dst_port, Addr.to_key src, seg.Tcp.src_port) in
+  match Hashtbl.find_opt t.conns key with
+  | Some rx -> rx ~src seg
+  | None ->
+    (match Hashtbl.find_opt t.listeners seg.Tcp.dst_port with
+     | Some rx -> rx ~src seg
+     | None -> send_rst_for t ~src seg)
+
+let dispatch_udp t ~src (udp : Ipv4.Udp.t) =
+  match Hashtbl.find_opt t.udp_ports udp.Ipv4.Udp.dst_port with
+  | Some rx -> rx ~src udp
+  | None -> ()
+
+let handle_packet t (pkt : Packet.t) =
+  if pkt.Packet.proto = Ipv4.Proto.tcp then
+    match Tcp.decode pkt.Packet.payload with
+    | Some seg -> dispatch_tcp t ~src:pkt.Packet.src seg
+    | None -> ()
+  else if pkt.Packet.proto = Ipv4.Proto.udp then
+    match Ipv4.Udp.decode pkt.Packet.payload with
+    | udp -> dispatch_udp t ~src:pkt.Packet.src udp
+    | exception Invalid_argument _ -> ()
+
+(* The app tap is claimed lazily, on the first registration that needs
+   to receive: a send-only stack (datagram generators) leaves the
+   agent's tap — often Workload.Metrics' delivery watcher — exactly as
+   it found it. *)
+let ensure_tap t =
+  if not t.tap_installed then begin
+    t.tap_installed <- true;
+    Mhrp.Agent.on_app_receive t.agent (handle_packet t)
+  end
+
+let register_conn t ~local_port ~remote ~remote_port rx =
+  let key = (local_port, Addr.to_key remote, remote_port) in
+  if Hashtbl.mem t.conns key then
+    invalid_arg "Transport.Stack: connection already registered";
+  ensure_tap t;
+  Hashtbl.replace t.conns key rx
+
+let unregister_conn t ~local_port ~remote ~remote_port =
+  Hashtbl.remove t.conns (local_port, Addr.to_key remote, remote_port)
+
+let register_listener t ~port rx =
+  if Hashtbl.mem t.listeners port then
+    invalid_arg "Transport.Stack: port already has a listener";
+  ensure_tap t;
+  Hashtbl.replace t.listeners port rx
+
+let unregister_listener t ~port = Hashtbl.remove t.listeners port
+
+let register_udp t ~port rx =
+  if Hashtbl.mem t.udp_ports port then
+    invalid_arg "Transport.Stack: UDP port already bound";
+  ensure_tap t;
+  Hashtbl.replace t.udp_ports port rx
+
+let connections t = Hashtbl.length t.conns

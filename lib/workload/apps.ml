@@ -1,0 +1,229 @@
+module Time = Netsim.Time
+module Engine = Netsim.Engine
+module Socket = Transport.Socket
+module Stack = Transport.Stack
+
+let at engine time f = ignore (Engine.schedule engine ~at:time f)
+let now_us engine = Time.to_us (Engine.now engine)
+
+(* Cut a byte stream into fixed-size messages: calls [f] with each
+   complete [size]-byte message as the stream accumulates. *)
+let framer size f =
+  let buf = Buffer.create (2 * size) in
+  let off = ref 0 in
+  fun data ->
+    Buffer.add_bytes buf data;
+    while Buffer.length buf - !off >= size do
+      f (Bytes.of_string (Buffer.sub buf !off size));
+      off := !off + size
+    done;
+    if !off = Buffer.length buf then begin
+      Buffer.clear buf;
+      off := 0
+    end
+
+module Rpc = struct
+  type client = {
+    engine : Engine.t;
+    resp_bytes : int;
+    expected : int;
+    mutable sock : Socket.t option;
+    sent_at : Time.t Queue.t;
+    mutable responses : int;
+    mutable lat_us : float list;  (* reverse completion order *)
+  }
+
+  let serve stack ~port ~req_bytes ~resp_bytes =
+    ignore
+      (Socket.listen stack ~port (fun sock ->
+           Socket.recv_cb sock
+             (framer req_bytes (fun _req ->
+                  Socket.send sock (Bytes.create resp_bytes)))))
+
+  let start ~client ~server ?(port = 80) ?(req_bytes = 64)
+      ?(resp_bytes = 256) ?rto ~start ~interval ~count () =
+    let engine = Stack.engine client in
+    let t =
+      { engine;
+        resp_bytes;
+        expected = count;
+        sock = None;
+        sent_at = Queue.create ();
+        responses = 0;
+        lat_us = [] }
+    in
+    at engine start (fun () ->
+        let sock =
+          Socket.connect client ?rto ~dst:server ~dst_port:port ()
+        in
+        t.sock <- Some sock;
+        Socket.recv_cb sock
+          (framer resp_bytes (fun _resp ->
+               t.responses <- t.responses + 1;
+               match Queue.take_opt t.sent_at with
+               | Some sent ->
+                 t.lat_us <-
+                   float_of_int (now_us engine - Time.to_us sent)
+                   :: t.lat_us
+               | None -> ()));
+        for k = 0 to count - 1 do
+          let time =
+            Time.add start (Time.of_us (k * Time.to_us interval))
+          in
+          at engine time (fun () ->
+              if not (Socket.is_closed sock) then begin
+                (* latency clock starts at the intended send time, so
+                   hand-off stalls in the send path count too *)
+                Queue.add (Engine.now engine) t.sent_at;
+                Socket.send sock (Bytes.create req_bytes)
+              end)
+        done);
+    t
+
+  let responses t = t.responses
+  let expected t = t.expected
+  let latencies_us t = List.rev t.lat_us
+  let socket t = t.sock
+end
+
+module Chat = struct
+  type room = {
+    r_msg_bytes : int;
+    mutable members : Socket.t list;  (* reverse join order *)
+    mutable relayed : int;
+  }
+
+  let room stack ~port ~msg_bytes =
+    let r = { r_msg_bytes = msg_bytes; members = []; relayed = 0 } in
+    ignore
+      (Socket.listen stack ~port (fun sock ->
+           r.members <- sock :: r.members;
+           Socket.recv_cb sock
+             (framer msg_bytes (fun msg ->
+                  List.iter
+                    (fun peer ->
+                      if peer != sock && not (Socket.is_closed peer) then begin
+                        r.relayed <- r.relayed + 1;
+                        Socket.send peer msg
+                      end)
+                    r.members))));
+    r
+
+  let relayed r = r.relayed
+  let members r = List.length r.members
+
+  type member = {
+    engine : Engine.t;
+    msg_bytes : int;
+    mutable sock : Socket.t option;
+    mutable sent : int;
+    mutable received : int;
+    mutable lat_us : float list;
+  }
+
+  let join stack ~server ~port ~msg_bytes ~at:t0 () =
+    let engine = Stack.engine stack in
+    let m =
+      { engine; msg_bytes; sock = None; sent = 0; received = 0; lat_us = [] }
+    in
+    at engine t0 (fun () ->
+        let sock = Socket.connect stack ~dst:server ~dst_port:port () in
+        m.sock <- Some sock;
+        Socket.recv_cb sock
+          (framer msg_bytes (fun msg ->
+               m.received <- m.received + 1;
+               let sent_us = Int64.to_int (Bytes.get_int64_be msg 0) in
+               m.lat_us <-
+                 float_of_int (now_us engine - sent_us) :: m.lat_us)));
+    m
+
+  (* Messages carry their send time in the first 8 bytes, so every
+     receiving member can compute a full client-to-client latency. *)
+  let say m ~at:t0 =
+    if m.msg_bytes < 8 then invalid_arg "Chat.say: msg_bytes < 8";
+    at m.engine t0 (fun () ->
+        match m.sock with
+        | Some sock when not (Socket.is_closed sock) ->
+          let msg = Bytes.make m.msg_bytes '\000' in
+          Bytes.set_int64_be msg 0 (Int64.of_int (now_us m.engine));
+          m.sent <- m.sent + 1;
+          Socket.send sock msg
+        | _ -> ())
+
+  let sent m = m.sent
+  let received m = m.received
+  let latencies_us m = List.rev m.lat_us
+end
+
+module Bulk = struct
+  let pattern bytes = Bytes.init bytes (fun i -> Char.chr (i land 0xFF))
+
+  let serve stack ~port ~bytes =
+    ignore
+      (Socket.listen stack ~port (fun sock ->
+           Socket.send sock (pattern bytes);
+           Socket.close sock))
+
+  type fetch = {
+    engine : Engine.t;
+    total : int;
+    mutable started_at : Time.t;
+    mutable last_byte_at : Time.t;
+    mutable max_gap_us : int;
+    mutable received : int;
+    mutable intact : bool;
+    mutable completed_at : Time.t option;
+    mutable sock : Socket.t option;
+  }
+
+  let fetch stack ~server ?(port = 8080) ~bytes ~at:t0 () =
+    let engine = Stack.engine stack in
+    let t =
+      { engine;
+        total = bytes;
+        started_at = t0;
+        last_byte_at = t0;
+        max_gap_us = 0;
+        received = 0;
+        intact = true;
+        completed_at = None;
+        sock = None }
+    in
+    at engine t0 (fun () ->
+        let sock = Socket.connect stack ~dst:server ~dst_port:port () in
+        t.sock <- Some sock;
+        Socket.on_peer_close sock (fun () -> Socket.close sock);
+        Socket.recv_cb sock (fun data ->
+            let now = Engine.now engine in
+            (* a transfer's longest silence = its hand-off stall *)
+            let gap = Time.to_us now - Time.to_us t.last_byte_at in
+            if gap > t.max_gap_us then t.max_gap_us <- gap;
+            t.last_byte_at <- now;
+            for i = 0 to Bytes.length data - 1 do
+              if Bytes.get data i <> Char.chr ((t.received + i) land 0xFF)
+              then t.intact <- false
+            done;
+            t.received <- t.received + Bytes.length data;
+            if t.received = t.total && t.completed_at = None then
+              t.completed_at <- Some now));
+    t
+
+  let complete t = t.completed_at <> None
+  let intact t = t.intact && t.received = t.total
+
+  let completion_us t =
+    match t.completed_at with
+    | Some c -> Some (Time.to_us c - Time.to_us t.started_at)
+    | None -> None
+
+  let max_stall_us t = t.max_gap_us
+  let received t = t.received
+
+  let goodput_kbps t =
+    match completion_us t with
+    | Some us when us > 0 ->
+      Some (float_of_int (8 * t.total) /. (float_of_int us /. 1000.))
+    | _ -> None
+
+  let socket t = t.sock
+end

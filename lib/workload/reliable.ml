@@ -1,7 +1,7 @@
 module Time = Netsim.Time
 module Engine = Netsim.Engine
-module Packet = Ipv4.Packet
-module Tcp = Ipv4.Tcp_lite
+module Socket = Transport.Socket
+module Stack = Transport.Stack
 
 type stats = {
   chunks : int;
@@ -13,160 +13,70 @@ type stats = {
 
 type t = {
   engine : Engine.t;
-  sender : Mhrp.Agent.t;
-  receiver : Mhrp.Agent.t;
   chunk : int;
-  window : int;
-  rto : Time.t;
   total_chunks : int;
+  bytes : int;
   data : bytes;
-  (* sender state *)
-  mutable base : int;  (* first unacked chunk *)
-  mutable next : int;  (* next chunk to send *)
-  mutable sent : int;
-  mutable retransmissions : int;
-  mutable acks : int;
+  recvbuf : Buffer.t;
+  mutable sock : Socket.t option;
   mutable completed_at : Time.t option;
-  mutable timer_armed : bool;
-  (* receiver state *)
-  received : (int, bytes) Hashtbl.t;
-  mutable delivered_prefix : int;  (* chunks received in order *)
-  (* IP identification counters, one per direction.  Reassembly keys
-     fragments by (src, id, proto): deriving the ID from the chunk (or
-     ack) number gave two distinct in-flight transmissions the same ID
-     whenever they shared a chunk number mod 0xFFFE — notably every
-     go-back-N retransmission — so their fragments could mis-reassemble.
-     Every transmission (retransmissions included) gets a fresh ID. *)
-  mutable sender_ip_id : int;
-  mutable receiver_ip_id : int;
 }
 
-let seq_of_chunk t k = k * t.chunk
-
-(* 16-bit wraparound, skipping 0 (the "no fragmentation context" ID). *)
-let next_ip_id cur = if cur >= 0xFFFF then 1 else cur + 1
-
-let chunk_data t k =
-  let off = k * t.chunk in
-  Bytes.sub t.data off (min t.chunk (Bytes.length t.data - off))
-
-let send_segment t k ~retransmit =
-  t.sent <- t.sent + 1;
-  if retransmit then t.retransmissions <- t.retransmissions + 1;
-  let seg =
-    Tcp.make ~seq:(seq_of_chunk t k) ~ack:0 ~flags:[Tcp.Psh] ~src_port:5001
-      ~dst_port:5002 (chunk_data t k)
-  in
-  t.sender_ip_id <- next_ip_id t.sender_ip_id;
-  Mhrp.Agent.send t.sender
-    (Packet.make
-       ~id:t.sender_ip_id
-       ~proto:Ipv4.Proto.tcp
-       ~src:(Mhrp.Agent.address t.sender)
-       ~dst:(Mhrp.Agent.address t.receiver)
-       (Tcp.encode seg))
-
-let rec fill_window t =
-  while t.next < t.total_chunks && t.next < t.base + t.window do
-    send_segment t t.next ~retransmit:false;
-    t.next <- t.next + 1
-  done;
-  arm_timer t
-
-and arm_timer t =
-  if (not t.timer_armed) && t.base < t.total_chunks then begin
-    t.timer_armed <- true;
-    let base_at_arm = t.base in
-    ignore
-      (Engine.schedule_after t.engine ~delay:t.rto (fun () ->
-           t.timer_armed <- false;
-           if t.completed_at = None then
-             if t.base = base_at_arm then begin
-               (* nothing acked within the RTO: go-back-N *)
-               let stop = min t.next (t.base + t.window) in
-               for k = t.base to stop - 1 do
-                 send_segment t k ~retransmit:true
-               done;
-               arm_timer t
-             end
-             else arm_timer t))
-  end
-
-let sender_handle_ack t (seg : Tcp.t) =
-  t.acks <- t.acks + 1;
-  let acked_chunks = seg.Tcp.ack / t.chunk in
-  if acked_chunks > t.base then begin
-    t.base <- acked_chunks;
-    if t.base >= t.total_chunks then
-      t.completed_at <- Some (Engine.now t.engine)
-    else fill_window t
-  end
-
-let receiver_handle_data t (seg : Tcp.t) =
-  let k = seg.Tcp.seq / t.chunk in
-  if k < t.total_chunks && not (Hashtbl.mem t.received k) then
-    Hashtbl.replace t.received k seg.Tcp.data;
-  while Hashtbl.mem t.received t.delivered_prefix do
-    t.delivered_prefix <- t.delivered_prefix + 1
-  done;
-  (* cumulative ack *)
-  let ack = t.delivered_prefix * t.chunk in
-  let reply =
-    Tcp.make ~seq:0 ~ack ~flags:[Tcp.Ack] ~src_port:5002 ~dst_port:5001
-      Bytes.empty
-  in
-  t.receiver_ip_id <- next_ip_id t.receiver_ip_id;
-  Mhrp.Agent.send t.receiver
-    (Packet.make
-       ~id:t.receiver_ip_id
-       ~proto:Ipv4.Proto.tcp
-       ~src:(Mhrp.Agent.address t.receiver)
-       ~dst:(Mhrp.Agent.address t.sender)
-       (Tcp.encode reply))
+(* The transfer must ride out arbitrarily long hand-off and failure
+   blackouts, like the raw go-back-N loop it replaces: in practice the
+   backoff cap bounds the retry interval, so a huge retry budget means
+   "never give up within a simulation". *)
+let retry_budget = 1_000
 
 let start ?(chunk = 512) ?(window = 8) ?(rto = Time.of_ms 300) ~sender
     ~receiver ~bytes ~at () =
-  if chunk <= 0 || window <= 0 || bytes <= 0 then
-    invalid_arg "Reliable.start";
+  if chunk <= 0 || window <= 0 || bytes <= 0 then invalid_arg "Reliable.start";
   let engine = Net.Node.engine (Mhrp.Agent.node sender) in
   let data = Bytes.init bytes (fun i -> Char.chr (i land 0xFF)) in
   let t =
-    { engine; sender; receiver; chunk; window; rto;
+    { engine;
+      chunk;
       total_chunks = (bytes + chunk - 1) / chunk;
+      bytes;
       data;
-      base = 0; next = 0; sent = 0; retransmissions = 0; acks = 0;
-      completed_at = None; timer_armed = false;
-      received = Hashtbl.create 64; delivered_prefix = 0;
-      sender_ip_id = 0; receiver_ip_id = 0 }
+      recvbuf = Buffer.create bytes;
+      sock = None;
+      completed_at = None }
   in
-  Mhrp.Agent.on_app_receive receiver (fun pkt ->
-      if pkt.Packet.proto = Ipv4.Proto.tcp then
-        match Tcp.decode pkt.Packet.payload with
-        | seg when Tcp.has_flag seg Tcp.Psh -> receiver_handle_data t seg
-        | _ -> ()
-        | exception Invalid_argument _ -> ());
-  Mhrp.Agent.on_app_receive sender (fun pkt ->
-      if pkt.Packet.proto = Ipv4.Proto.tcp then
-        match Tcp.decode pkt.Packet.payload with
-        | seg when Tcp.has_flag seg Tcp.Ack -> sender_handle_ack t seg
-        | _ -> ()
-        | exception Invalid_argument _ -> ());
-  ignore (Engine.schedule engine ~at (fun () -> fill_window t));
+  let receiver_stack = Stack.create receiver in
+  ignore
+    (Socket.listen receiver_stack ~port:5002 ~mss:chunk
+       ~window:(window * chunk) ~rto ~max_retries:retry_budget (fun sock ->
+         Socket.recv_cb sock (fun b -> Buffer.add_bytes t.recvbuf b)));
+  let sender_stack = Stack.create sender in
+  ignore
+    (Engine.schedule engine ~at (fun () ->
+         let sock =
+           Socket.connect sender_stack ~src_port:5001 ~mss:chunk
+             ~window:(window * chunk) ~rto ~max_retries:retry_budget
+             ~dst:(Mhrp.Agent.address receiver) ~dst_port:5002 ()
+         in
+         t.sock <- Some sock;
+         Socket.on_drained sock (fun () ->
+             t.completed_at <- Some (Engine.now engine));
+         Socket.send sock data));
   t
 
 let stats t =
-  { chunks = t.total_chunks; sent = t.sent;
-    retransmissions = t.retransmissions; acks = t.acks;
-    completed_at = t.completed_at }
+  match t.sock with
+  | None ->
+    { chunks = t.total_chunks; sent = 0; retransmissions = 0; acks = 0;
+      completed_at = None }
+  | Some sock ->
+    let c = Socket.counters sock in
+    { chunks = t.total_chunks;
+      sent = c.Transport.Counters.data_segs_sent;
+      retransmissions = c.Transport.Counters.retransmissions;
+      acks = c.Transport.Counters.acks_received;
+      completed_at = t.completed_at }
 
 let complete t = t.completed_at <> None
 
 let received_ok t =
-  t.delivered_prefix = t.total_chunks
-  && (let ok = ref true in
-      for k = 0 to t.total_chunks - 1 do
-        match Hashtbl.find_opt t.received k with
-        | Some data -> if not (Bytes.equal data (chunk_data t k)) then ok := false
-        | None -> ok := false
-      done;
-      !ok)
+  Buffer.length t.recvbuf = t.bytes
+  && Bytes.equal (Buffer.to_bytes t.recvbuf) t.data

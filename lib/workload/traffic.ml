@@ -3,10 +3,17 @@ type t = {
   engine : Netsim.Engine.t;
   mutable next_id : int;
   mutable responses : int;
+  stacks : (int, Transport.Stack.t) Hashtbl.t;
+  dgrams : (int, Transport.Socket.Dgram.t) Hashtbl.t;
 }
 
 let create ?(first_id = 1) metrics engine =
-  { metrics; engine; next_id = first_id; responses = 0 }
+  { metrics;
+    engine;
+    next_id = first_id;
+    responses = 0;
+    stacks = Hashtbl.create 8;
+    dgrams = Hashtbl.create 8 }
 
 let fresh_id t =
   let id = t.next_id in
@@ -14,17 +21,36 @@ let fresh_id t =
   t.next_id <- (if id >= 0xFFFF then 1 else id + 1);
   id
 
+(* One transport stack per distinct source agent, created on first use.
+   Datagram sources never claim the agent's receive tap, so
+   [Metrics.watch_receiver] on the same simulation keeps seeing
+   deliveries. *)
+let stack_for t agent =
+  let key = Ipv4.Addr.to_key (Mhrp.Agent.address agent) in
+  match Hashtbl.find_opt t.stacks key with
+  | Some s -> s
+  | None ->
+    let s = Transport.Stack.create agent in
+    Hashtbl.replace t.stacks key s;
+    s
+
+let dgram_for t agent =
+  let key = Ipv4.Addr.to_key (Mhrp.Agent.address agent) in
+  match Hashtbl.find_opt t.dgrams key with
+  | Some d -> d
+  | None ->
+    let d =
+      Transport.Socket.Dgram.create
+        ~tap:(Metrics.note_send t.metrics)
+        (stack_for t agent) ~port:4000
+    in
+    Hashtbl.replace t.dgrams key d;
+    d
+
 let send_udp t ~src ~dst ?(size = 64) () =
   let id = fresh_id t in
-  let udp =
-    Ipv4.Udp.make ~src_port:4000 ~dst_port:4000 (Bytes.create size)
-  in
-  let pkt =
-    Ipv4.Packet.make ~id ~proto:Ipv4.Proto.udp
-      ~src:(Mhrp.Agent.address src) ~dst (Ipv4.Udp.encode udp)
-  in
-  Metrics.note_send t.metrics pkt;
-  Mhrp.Agent.send src pkt
+  Transport.Socket.Dgram.sendto (dgram_for t src) ~id ~dst ~dst_port:4000
+    (Bytes.create size)
 
 let at t time f = ignore (Netsim.Engine.schedule t.engine ~at:time f)
 
@@ -39,53 +65,39 @@ let cbr t ~src ~dst ?size ~start ~interval ~count () =
 
 let request_response t ~client ~server ?(size = 32) ~start ~interval
     ~count () =
-  let server_addr = Mhrp.Agent.address server in
-  let client_addr = Mhrp.Agent.address client in
-  (* the server answers request segments with response segments *)
-  Mhrp.Agent.on_app_receive server (fun pkt ->
-      if pkt.Ipv4.Packet.proto = Ipv4.Proto.tcp then
-        match Ipv4.Tcp_lite.decode pkt.Ipv4.Packet.payload with
-        | exception Invalid_argument _ -> ()
-        | seg ->
-          Metrics.note_delivery t.metrics pkt;
-          let reply =
-            Ipv4.Tcp_lite.make ~seq:seg.Ipv4.Tcp_lite.ack
-              ~ack:(seg.Ipv4.Tcp_lite.seq + Bytes.length seg.Ipv4.Tcp_lite.data)
-              ~flags:[Ipv4.Tcp_lite.Ack]
-              ~src_port:seg.Ipv4.Tcp_lite.dst_port
-              ~dst_port:seg.Ipv4.Tcp_lite.src_port (Bytes.create size)
-          in
-          let id = fresh_id t in
-          let out =
-            Ipv4.Packet.make ~id ~proto:Ipv4.Proto.tcp ~src:server_addr
-              ~dst:pkt.Ipv4.Packet.src (Ipv4.Tcp_lite.encode reply)
-          in
-          Metrics.note_send t.metrics out;
-          Mhrp.Agent.send server out);
-  Mhrp.Agent.on_app_receive client (fun pkt ->
-      if pkt.Ipv4.Packet.proto = Ipv4.Proto.tcp then begin
-        Metrics.note_delivery t.metrics pkt;
-        t.responses <- t.responses + 1
-      end);
-  for k = 0 to count - 1 do
-    let time =
-      Netsim.Time.add start
-        (Netsim.Time.of_us (k * Netsim.Time.to_us interval))
-    in
-    at t time (fun () ->
-        let seg =
-          Ipv4.Tcp_lite.make ~seq:(k * size) ~ack:0
-            ~flags:[Ipv4.Tcp_lite.Psh] ~src_port:5001 ~dst_port:80
-            (Bytes.create size)
+  let server_stack = stack_for t server in
+  (* the server echoes a [size]-byte response per complete request *)
+  ignore
+    (Transport.Socket.listen server_stack ~port:80 (fun sock ->
+         let pending = ref 0 in
+         Transport.Socket.recv_cb sock (fun data ->
+             pending := !pending + Bytes.length data;
+             while !pending >= size do
+               pending := !pending - size;
+               Transport.Socket.send sock (Bytes.create size)
+             done)));
+  at t start (fun () ->
+      let sock =
+        Transport.Socket.connect (stack_for t client) ~src_port:5001
+          ~dst:(Mhrp.Agent.address server) ~dst_port:80 ()
+      in
+      let got = ref 0 in
+      Transport.Socket.recv_cb sock (fun data ->
+          got := !got + Bytes.length data;
+          while !got >= size do
+            got := !got - size;
+            t.responses <- t.responses + 1
+          done);
+      Transport.Socket.send sock (Bytes.create size);
+      for k = 1 to count - 1 do
+        let time =
+          Netsim.Time.add start
+            (Netsim.Time.of_us (k * Netsim.Time.to_us interval))
         in
-        let id = fresh_id t in
-        let pkt =
-          Ipv4.Packet.make ~id ~proto:Ipv4.Proto.tcp ~src:client_addr
-            ~dst:server_addr (Ipv4.Tcp_lite.encode seg)
-        in
-        Metrics.note_send t.metrics pkt;
-        Mhrp.Agent.send client pkt)
-  done
+        at t time (fun () ->
+            if not (Transport.Socket.is_closed sock) then
+              Transport.Socket.send sock (Bytes.create size))
+      done)
 
 let responses_received t = t.responses
 

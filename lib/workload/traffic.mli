@@ -1,16 +1,28 @@
-(** Traffic generation over MHRP agents, wired into {!Metrics}.
+(** Traffic generation over the transport layer, wired into {!Metrics}.
 
-    Allocates unique IP ids so each packet is individually trackable. *)
+    Every flow runs through {!Transport.Socket}: datagrams through
+    {!Transport.Socket.Dgram} endpoints (one per source agent, created
+    lazily), request/response exchanges through real connected sockets.
+    Application code here never constructs raw TCP or UDP wire bytes.
+
+    Allocates unique IP ids so each datagram is individually
+    trackable. *)
 
 type t
 
 val create : ?first_id:int -> Metrics.t -> Netsim.Engine.t -> t
+
 val fresh_id : t -> int
+(** Next tracked IP id (16-bit, wraps skipping 0).
+    @deprecated Only metric-tracked datagram helpers below should need
+    ids; new application code should use {!Transport.Socket} directly
+    and leave id allocation to the stack. *)
 
 val send_udp : t -> src:Mhrp.Agent.t -> dst:Ipv4.Addr.t -> ?size:int ->
   unit -> unit
 (** Send one UDP datagram now ([size] bytes of payload, default 64),
-    recording it in the metrics. *)
+    recording it in the metrics.  Backed by a per-source
+    {!Transport.Socket.Dgram} endpoint on port 4000. *)
 
 val at : t -> Netsim.Time.t -> (unit -> unit) -> unit
 (** Schedule an action at an absolute time. *)
@@ -22,18 +34,21 @@ val cbr :
 
 val ping :
   t -> src:Mhrp.Agent.t -> dst:Ipv4.Addr.t -> at:Netsim.Time.t -> unit
-(** One echo request (the reply is the destination's business). *)
+(** One echo request (the reply is the destination's business).  ICMP
+    sits below the transport layer, so this is the one flow not on a
+    socket. *)
 
 val request_response :
   t -> client:Mhrp.Agent.t -> server:Mhrp.Agent.t -> ?size:int ->
   start:Netsim.Time.t -> interval:Netsim.Time.t -> count:int -> unit ->
   unit
-(** A TCP-segment request/response exchange: the client sends [count]
-    20-byte-header segments; the server's app tap answers each with a
-    response segment.  Both directions are tracked in the metrics, so
-    mobile servers exercise tunneling on requests and plain routing on
-    responses.  Installs the server's app tap (one such workload per
-    server). *)
+(** A connected request/response exchange over {!Transport.Socket}: the
+    client opens one connection to the server's port 80 at [start] and
+    writes a [size]-byte request per [interval]; the server answers each
+    complete request with a [size]-byte response.  Mobile servers
+    exercise tunneling on requests and plain routing on responses.
+    Installs both agents' transport stacks (one such workload per
+    client/server pair). *)
 
 val responses_received : t -> int
-(** Responses the request/response clients got back. *)
+(** Complete responses the request/response clients got back. *)

@@ -6,7 +6,9 @@
    changed line is a wire-compatibility break.
 
    Covers the encoders whose byte layout the experiments depend on: IP
-   headers (plain, TOS/DF/TTL variants, options), fragmentation, MHRP
+   headers (plain, TOS/DF/TTL variants, options), fragmentation, TCP
+   segments as the transport sockets emit them (handshake, data,
+   teardown, reset), MHRP
    encapsulation (sender-, agent-built and re-tunneled), MHRP control
    messages, ICMP including the location update, the authentication
    extension, and link-state hello/LSA floods. *)
@@ -55,6 +57,23 @@ let corpus =
       (Packet.fragment
          (Packet.make ~id:11 ~proto:Ipv4.Proto.udp ~src:s ~dst:m (udp 100))
          ~mtu:64)
+  @ (let tcp name seg = (name, Ipv4.Tcp_lite.encode seg) in
+     let open Ipv4.Tcp_lite in
+     [ tcp "tcp-syn"
+         (make ~seq:49001 ~flags:[Syn] ~src_port:49152 ~dst_port:80
+            Bytes.empty);
+       tcp "tcp-syn-ack"
+         (make ~seq:77001 ~ack:49002 ~flags:[Syn; Ack] ~src_port:80
+            ~dst_port:49152 Bytes.empty);
+       tcp "tcp-data-psh-ack"
+         (make ~seq:49002 ~ack:77002 ~flags:[Psh; Ack] ~window:0xFFFF
+            ~src_port:49152 ~dst_port:80 (Bytes.make 16 '\x42'));
+       tcp "tcp-fin-ack"
+         (make ~seq:49018 ~ack:77002 ~flags:[Fin; Ack] ~src_port:49152
+            ~dst_port:80 Bytes.empty);
+       tcp "tcp-rst"
+         (make ~seq:0 ~ack:49019 ~flags:[Rst; Ack] ~src_port:80
+            ~dst_port:49152 Bytes.empty) ])
   @ (let tunneled = Mhrp.Encap.tunnel_by_agent ~agent:ha ~foreign_agent:fa basic in
      let retunneled =
        match

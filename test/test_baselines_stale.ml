@@ -184,10 +184,13 @@ let vip_timestamp_tests =
           (* craft two VIP packets from M with different timestamps and
              different claimed physical sources, deliver newer first *)
           let vip = Node.primary_addr p.TG.p_m in
+          (* addressed past R1 (netC), not to the sending node itself —
+             a self-addressed packet loops back locally and would never
+             cross R1's forwarding hook *)
           let mkvip ~stamp ~phys =
-            let inner = mk_pkt ~id:1 ~src:p.TG.p_m ~dst:(Addr.host 1 10) in
+            let inner = mk_pkt ~id:1 ~src:p.TG.p_m ~dst:(Addr.host 3 10) in
             Baselines.Viph.add
-              { Baselines.Viph.vip_src = vip; vip_dst = Addr.host 1 10;
+              { Baselines.Viph.vip_src = vip; vip_dst = Addr.host 3 10;
                 hop_count = 0; timestamp = stamp }
               { inner with Ipv4.Packet.src = phys }
           in

@@ -279,7 +279,7 @@ let transport_tests =
             ~flags:[Ipv4.Tcp_lite.Syn; Ipv4.Tcp_lite.Ack] ~src_port:80
             ~dst_port:5000 (Bytes.of_string "data")
         in
-        let d = Ipv4.Tcp_lite.decode (Ipv4.Tcp_lite.encode seg) in
+        let d = Ipv4.Tcp_lite.decode_exn (Ipv4.Tcp_lite.encode seg) in
         check Alcotest.int "seq" 0xDEADBEE d.Ipv4.Tcp_lite.seq;
         check Alcotest.bool "syn" true
           (Ipv4.Tcp_lite.has_flag d Ipv4.Tcp_lite.Syn);
